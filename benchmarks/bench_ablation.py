@@ -1,0 +1,80 @@
+"""Ablation bench: remove each of L2Fuzz's two key techniques in turn.
+
+DESIGN.md §5 calls out the design choices to ablate:
+
+* **state guiding off** — fuzz only from CLOSED: state coverage collapses
+  and the configuration-job bug (D2) becomes unreachable;
+* **core-field discipline off** — additionally corrupt the dependent
+  length fields (BFuzz-style): the rejection ratio spikes and mutation
+  efficiency collapses;
+* **garbage tail off** — the D2 null-deref needs the tail; the campaign
+  walks straight past the bug.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import D2
+from repro.testbed.session import run_campaign
+
+from benchmarks.bench_helpers import print_table, run_once
+
+BUDGET = 20_000
+
+
+def _run_variant(name: str, armed: bool, **config_kwargs) -> dict:
+    config = FuzzConfig(max_packets=BUDGET, **config_kwargs)
+    report = run_campaign(D2, config, armed=armed, zero_latency=True)
+    eff = report.efficiency
+    return {
+        "variant": name,
+        "mp_pct": round(100 * eff.mp_ratio, 2),
+        "pr_pct": round(100 * eff.pr_ratio, 2),
+        "eff_pct": round(100 * eff.mutation_efficiency, 2),
+        "coverage": len(report.covered_states),
+        "vuln_found": report.vulnerability_found,
+    }
+
+
+def _run_all() -> list[dict]:
+    return [
+        _run_variant("full L2Fuzz (ratios)", armed=False),
+        _run_variant("full L2Fuzz (armed)", armed=True),
+        _run_variant("no state guiding", armed=True, state_guiding=False),
+        _run_variant(
+            "no core-field discipline",
+            armed=False,
+            mutate_core_fields_only=False,
+        ),
+        _run_variant("no garbage tail", armed=True, append_garbage=False),
+    ]
+
+
+def bench_ablation(benchmark):
+    rows = run_once(benchmark, _run_all)
+    print_table("Ablation — each key technique removed in turn", rows)
+    by_name = {row["variant"]: row for row in rows}
+
+    full_ratios = by_name["full L2Fuzz (ratios)"]
+    full_armed = by_name["full L2Fuzz (armed)"]
+    no_guiding = by_name["no state guiding"]
+    no_discipline = by_name["no core-field discipline"]
+    no_garbage = by_name["no garbage tail"]
+
+    # The full fuzzer finds the D2 bug; coverage 13 when measuring ratios.
+    assert full_armed["vuln_found"]
+    assert full_ratios["coverage"] == 13
+
+    # Without state guiding the config-job bug is unreachable and
+    # coverage collapses to the closed posture (plus the handful of
+    # states the port scan itself exposes).
+    assert not no_guiding["vuln_found"]
+    assert no_guiding["coverage"] <= 4
+    assert no_guiding["coverage"] < full_ratios["coverage"] - 8
+
+    # Without core-field discipline rejections spike and efficiency drops.
+    assert no_discipline["pr_pct"] > full_ratios["pr_pct"] + 10
+    assert no_discipline["eff_pct"] < full_ratios["eff_pct"]
+
+    # Without the garbage tail the D2 null-deref is never triggered.
+    assert not no_garbage["vuln_found"]

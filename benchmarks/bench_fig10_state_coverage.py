@@ -1,0 +1,32 @@
+"""Reproduce paper Fig. 10: L2CAP state coverage per fuzzer.
+
+The paper's bar chart: L2Fuzz 13, Defensics 7, BFuzz 6, BSS 3 (of 19).
+Coverage is inferred from the packet trace by the PRETT-style analyzer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import figure10_bars, run_comparison
+
+from benchmarks.bench_helpers import print_table, run_once
+
+BUDGET = 25_000
+
+#: Paper Fig. 10 bar heights.
+PAPER_FIG10 = {"L2Fuzz": 13, "Defensics": 7, "BFuzz": 6, "BSS": 3}
+
+
+def bench_fig10_state_coverage(benchmark):
+    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+    bars = figure10_bars(results)
+    rows = [
+        {
+            "fuzzer": name,
+            "covered_states": bars[name],
+            "paper": PAPER_FIG10[name],
+            "bar": "#" * bars[name],
+        }
+        for name in bars
+    ]
+    print_table("Fig. 10 — state coverage (of 19 states)", rows)
+    assert bars == PAPER_FIG10

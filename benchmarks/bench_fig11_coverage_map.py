@@ -1,0 +1,44 @@
+"""Reproduce paper Fig. 11: per-fuzzer coverage maps of the state machine.
+
+Prints, for every fuzzer, the 19-state machine with covered states
+highlighted — the textual equivalent of the paper's four sub-figures —
+and asserts the structural claims: only L2Fuzz reaches the creation and
+move jobs, and nobody reaches the six initiator-only states.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import figure11_maps, run_comparison
+from repro.l2cap.jobs import STATE_JOB
+from repro.l2cap.states import ALL_STATES, INITIATOR_ONLY_STATES
+
+from benchmarks.bench_helpers import run_once
+
+BUDGET = 25_000
+
+
+def _print_map(name: str, covered: list[str]) -> None:
+    print(f"\n--- Fig. 11 ({name}): {len(covered)}/19 states ---")
+    for state in ALL_STATES:
+        mark = "█" if state.value in covered else "·"
+        print(f"  [{mark}] {state.value:<22} ({STATE_JOB[state].value})")
+
+
+def bench_fig11_coverage_map(benchmark):
+    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+    maps = figure11_maps(results)
+    for name, covered in maps.items():
+        _print_map(name, covered)
+
+    # Structural claims of §IV.D.
+    for state in ("WAIT_CREATE", "WAIT_MOVE", "WAIT_MOVE_CONFIRM"):
+        assert state in maps["L2Fuzz"]
+        for other in ("Defensics", "BFuzz", "BSS"):
+            assert state not in maps[other]
+    # Every fuzzer's coverage is a subset of L2Fuzz's.
+    for other in ("Defensics", "BFuzz", "BSS"):
+        assert set(maps[other]) <= set(maps["L2Fuzz"])
+    # Nobody can reach the initiator-only states from the master side.
+    initiator = {state.value for state in INITIATOR_ONLY_STATES}
+    for covered in maps.values():
+        assert not initiator & set(covered)

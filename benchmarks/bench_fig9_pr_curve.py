@@ -1,0 +1,48 @@
+"""Reproduce paper Fig. 9: cumulative rejection packets vs received.
+
+BFuzz's curve hugs the diagonal (~92% of everything it receives is a
+rejection), L2Fuzz sits at ~1/3, Defensics near the floor, and BSS
+receives no rejections at all (absent from the figure).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import run_comparison
+from repro.analysis.metrics import render_ascii_curve
+
+from benchmarks.bench_helpers import print_table, run_once
+
+BUDGET = 30_000
+
+
+def bench_fig9_pr_curve(benchmark):
+    results = run_once(
+        benchmark, lambda: run_comparison(max_packets=BUDGET, sample_every=2000)
+    )
+
+    rows = []
+    for name, result in results.items():
+        final = result.pr_points[-1]
+        rows.append(
+            {
+                "fuzzer": name,
+                "received": final.x,
+                "rejections": final.y,
+                "pr_ratio_pct": round(100 * final.y / max(final.x, 1), 2),
+            }
+        )
+    print_table("Fig. 9 — cumulative rejection packets (final points)", rows)
+    print(render_ascii_curve(list(results["BFuzz"].pr_points), label="BFuzz PR curve"))
+
+    for result in results.values():
+        ys = [p.y for p in result.pr_points]
+        assert ys == sorted(ys)
+
+    ratios = {
+        name: r.pr_points[-1].y / max(r.pr_points[-1].x, 1)
+        for name, r in results.items()
+    }
+    assert ratios["BFuzz"] > 0.80  # paper: 91.60%
+    assert 0.25 < ratios["L2Fuzz"] < 0.40  # paper: 32.49%
+    assert ratios["Defensics"] < 0.05  # paper: 1.73%
+    assert results["BSS"].pr_points[-1].y == 0  # paper: no rejections

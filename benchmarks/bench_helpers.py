@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction script. Campaigns are deterministic, so each benchmark runs
+one round (``pedantic``) — the interesting output is the reproduced
+artefact, not the wall-clock variance.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under the benchmark fixture."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a reproduced table in aligned columns."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0])
+    widths = {
+        h: max(len(str(h)), *(len(str(row.get(h, ""))) for row in rows))
+        for h in headers
+    }
+    print("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers))

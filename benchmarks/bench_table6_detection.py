@@ -1,0 +1,67 @@
+"""Reproduce paper Table VI: vulnerability detection on the 8 devices.
+
+Runs a full armed L2Fuzz campaign against every Table V profile and
+prints the reproduced table. Expected shape (paper values in brackets):
+D1/D2/D3 DoS within minutes [1m32s / 1m25s / 7m11s], D5 crash within a
+minute [40s], D8 crash after hours [2h40m], D4/D6/D7 clean.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import ALL_PROFILES
+from repro.testbed.session import run_campaign
+
+from benchmarks.bench_helpers import print_table, run_once
+
+#: Paper Table VI ground truth for the shape assertions.
+PAPER_RESULTS = {
+    "D1": ("Yes", "DoS", 92),
+    "D2": ("Yes", "DoS", 85),
+    "D3": ("Yes", "DoS", 431),
+    "D4": ("No", "N/A", None),
+    "D5": ("Yes", "Crash", 40),
+    "D6": ("No", "N/A", None),
+    "D7": ("No", "N/A", None),
+    "D8": ("Yes", "Crash", 9600),
+}
+
+#: Transmission budgets: vulnerable devices stop at the finding; the
+#: clean devices and the slow D8 bug need room.
+BUDGETS = {"D8": 250_000}
+DEFAULT_BUDGET = 40_000
+
+
+def _run_all() -> list[dict]:
+    rows = []
+    for profile in ALL_PROFILES:
+        budget = BUDGETS.get(profile.device_id, DEFAULT_BUDGET)
+        report = run_campaign(profile, FuzzConfig(max_packets=budget))
+        row = report.as_table6_row()
+        row["device"] = profile.device_id
+        paper = PAPER_RESULTS[profile.device_id]
+        row["paper"] = f"{paper[1]} @ {paper[2]}s" if paper[2] else "N/A"
+        finding = report.first_finding
+        row["state"] = finding.state if finding else "-"
+        rows.append(row)
+    return rows
+
+
+def bench_table6_detection(benchmark):
+    rows = run_once(benchmark, _run_all)
+    print_table("Table VI — vulnerability detection results", rows)
+    by_device = {row["device"]: row for row in rows}
+    for device_id, (vuln, vclass, _elapsed) in PAPER_RESULTS.items():
+        assert by_device[device_id]["vuln"] == vuln, device_id
+        assert by_device[device_id]["description"] == vclass, device_id
+    # Time ordering: D5 fastest of the findings, D8 slowest by far.
+    times = {
+        d: by_device[d]["elapsed_seconds"]
+        for d in ("D1", "D2", "D3", "D5", "D8")
+    }
+    assert times["D5"] < times["D1"]
+    assert times["D5"] < times["D2"]
+    assert max(times["D1"], times["D2"]) < times["D3"]
+    assert times["D8"] > 10 * times["D3"]
+    # The D3 bug is found in the Wait-Create state (paper §IV.E).
+    assert by_device["D3"]["state"] == "WAIT_CREATE"

@@ -1,0 +1,47 @@
+"""Reproduce paper Table VII: mutation efficiency of the four fuzzers.
+
+Runs L2Fuzz, Defensics, BFuzz and BSS against the disarmed D2 reference
+phone (the paper's controlled §IV.C setup) and prints the reproduced
+table next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import run_comparison, table7_rows
+
+from benchmarks.bench_helpers import print_table, run_once
+
+#: Paper Table VII (percentages).
+PAPER_TABLE7 = {
+    "L2Fuzz": (69.96, 32.49, 47.22),
+    "Defensics": (2.38, 1.73, 2.33),
+    "BFuzz": (1.50, 91.60, 0.12),
+    "BSS": (0.0, 0.0, 0.0),
+}
+
+BUDGET = 60_000
+
+
+def bench_table7_efficiency(benchmark):
+    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+    rows = table7_rows(results)
+    for row in rows:
+        paper = PAPER_TABLE7[row["fuzzer"]]
+        row["paper_mp"] = paper[0]
+        row["paper_pr"] = paper[1]
+        row["paper_eff"] = paper[2]
+    print_table("Table VII — mutation efficiency (measured vs paper)", rows)
+
+    eff = {name: r.efficiency for name, r in results.items()}
+    # Bands around the paper's values (shape, not absolutes).
+    assert 0.60 < eff["L2Fuzz"].mp_ratio < 0.80
+    assert 0.25 < eff["L2Fuzz"].pr_ratio < 0.40
+    assert 0.40 < eff["L2Fuzz"].mutation_efficiency < 0.55
+    assert eff["Defensics"].mp_ratio < 0.05
+    assert eff["Defensics"].pr_ratio < 0.05
+    assert eff["BFuzz"].pr_ratio > 0.80
+    assert eff["BFuzz"].mutation_efficiency < 0.005
+    assert eff["BSS"].mutation_efficiency == 0.0
+    # The headline ordering.
+    ordering = sorted(eff, key=lambda n: eff[n].mutation_efficiency, reverse=True)
+    assert ordering == ["L2Fuzz", "Defensics", "BFuzz", "BSS"]

@@ -1,0 +1,37 @@
+"""Reproduce the §IV.C throughput comparison (packets per second).
+
+The paper measures L2Fuzz at 524.27 pps, BFuzz at 454.54 pps, Defensics
+at 3.37 pps and BSS at 1.95 pps. In the simulation the link charges each
+fuzzer's empirical per-packet cost, so this benchmark verifies the
+throughput model end-to-end from the trace (packets / simulated time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import run_comparison
+
+from benchmarks.bench_helpers import print_table, run_once
+
+BUDGET = 10_000
+
+PAPER_PPS = {"L2Fuzz": 524.27, "Defensics": 3.37, "BFuzz": 454.54, "BSS": 1.95}
+
+
+def bench_throughput(benchmark):
+    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "fuzzer": name,
+                "pps_measured": round(result.efficiency.packets_per_second, 2),
+                "pps_paper": PAPER_PPS[name],
+            }
+        )
+    print_table("§IV.C — transmission throughput", rows)
+    for name, result in results.items():
+        assert result.efficiency.packets_per_second == pytest.approx(
+            PAPER_PPS[name], rel=1e-6
+        )

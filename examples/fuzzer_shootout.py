@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Four-fuzzer shootout: regenerate the paper's comparison (§IV.C/D).
+
+Runs L2Fuzz, Defensics, BFuzz and BSS against the disarmed D2 reference
+phone and prints Table VII, the Fig. 8/9 final points, and the Fig. 10
+coverage bars — a scaled-down version of the benchmark harness suitable
+for a quick look.
+
+Run with::
+
+    python examples/fuzzer_shootout.py [packet-budget]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.comparison import (
+    figure10_bars,
+    figure11_maps,
+    run_comparison,
+    table7_rows,
+)
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    print(f"Running the four fuzzers vs D2 (Pixel 3), {budget} packets each...\n")
+    results = run_comparison(max_packets=budget)
+
+    print("Table VII — mutation efficiency")
+    print(f"{'fuzzer':<11}{'MP%':>8}{'PR%':>8}{'eff%':>8}{'pps':>9}")
+    for row in table7_rows(results):
+        print(
+            f"{row['fuzzer']:<11}{row['mp_ratio']:>8}{row['pr_ratio']:>8}"
+            f"{row['mutation_efficiency']:>8}{row['pps']:>9}"
+        )
+
+    print("\nFig. 8/9 — final cumulative points")
+    for name, result in results.items():
+        mp = result.mp_points[-1]
+        pr = result.pr_points[-1]
+        print(
+            f"{name:<11} malformed {mp.y:>6}/{mp.x:<6}  "
+            f"rejections {pr.y:>6}/{pr.x:<6}"
+        )
+
+    print("\nFig. 10 — state coverage (of 19)")
+    for name, count in figure10_bars(results).items():
+        print(f"{name:<11} {count:>2}  {'#' * count}")
+
+    print("\nFig. 11 — states only L2Fuzz reaches")
+    maps = figure11_maps(results)
+    others = set().union(*(maps[n] for n in maps if n != "L2Fuzz"))
+    unique = sorted(set(maps["L2Fuzz"]) - others)
+    for state in unique:
+        print(f"  {state}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz one virtual device and read the report.
+
+Runs L2Fuzz against the D2 profile (Google Pixel 3, the paper's
+reference phone) with a small packet budget, then prints the campaign
+report, the trace-derived metrics, and — because D2 carries the injected
+BlueDroid null-deref — the recovered tombstone.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FuzzConfig, run_campaign
+from repro.testbed import D2
+
+
+def main() -> None:
+    # An armed campaign stops at the first finding, like the real tool.
+    config = FuzzConfig(max_packets=50_000, seed=0x1202)
+    report = run_campaign(D2, config)
+
+    print(report.summary())
+    print()
+
+    finding = report.first_finding
+    if finding is None:
+        print("No vulnerability found within the budget.")
+        return
+
+    print(f"Vulnerability class : {finding.vulnerability_class.value}")
+    print(f"Socket error        : {finding.error_message}")
+    print(f"State under test    : {finding.state}")
+    print(f"Trigger packet      : {finding.trigger}")
+    print(f"Ping test failed    : {finding.ping_failed}")
+    if finding.crash_dump:
+        print("\nRecovered crash dump (cf. paper Fig. 12):")
+        print(finding.crash_dump)
+
+
+if __name__ == "__main__":
+    main()

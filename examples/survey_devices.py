@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Survey the whole testbed: regenerate Table VI end to end.
+
+Runs a full armed campaign against each of the eight Table V device
+profiles and prints the reproduced Table VI. D8 (BlueZ) hides the rare
+general-protection-fault bug, so its campaign is long — pass a smaller
+budget to trade fidelity for speed.
+
+Run with::
+
+    python examples/survey_devices.py [d8-budget]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import FuzzConfig, run_campaign
+from repro.testbed import ALL_PROFILES
+
+
+def main() -> None:
+    d8_budget = int(sys.argv[1]) if len(sys.argv) > 1 else 250_000
+    header = (
+        f"{'No.':<5}{'Name':<16}{'Stack':<15}{'Vuln?':<7}"
+        f"{'Description':<13}{'Elapsed (sim)':<15}{'State':<22}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for profile in ALL_PROFILES:
+        budget = d8_budget if profile.device_id == "D8" else 40_000
+        started = time.perf_counter()
+        report = run_campaign(profile, FuzzConfig(max_packets=budget))
+        wall = time.perf_counter() - started
+        row = report.as_table6_row()
+        finding = report.first_finding
+        print(
+            f"{profile.device_id:<5}{profile.name:<16}{profile.bt_stack:<15}"
+            f"{row['vuln']:<7}{row['description']:<13}{row['elapsed']:<15}"
+            f"{finding.state if finding else '-':<22}"
+            f"  [{report.packets_sent} pkts, {wall:.1f}s wall]"
+        )
+
+    print(
+        "\nPaper Table VI: D1 DoS 1m32s, D2 DoS 1m25s, D3 DoS 7m11s, "
+        "D4 none, D5 crash 40s, D6 none, D7 none, D8 crash 2h40m."
+    )
+
+
+if __name__ == "__main__":
+    main()

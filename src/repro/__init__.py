@@ -1,0 +1,40 @@
+"""L2Fuzz reproduction: stateful fuzzing of the Bluetooth L2CAP layer.
+
+A from-scratch Python reproduction of "L2Fuzz: Discovering Bluetooth
+L2CAP Vulnerabilities Using Stateful Fuzz Testing" (DSN 2022), including
+the fuzzer itself, a virtual Bluetooth testbed standing in for the
+paper's physical devices, the baseline fuzzers it is compared against,
+and the measurement harness behind every table and figure.
+
+Quickstart::
+
+    from repro import FuzzConfig, run_campaign
+    from repro.testbed import D2
+
+    report = run_campaign(D2, FuzzConfig(max_packets=5_000))
+    print(report.summary())
+"""
+
+from repro.core.config import FuzzConfig
+from repro.core.fuzzer import L2Fuzz
+from repro.core.report import CampaignReport
+from repro.l2cap.constants import CommandCode
+from repro.l2cap.packets import L2capPacket
+from repro.l2cap.states import ChannelState
+from repro.stack.device import VirtualDevice
+from repro.testbed.session import FuzzSession, run_campaign
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignReport",
+    "ChannelState",
+    "CommandCode",
+    "FuzzConfig",
+    "FuzzSession",
+    "L2Fuzz",
+    "L2capPacket",
+    "VirtualDevice",
+    "__version__",
+    "run_campaign",
+]

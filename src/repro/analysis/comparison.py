@@ -1,0 +1,150 @@
+"""Four-fuzzer comparison harness (paper §IV.C and §IV.D).
+
+Runs L2Fuzz, Defensics, BFuzz and BSS against the same target under the
+paper's controlled conditions — the D2 reference phone, a fixed budget of
+transmitted packets, bugs disarmed so the run is not cut short (the paper
+measured ratios and detection in separate experiments) — and derives from
+each packet trace:
+
+* Table VII — MP Ratio, PR Ratio, mutation efficiency and pps;
+* Fig. 8 — cumulative malformed packets vs transmitted;
+* Fig. 9 — cumulative rejections vs received;
+* Fig. 10 / Fig. 11 — state-coverage counts and per-state maps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.metrics import (
+    CumulativePoint,
+    MutationEfficiency,
+    measure,
+    mp_curve,
+    pr_curve,
+)
+from repro.analysis.state_coverage import state_coverage
+from repro.baselines.base import BaselineFuzzer
+from repro.baselines.bfuzz import BfuzzFuzzer
+from repro.baselines.bss import BssFuzzer
+from repro.baselines.defensics import DefensicsFuzzer
+from repro.core.config import FuzzConfig
+from repro.core.packet_queue import PacketQueue
+from repro.hci.transport import SimClock, VirtualLink
+from repro.l2cap.states import ChannelState
+from repro.testbed.profiles import D2, DeviceProfile
+from repro.testbed.session import FuzzSession, L2FUZZ_PPS
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzerRunResult:
+    """Trace-derived results for one fuzzer's run."""
+
+    name: str
+    efficiency: MutationEfficiency
+    mp_points: tuple[CumulativePoint, ...]
+    pr_points: tuple[CumulativePoint, ...]
+    coverage: frozenset[ChannelState]
+
+    @property
+    def coverage_count(self) -> int:
+        """The Fig. 10 bar height for this fuzzer."""
+        return len(self.coverage)
+
+
+def run_l2fuzz_trial(
+    profile: DeviceProfile = D2,
+    max_packets: int = 100_000,
+    seed: int = 0x1202,
+    sample_every: int = 1000,
+) -> FuzzerRunResult:
+    """Run L2Fuzz under the comparison conditions."""
+    session = FuzzSession(
+        profile=profile,
+        config=FuzzConfig(seed=seed, max_packets=max_packets),
+        armed=False,
+        zero_latency=True,
+        pps=L2FUZZ_PPS,
+    )
+    session.run()
+    sniffer = session.fuzzer.sniffer
+    return FuzzerRunResult(
+        name="L2Fuzz",
+        efficiency=measure(sniffer, session.clock.now),
+        mp_points=tuple(mp_curve(sniffer, sample_every)),
+        pr_points=tuple(pr_curve(sniffer, sample_every)),
+        coverage=state_coverage(sniffer),
+    )
+
+
+def run_baseline_trial(
+    fuzzer_cls: type[BaselineFuzzer],
+    profile: DeviceProfile = D2,
+    max_packets: int = 100_000,
+    seed: int = 0x1202,
+    sample_every: int = 1000,
+) -> FuzzerRunResult:
+    """Run one baseline fuzzer under the comparison conditions."""
+    clock = SimClock()
+    device = profile.build(clock=clock, armed=False, zero_latency=True)
+    link = VirtualLink(clock=clock, tx_cost=1.0 / fuzzer_cls.pps)
+    device.attach_to(link)
+    queue = PacketQueue(link)
+    fuzzer = fuzzer_cls(queue, seed=seed)
+    fuzzer.run(max_packets)
+    sniffer = queue.sniffer
+    return FuzzerRunResult(
+        name=fuzzer_cls.name,
+        efficiency=measure(sniffer, clock.now),
+        mp_points=tuple(mp_curve(sniffer, sample_every)),
+        pr_points=tuple(pr_curve(sniffer, sample_every)),
+        coverage=state_coverage(sniffer),
+    )
+
+
+#: The four fuzzers in the paper's presentation order.
+FUZZER_ORDER = ("L2Fuzz", "Defensics", "BFuzz", "BSS")
+
+
+def run_comparison(
+    profile: DeviceProfile = D2,
+    max_packets: int = 100_000,
+    seed: int = 0x1202,
+    sample_every: int = 1000,
+) -> dict[str, FuzzerRunResult]:
+    """Run all four fuzzers; return results keyed by fuzzer name."""
+    results = {
+        "L2Fuzz": run_l2fuzz_trial(profile, max_packets, seed, sample_every),
+    }
+    for fuzzer_cls in (DefensicsFuzzer, BfuzzFuzzer, BssFuzzer):
+        results[fuzzer_cls.name] = run_baseline_trial(
+            fuzzer_cls, profile, max_packets, seed, sample_every
+        )
+    return results
+
+
+def table7_rows(results: dict[str, FuzzerRunResult]) -> list[dict]:
+    """Render paper Table VII from comparison results."""
+    return [
+        results[name].efficiency.as_table_row(name)
+        for name in FUZZER_ORDER
+        if name in results
+    ]
+
+
+def figure10_bars(results: dict[str, FuzzerRunResult]) -> dict[str, int]:
+    """Render paper Fig. 10: state-coverage count per fuzzer."""
+    return {
+        name: results[name].coverage_count
+        for name in FUZZER_ORDER
+        if name in results
+    }
+
+
+def figure11_maps(results: dict[str, FuzzerRunResult]) -> dict[str, list[str]]:
+    """Render paper Fig. 11: the per-fuzzer highlighted state sets."""
+    return {
+        name: sorted(state.value for state in results[name].coverage)
+        for name in FUZZER_ORDER
+        if name in results
+    }

@@ -1,0 +1,138 @@
+"""Multi-seed experiment statistics.
+
+The paper reports single campaign runs; a reproduction should show the
+results are not seed-luck. This module sweeps campaign seeds, aggregates
+the per-seed metrics, and reports mean/spread — plus the
+transition-coverage comparison that stands in for code coverage (§V
+cites Frankenstein's coverage measurement as desirable future work).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.analysis.state_coverage import state_coverage
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import D2, DeviceProfile
+from repro.testbed.session import FuzzSession
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSummary:
+    """Mean/spread of one scalar metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        return statistics.fmean(self.values)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0 for a single value)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        return max(self.values)
+
+    def as_dict(self) -> dict:
+        """Render for tables."""
+        return {
+            "mean": round(self.mean, 4),
+            "stdev": round(self.stdev, 4),
+            "min": round(self.minimum, 4),
+            "max": round(self.maximum, 4),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class SeedSweepResult:
+    """Aggregated outcome of a seed sweep."""
+
+    seeds: tuple[int, ...]
+    mp_ratio: MetricSummary
+    pr_ratio: MetricSummary
+    mutation_efficiency: MetricSummary
+    coverage_counts: tuple[int, ...]
+    transition_branches: tuple[int, ...]
+
+    @property
+    def coverage_is_stable(self) -> bool:
+        """True when every seed reached the same state-coverage count."""
+        return len(set(self.coverage_counts)) == 1
+
+
+def seed_sweep(
+    profile: DeviceProfile = D2,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    max_packets: int = 8_000,
+) -> SeedSweepResult:
+    """Run one disarmed campaign per seed and aggregate the metrics."""
+    mp, pr, eff = [], [], []
+    coverage_counts, branches = [], []
+    for seed in seeds:
+        session = FuzzSession(
+            profile,
+            FuzzConfig(seed=seed, max_packets=max_packets),
+            armed=False,
+            zero_latency=True,
+        )
+        report = session.run()
+        mp.append(report.efficiency.mp_ratio)
+        pr.append(report.efficiency.pr_ratio)
+        eff.append(report.efficiency.mutation_efficiency)
+        coverage_counts.append(len(state_coverage(session.fuzzer.sniffer)))
+        branches.append(len(session.device.engine.transition_coverage()))
+    return SeedSweepResult(
+        seeds=tuple(seeds),
+        mp_ratio=MetricSummary(tuple(mp)),
+        pr_ratio=MetricSummary(tuple(pr)),
+        mutation_efficiency=MetricSummary(tuple(eff)),
+        coverage_counts=tuple(coverage_counts),
+        transition_branches=tuple(branches),
+    )
+
+
+def transition_coverage_comparison(
+    profile: DeviceProfile = D2, max_packets: int = 8_000, seed: int = 0x1202
+) -> dict[str, int]:
+    """Frankenstein-style proxy: distinct dispatcher branches each fuzzer
+    exercises on the same target (higher = deeper stack exploration)."""
+    from repro.analysis.comparison import run_baseline_trial  # noqa: F401
+    from repro.baselines.bfuzz import BfuzzFuzzer
+    from repro.baselines.bss import BssFuzzer
+    from repro.baselines.defensics import DefensicsFuzzer
+    from repro.core.packet_queue import PacketQueue
+    from repro.hci.transport import SimClock, VirtualLink
+
+    results: dict[str, int] = {}
+
+    session = FuzzSession(
+        profile,
+        FuzzConfig(seed=seed, max_packets=max_packets),
+        armed=False,
+        zero_latency=True,
+    )
+    session.run()
+    results["L2Fuzz"] = len(session.device.engine.transition_coverage())
+
+    for fuzzer_cls in (DefensicsFuzzer, BfuzzFuzzer, BssFuzzer):
+        clock = SimClock()
+        device = profile.build(clock=clock, armed=False, zero_latency=True)
+        link = VirtualLink(clock=clock, tx_cost=1.0 / fuzzer_cls.pps)
+        device.attach_to(link)
+        fuzzer = fuzzer_cls(PacketQueue(link), seed=seed)
+        fuzzer.run(max_packets)
+        results[fuzzer_cls.name] = len(device.engine.transition_coverage())
+    return results

@@ -1,0 +1,206 @@
+"""Packet-trace capture and classification (the Wireshark substitute).
+
+The paper's two evaluation metrics are computed purely from a packet
+trace (§IV.A): malformed and rejected packets were "captured and analyzed
+using Wireshark". :class:`PacketSniffer` plays that role: it observes
+every frame in both directions and classifies
+
+* transmitted packets as **malformed** — any deviation from a spec-clean
+  encoding, including channel-endpoint values that ignore the dynamic
+  allocation *observed on the wire* (the sniffer tracks which CIDs the
+  target actually handed out, exactly as a Wireshark analyst would), and
+* received packets as **rejections** — Command Reject responses plus
+  refusal results in response commands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.l2cap.constants import (
+    CommandCode,
+    ConfigResult,
+    ConnectionResult,
+    InfoResult,
+    MoveResult,
+)
+from repro.l2cap.packets import L2capPacket
+from repro.l2cap.validation import is_malformed
+
+
+class Direction(enum.Enum):
+    """Which way a frame travelled, from the fuzzer's vantage point."""
+
+    SENT = "sent"
+    RECEIVED = "received"
+
+
+@dataclasses.dataclass(frozen=True)
+class TracedPacket:
+    """One classified trace entry."""
+
+    sim_time: float
+    direction: Direction
+    packet: L2capPacket
+    malformed: bool
+    rejection: bool
+
+
+#: Result values in a Connection/Create-Channel Response that constitute a
+#: refusal of the request.
+_CONNECTION_REFUSALS = frozenset(
+    {
+        ConnectionResult.REFUSED_PSM_NOT_SUPPORTED,
+        ConnectionResult.REFUSED_SECURITY_BLOCK,
+        ConnectionResult.REFUSED_NO_RESOURCES,
+        ConnectionResult.REFUSED_CONTROLLER_ID_NOT_SUPPORTED,
+        ConnectionResult.REFUSED_INVALID_SCID,
+        ConnectionResult.REFUSED_SCID_ALREADY_ALLOCATED,
+    }
+)
+
+_CONFIG_REFUSALS = frozenset(
+    {
+        ConfigResult.UNACCEPTABLE_PARAMETERS,
+        ConfigResult.REJECTED,
+        ConfigResult.UNKNOWN_OPTIONS,
+        ConfigResult.FLOW_SPEC_REJECTED,
+    }
+)
+
+_MOVE_REFUSALS = frozenset(
+    {
+        MoveResult.REFUSED_CONTROLLER_ID_NOT_SUPPORTED,
+        MoveResult.REFUSED_NEW_CONTROLLER_ID_IS_SAME,
+        MoveResult.REFUSED_CONFIGURATION_NOT_SUPPORTED,
+        MoveResult.REFUSED_COLLISION,
+        MoveResult.REFUSED_NOT_ALLOWED,
+    }
+)
+
+
+def is_rejection(packet: L2capPacket) -> bool:
+    """Classify a received packet as a rejection (PR-Ratio numerator)."""
+    code = packet.code
+    result = packet.fields.get("result")
+    if code == CommandCode.COMMAND_REJECT:
+        return True
+    if code in (CommandCode.CONNECTION_RSP, CommandCode.CREATE_CHANNEL_RSP):
+        return result in _CONNECTION_REFUSALS
+    if code == CommandCode.CONFIGURATION_RSP:
+        return result in _CONFIG_REFUSALS
+    if code == CommandCode.MOVE_CHANNEL_RSP:
+        return result in _MOVE_REFUSALS
+    if code == CommandCode.INFORMATION_RSP:
+        return result == InfoResult.NOT_SUPPORTED
+    if code in (
+        CommandCode.LE_CREDIT_BASED_CONNECTION_RSP,
+        CommandCode.CREDIT_BASED_CONNECTION_RSP,
+        CommandCode.CREDIT_BASED_RECONFIGURE_RSP,
+    ):
+        return bool(result)
+    return False
+
+
+class PacketSniffer:
+    """Observes both directions of a fuzzing session and keeps the trace.
+
+    The sniffer maintains the set of dynamic CIDs the *target* has handed
+    out, learned from successful Connection / Create-Channel responses
+    and pruned on disconnections — the wire-visible ground truth against
+    which "ignores dynamic allocation" is judged.
+    """
+
+    def __init__(self) -> None:
+        self.trace: list[TracedPacket] = []
+        self._target_cids: set[int] = set()
+        self._sent = 0
+        self._malformed = 0
+        self._received = 0
+        self._rejections = 0
+
+    # -- observation -------------------------------------------------------------
+
+    def observe_sent(self, packet: L2capPacket, sim_time: float) -> TracedPacket:
+        """Record one fuzzer→target packet."""
+        malformed = is_malformed(packet, allocated_cids=frozenset(self._target_cids))
+        entry = TracedPacket(sim_time, Direction.SENT, packet, malformed, False)
+        self.trace.append(entry)
+        self._sent += 1
+        if malformed:
+            self._malformed += 1
+        self._learn_from_sent(packet)
+        return entry
+
+    def observe_received(self, packet: L2capPacket, sim_time: float) -> TracedPacket:
+        """Record one target→fuzzer packet."""
+        rejection = is_rejection(packet)
+        entry = TracedPacket(sim_time, Direction.RECEIVED, packet, False, rejection)
+        self.trace.append(entry)
+        self._received += 1
+        if rejection:
+            self._rejections += 1
+        self._learn_from_received(packet)
+        return entry
+
+    def _learn_from_received(self, packet: L2capPacket) -> None:
+        code = packet.code
+        result = packet.fields.get("result")
+        if code in (CommandCode.CONNECTION_RSP, CommandCode.CREATE_CHANNEL_RSP):
+            if result == ConnectionResult.SUCCESS:
+                dcid = packet.fields.get("dcid", 0)
+                if dcid:
+                    self._target_cids.add(dcid)
+        elif code == CommandCode.DISCONNECTION_RSP:
+            dcid = packet.fields.get("dcid", 0)
+            self._target_cids.discard(dcid)
+        elif code == CommandCode.DISCONNECTION_REQ:
+            scid = packet.fields.get("scid", 0)
+            self._target_cids.discard(scid)
+
+    def _learn_from_sent(self, packet: L2capPacket) -> None:
+        if packet.code == CommandCode.DISCONNECTION_REQ:
+            # If the target answers, its CID will be dropped on the RSP;
+            # nothing to learn from the request itself.
+            return
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def observed_target_cids(self) -> frozenset[int]:
+        """Dynamic CIDs the target currently has allocated (wire view)."""
+        return frozenset(self._target_cids)
+
+    def sent(self) -> list[TracedPacket]:
+        """All fuzzer→target entries."""
+        return [entry for entry in self.trace if entry.direction is Direction.SENT]
+
+    def received(self) -> list[TracedPacket]:
+        """All target→fuzzer entries."""
+        return [entry for entry in self.trace if entry.direction is Direction.RECEIVED]
+
+    def transmitted_count(self) -> int:
+        """Total packets the fuzzer transmitted."""
+        return self._sent
+
+    def malformed_count(self) -> int:
+        """Transmitted packets classified as malformed."""
+        return self._malformed
+
+    def received_count(self) -> int:
+        """Total packets received from the target."""
+        return self._received
+
+    def rejection_count(self) -> int:
+        """Received packets classified as rejections."""
+        return self._rejections
+
+    def clear(self) -> None:
+        """Drop the trace, the counters and the learned CID set."""
+        self.trace.clear()
+        self._target_cids.clear()
+        self._sent = 0
+        self._malformed = 0
+        self._received = 0
+        self._rejections = 0

@@ -1,0 +1,8 @@
+"""Baseline Bluetooth fuzzers the paper compares against."""
+
+from repro.baselines.base import BaselineFuzzer
+from repro.baselines.bfuzz import BfuzzFuzzer
+from repro.baselines.bss import BssFuzzer
+from repro.baselines.defensics import DefensicsFuzzer
+
+__all__ = ["BaselineFuzzer", "BfuzzFuzzer", "BssFuzzer", "DefensicsFuzzer"]

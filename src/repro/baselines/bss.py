@@ -1,0 +1,83 @@
+"""Bluetooth Stack Smasher model (Betouin 2006; paper refs [4]).
+
+BSS predates stateful fuzzing: it hammers the target with L2CAP
+commands built from the Bluetooth 2.1 vocabulary, varying **one field at
+a time** — and that field is the echo/info payload or a value that stays
+within its legal range, which is why the paper measures *zero* malformed
+packets and *zero* rejections for it (§IV.C: "the BSS did not generate
+any malformed packets"). Its state reach is three states: the target is
+only ever observed CLOSED, accepting a connection (WAIT_CONNECT) and
+sitting unconfigured (WAIT_CONFIG).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineFuzzer
+from repro.l2cap.constants import CommandCode, ConnectionResult, InfoType, Psm
+from repro.l2cap.packets import (
+    connection_request,
+    disconnection_request,
+    echo_request,
+    information_request,
+)
+
+
+class BssFuzzer(BaselineFuzzer):
+    """One-field-at-a-time smasher: all-valid traffic, three states."""
+
+    name = "BSS"
+    pps = 1.95
+
+    #: Payload sizes swept by the echo loop (the "one field" it varies).
+    ECHO_SIZES = (0, 1, 4, 8, 16, 23, 32, 41)
+
+    def __init__(self, queue, seed: int = 0x1202, base_cid: int = 0x2000) -> None:
+        super().__init__(queue, seed)
+        self._next_cid = base_cid
+
+    def run_cycle(self, max_packets: int) -> None:
+        """One BSS pass: echo sweep, info sweep, connect+disconnect."""
+        for size in self.ECHO_SIZES:
+            if self._budget_left(max_packets) <= 0:
+                return
+            payload = bytes((self.rng.getrandbits(8),)) * size
+            self._send(echo_request(payload, identifier=self.queue.take_identifier()))
+
+        for info_type in (
+            InfoType.CONNECTIONLESS_MTU,
+            InfoType.EXTENDED_FEATURES,
+            InfoType.FIXED_CHANNELS,
+        ):
+            if self._budget_left(max_packets) <= 0:
+                return
+            self._send(
+                information_request(info_type, identifier=self.queue.take_identifier())
+            )
+
+        if self._budget_left(max_packets) <= 0:
+            return
+        self._connect_probe()
+
+    def _connect_probe(self) -> None:
+        """Valid SDP connect followed by a polite disconnect."""
+        our_cid = self._next_cid
+        self._next_cid += 1
+        if self._next_cid > 0xFFFF:
+            self._next_cid = 0x2000
+        responses = self._send(
+            connection_request(
+                psm=Psm.SDP, scid=our_cid, identifier=self.queue.take_identifier()
+            )
+        )
+        for response in responses:
+            if (
+                response.code == CommandCode.CONNECTION_RSP
+                and response.fields.get("result") == ConnectionResult.SUCCESS
+            ):
+                self._send(
+                    disconnection_request(
+                        dcid=response.fields.get("dcid", 0),
+                        scid=our_cid,
+                        identifier=self.queue.take_identifier(),
+                    )
+                )

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``devices`` — list the Table V testbed profiles.
+* ``scan D2`` — run the target-scanning phase against one profile.
+* ``fuzz D2`` — run a full campaign (``--disarm`` for ratio mode).
+* ``compare`` — run the four-fuzzer comparison (Table VII, Fig. 10).
+* ``survey`` — run Table VI across all eight devices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.comparison import figure10_bars, run_comparison, table7_rows
+from repro.analysis.state_coverage import coverage_report
+from repro.analysis.traceio import save_trace
+from repro.core.config import FuzzConfig
+from repro.core.packet_queue import PacketQueue
+from repro.core.target_scanning import TargetScanner
+from repro.hci.transport import VirtualLink
+from repro.testbed.profiles import ALL_PROFILES, PROFILES_BY_ID
+from repro.testbed.session import FuzzSession
+
+
+def _profile(device_id: str):
+    profile = PROFILES_BY_ID.get(device_id.upper())
+    if profile is None:
+        raise SystemExit(
+            f"unknown device {device_id!r}; choose from {', '.join(PROFILES_BY_ID)}"
+        )
+    return profile
+
+
+def cmd_devices(_args) -> int:
+    """List the testbed."""
+    for profile in ALL_PROFILES:
+        vulns = ", ".join(v.vulnerability_id for v in profile.vulnerabilities) or "-"
+        print(
+            f"{profile.device_id}  {profile.name:<16} {profile.bt_stack:<14} "
+            f"{profile.os_or_fw:<16} ports={len(profile.services):<3} bugs: {vulns}"
+        )
+    return 0
+
+
+def cmd_scan(args) -> int:
+    """Phase 1 only: discover the target's ports."""
+    profile = _profile(args.device)
+    device = profile.build(armed=False)
+    link = VirtualLink(clock=device.clock)
+    device.attach_to(link)
+    queue = PacketQueue(link)
+    result = TargetScanner(queue, device.inquiry).scan()
+    meta = result.meta
+    print(f"{meta.name}  [{meta.mac_address}, OUI {meta.oui}, {meta.device_class}]")
+    for probe in result.probes:
+        status = (
+            "open (no pairing)"
+            if probe.connectable
+            else ("requires pairing" if probe.requires_pairing else "closed")
+        )
+        print(f"  PSM 0x{probe.psm:04X}  {probe.name:<28} {status}")
+    print(f"fuzzing port: 0x{result.primary_psm:04X}")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Full campaign against one device."""
+    profile = _profile(args.device)
+    config = FuzzConfig(max_packets=args.budget, seed=args.seed)
+    session = FuzzSession(
+        profile,
+        config,
+        armed=not args.disarm,
+        zero_latency=args.disarm,
+        auto_reset=args.auto_reset,
+    )
+    report = session.run()
+    print(report.summary())
+    print()
+    print(coverage_report(report.covered_states))
+    if args.save_trace:
+        count = save_trace(session.fuzzer.sniffer, args.save_trace)
+        print(f"trace: {count} packets written to {args.save_trace}")
+    if args.show_log:
+        print(session.fuzzer.log.to_jsonl())
+    return 0 if (args.disarm or report.vulnerability_found) else 1
+
+
+def cmd_compare(args) -> int:
+    """Four-fuzzer comparison (Table VII + Fig. 10)."""
+    results = run_comparison(max_packets=args.budget)
+    print(f"{'fuzzer':<11}{'MP%':>8}{'PR%':>8}{'eff%':>8}{'pps':>9}")
+    for row in table7_rows(results):
+        print(
+            f"{row['fuzzer']:<11}{row['mp_ratio']:>8}{row['pr_ratio']:>8}"
+            f"{row['mutation_efficiency']:>8}{row['pps']:>9}"
+        )
+    print()
+    for name, count in figure10_bars(results).items():
+        print(f"{name:<11} {count:>2}/19  {'#' * count}")
+    return 0
+
+
+def cmd_survey(args) -> int:
+    """Table VI across the whole testbed."""
+    for profile in ALL_PROFILES:
+        budget = args.d8_budget if profile.device_id == "D8" else args.budget
+        session = FuzzSession(profile, FuzzConfig(max_packets=budget))
+        report = session.run()
+        row = report.as_table6_row()
+        print(
+            f"{profile.device_id}  {profile.name:<16} vuln={row['vuln']:<4}"
+            f"{row['description']:<7} elapsed={row['elapsed']}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="L2Fuzz reproduction: stateful Bluetooth L2CAP fuzzing "
+        "against a virtual testbed.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("devices", help="list testbed devices").set_defaults(
+        func=cmd_devices
+    )
+
+    scan = commands.add_parser("scan", help="run the target-scanning phase")
+    scan.add_argument("device", help="device id (D1..D8)")
+    scan.set_defaults(func=cmd_scan)
+
+    fuzz = commands.add_parser("fuzz", help="run a fuzzing campaign")
+    fuzz.add_argument("device", help="device id (D1..D8)")
+    fuzz.add_argument("--budget", type=int, default=50_000, help="packet budget")
+    fuzz.add_argument("--seed", type=int, default=0x1202, help="campaign seed")
+    fuzz.add_argument(
+        "--disarm", action="store_true", help="disable injected bugs (ratio mode)"
+    )
+    fuzz.add_argument(
+        "--auto-reset",
+        action="store_true",
+        help="reset crashed targets and continue (long-term fuzzing)",
+    )
+    fuzz.add_argument("--save-trace", metavar="PATH", help="write the trace as JSONL")
+    fuzz.add_argument("--show-log", action="store_true", help="print the campaign log")
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    compare = commands.add_parser("compare", help="four-fuzzer comparison")
+    compare.add_argument("--budget", type=int, default=20_000)
+    compare.set_defaults(func=cmd_compare)
+
+    survey = commands.add_parser("survey", help="Table VI across all devices")
+    survey.add_argument("--budget", type=int, default=40_000)
+    survey.add_argument("--d8-budget", type=int, default=250_000)
+    survey.set_defaults(func=cmd_survey)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: the L2Fuzz stateful fuzzer."""
+
+from repro.core.config import FuzzConfig
+from repro.core.detection import Finding, VulnerabilityClass, VulnerabilityDetector
+from repro.core.fuzz_log import FuzzLog, LogEntry, LogLevel
+from repro.core.fuzzer import L2Fuzz
+from repro.core.mutation import CoreFieldMutator
+from repro.core.packet_queue import PacketQueue
+from repro.core.report import CampaignReport, format_elapsed
+from repro.core.state_guiding import STATE_PLAN, ChannelContext, GuidedState, StateGuide
+from repro.core.target_scanning import PortProbe, ScanResult, TargetScanner
+from repro.core.triage import ReplayOutcome, minimize_trigger, replay, sent_packets
+
+__all__ = [
+    "CampaignReport",
+    "ChannelContext",
+    "CoreFieldMutator",
+    "Finding",
+    "FuzzConfig",
+    "FuzzLog",
+    "GuidedState",
+    "L2Fuzz",
+    "LogEntry",
+    "LogLevel",
+    "PacketQueue",
+    "PortProbe",
+    "ReplayOutcome",
+    "STATE_PLAN",
+    "ScanResult",
+    "StateGuide",
+    "TargetScanner",
+    "VulnerabilityClass",
+    "VulnerabilityDetector",
+    "format_elapsed",
+    "minimize_trigger",
+    "replay",
+    "sent_packets",
+]

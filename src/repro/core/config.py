@@ -1,0 +1,61 @@
+"""Campaign configuration for L2Fuzz."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzConfig:
+    """Tunable knobs of an L2Fuzz campaign.
+
+    :param seed: RNG seed; campaigns are fully deterministic given a seed.
+    :param packets_per_command: ``n`` of Algorithm 1 — malformed packets
+        generated per valid command per state visit.
+    :param max_packets: total transmission budget for the campaign
+        (the paper's efficiency experiments use 100,000).
+    :param max_garbage: largest garbage tail appended to a mutated packet,
+        in bytes; kept well under the signaling MTU so the tail itself
+        never provokes an "MTU exceeded" reject (paper §III.D).
+    :param ping_every_commands: run the detection ping test after this
+        many fuzzed command batches (1 = after every batch).
+    :param stop_on_first_finding: mirror the paper's behaviour — "when a
+        valid vulnerability is found, the device and fuzzing are
+        terminated". False enables the auto-reset long-term-fuzzing
+        extension (paper §V future work).
+    :param max_sweeps: upper bound on full state-plan sweeps (0 = until
+        the packet budget runs out).
+    :param echo_payload: payload carried by detection pings.
+
+    Ablation switches (all default to the paper's design; flipping one
+    removes one of the two key techniques — used by the ablation bench):
+
+    :param state_guiding: walk the 13-state plan. False fuzzes only from
+        the CLOSED posture, like a stateless fuzzer.
+    :param mutate_core_fields_only: restrict mutation to ``MC``. False
+        additionally corrupts the dependent length fields (BFuzz-style),
+        which conformant stacks reject wholesale.
+    :param append_garbage: append the Fig. 7 garbage tail.
+    """
+
+    seed: int = 0x1202
+    packets_per_command: int = 5
+    max_packets: int = 100_000
+    max_garbage: int = 16
+    ping_every_commands: int = 1
+    stop_on_first_finding: bool = True
+    max_sweeps: int = 0
+    echo_payload: bytes = b"l2fuzz-ping"
+    state_guiding: bool = True
+    mutate_core_fields_only: bool = True
+    append_garbage: bool = True
+
+    def __post_init__(self) -> None:
+        if self.packets_per_command < 1:
+            raise ValueError("packets_per_command must be >= 1")
+        if self.max_packets < 1:
+            raise ValueError("max_packets must be >= 1")
+        if self.max_garbage < 1:
+            raise ValueError("max_garbage must be >= 1")
+        if self.ping_every_commands < 1:
+            raise ValueError("ping_every_commands must be >= 1")

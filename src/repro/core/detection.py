@@ -1,0 +1,132 @@
+"""Phase 4 — vulnerability detecting (paper §III.E).
+
+After malformed packets go out, L2Fuzz checks three signals:
+
+1. **error messages** — a transport-level error on the socket. The paper
+   maps ``Connection Failed`` to a denial of service (the Bluetooth
+   service shut down) and ``Connection Aborted`` / ``Connection Reset`` /
+   ``Connection Refused`` / ``Timeout`` to a target crash;
+2. **ping test** — an L2CAP Echo Request; no answer means the target's
+   L2CAP layer is gone;
+3. **crash dumps** — any dump artefact the target left (tombstones on
+   Android, kernel oopses on Linux), fetched through a side channel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Callable
+
+from repro.core.packet_queue import PacketQueue
+from repro.errors import ConnectionFailedError, TransportError
+from repro.l2cap.packets import CommandCode, echo_request, information_request
+
+
+class VulnerabilityClass(enum.Enum):
+    """How the paper's Table VI labels a finding."""
+
+    DOS = "DoS"
+    CRASH = "Crash"
+
+
+#: Paper §III.E: Connection Failed ⇒ service shut down ⇒ DoS; every other
+#: connection error indicates a crash.
+def classify_error(error: TransportError) -> VulnerabilityClass:
+    """Map a transport error to the paper's vulnerability class."""
+    if isinstance(error, ConnectionFailedError):
+        return VulnerabilityClass.DOS
+    return VulnerabilityClass.CRASH
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One detected vulnerability.
+
+    :param vulnerability_class: DoS or crash.
+    :param error_message: the canonical socket error string observed.
+    :param state: name of the state plan entry under test.
+    :param trigger: human-readable rendering of the suspected trigger
+        packet (the last malformed packet before the error).
+    :param sim_time: simulated campaign time at detection.
+    :param ping_failed: whether the confirming ping test failed.
+    :param crash_dump: crash-dump text recovered from the target, if any.
+    """
+
+    vulnerability_class: VulnerabilityClass
+    error_message: str
+    state: str
+    trigger: str
+    sim_time: float
+    ping_failed: bool
+    crash_dump: str | None = None
+
+
+class VulnerabilityDetector:
+    """Phase 4 runner.
+
+    :param queue: packet queue to the target.
+    :param dump_probe: optional side channel returning the target's crash
+        dumps (adb pull of tombstones in the paper's setup); None means
+        dumps cannot be inspected.
+    """
+
+    def __init__(
+        self,
+        queue: PacketQueue,
+        dump_probe: Callable[[], list[str]] | None = None,
+    ) -> None:
+        self.queue = queue
+        self.dump_probe = dump_probe
+
+    def ping_test(self, payload: bytes = b"l2fuzz-ping") -> bool:
+        """Probe target liveness with an Echo plus an Information Request.
+
+        Both are valid connection-scoped commands every state accepts;
+        the pair distinguishes "L2CAP still alive" from "echo handler
+        alone still alive". True when the target answered either probe.
+        """
+        try:
+            responses = self.queue.exchange(
+                echo_request(payload, identifier=self.queue.take_identifier())
+            )
+            responses += self.queue.exchange(
+                information_request(identifier=self.queue.take_identifier())
+            )
+        except TransportError:
+            return False
+        return any(
+            response.code in (CommandCode.ECHO_RSP, CommandCode.INFORMATION_RSP)
+            for response in responses
+        )
+
+    def fetch_crash_dump(self) -> str | None:
+        """Pull the most recent crash dump, when a side channel exists."""
+        if self.dump_probe is None:
+            return None
+        dumps = self.dump_probe()
+        if not dumps:
+            return None
+        return dumps[-1]
+
+    def diagnose(
+        self,
+        error: TransportError,
+        state_name: str,
+        trigger_description: str,
+    ) -> Finding:
+        """Build a finding for a transport error seen while fuzzing.
+
+        Runs the confirming ping test and the crash-dump check before
+        classifying, mirroring the §III.E sequence.
+        """
+        ping_ok = self.ping_test()
+        return Finding(
+            vulnerability_class=classify_error(error),
+            error_message=error.message,
+            state=state_name,
+            trigger=trigger_description,
+            sim_time=self.queue.clock.now,
+            ping_failed=not ping_ok,
+            crash_dump=self.fetch_crash_dump(),
+        )

@@ -1,0 +1,205 @@
+"""The L2Fuzz campaign orchestrator (paper Fig. 5).
+
+Wires the four phases together:
+
+1. :class:`~repro.core.target_scanning.TargetScanner` finds the device
+   and a pairing-free port;
+2. :class:`~repro.core.state_guiding.StateGuide` walks the 13
+   master-reachable L2CAP states with valid commands;
+3. :class:`~repro.core.mutation.CoreFieldMutator` generates *n* valid
+   malformed packets per valid command of the state's job;
+4. :class:`~repro.core.detection.VulnerabilityDetector` watches for
+   socket errors, runs ping tests and pulls crash dumps.
+
+The campaign is fully deterministic given the config seed, and every
+packet in both directions lands in the sniffer trace, from which the
+report derives the paper's metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.analysis.metrics import measure
+from repro.analysis.sniffer import PacketSniffer
+from repro.analysis.state_coverage import state_coverage
+from repro.core.config import FuzzConfig
+from repro.core.detection import Finding, VulnerabilityDetector
+from repro.core.fuzz_log import FuzzLog, LogLevel
+from repro.core.mutation import CoreFieldMutator
+from repro.core.packet_queue import PacketQueue
+from repro.core.report import CampaignReport
+from repro.core.state_guiding import StateGuide
+from repro.core.target_scanning import ScanResult, TargetScanner
+from repro.errors import TargetTimeoutError, TransportError
+from repro.hci.transport import VirtualLink
+from repro.l2cap.jobs import JOB_VALID_COMMANDS
+from repro.l2cap.states import ChannelState
+
+
+class L2Fuzz:
+    """A stateful fuzzer for the Bluetooth L2CAP layer.
+
+    :param link: virtual link to the target.
+    :param inquiry: discovery callable returning the device meta.
+    :param browse: SDP-browse callable returning service records; None
+        performs the real over-the-air SDP exchange.
+    :param config: campaign knobs.
+    :param dump_probe: optional crash-dump side channel (phase 4).
+    :param reset_hook: optional callable that power-cycles a crashed
+        target and restores the link — enables long-term fuzzing (the
+        paper's §V future-work extension). Only used when
+        ``config.stop_on_first_finding`` is False.
+    :param target_name: label used in reports.
+    """
+
+    def __init__(
+        self,
+        link: VirtualLink,
+        inquiry: Callable[[], object],
+        browse: Callable[[], Sequence] | None = None,
+        config: FuzzConfig | None = None,
+        dump_probe: Callable[[], list[str]] | None = None,
+        reset_hook: Callable[[], None] | None = None,
+        target_name: str = "target",
+    ) -> None:
+        self.config = config if config is not None else FuzzConfig()
+        self.link = link
+        self.sniffer = PacketSniffer()
+        self.queue = PacketQueue(link, self.sniffer)
+        self.scanner = TargetScanner(self.queue, inquiry, browse)
+        self.detector = VulnerabilityDetector(self.queue, dump_probe)
+        self.mutator = CoreFieldMutator(self.config, random.Random(self.config.seed))
+        self.log = FuzzLog()
+        self.reset_hook = reset_hook
+        self.target_name = target_name
+        self.findings: list[Finding] = []
+        self._last_trigger = "(none)"
+        self._sweeps = 0
+
+    # -- public -------------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        """Execute the campaign and return the report."""
+        self.log.info(self._now, "scan", "target scanning started")
+        scan = self.scanner.scan()
+        self.log.info(
+            self._now,
+            "scan",
+            "target scanned",
+            open_psms=[hex(psm) for psm in scan.open_psms],
+            probed=len(scan.probes),
+        )
+        guide = StateGuide(self.queue, scan)
+
+        while not self._budget_exhausted():
+            stop = self._run_sweep(guide)
+            if stop:
+                break
+            self._sweeps += 1
+            if self.config.max_sweeps and self._sweeps >= self.config.max_sweeps:
+                break
+        return self._build_report()
+
+    # -- internals ------------------------------------------------------------------
+
+    @property
+    def _now(self) -> float:
+        return self.queue.clock.now
+
+    def _budget_exhausted(self) -> bool:
+        return self.sniffer.transmitted_count() >= self.config.max_packets
+
+    def _run_sweep(self, guide: StateGuide) -> bool:
+        """One full pass over the state plan. Returns True to stop."""
+        if self.config.state_guiding:
+            plan = guide.plan()
+        else:
+            # Ablation: stateless fuzzing from the CLOSED posture only.
+            plan = (ChannelState.CLOSED,)
+        for state in plan:
+            if self._budget_exhausted():
+                return True
+            stop = self._fuzz_state(guide, state)
+            if stop:
+                return True
+        return False
+
+    def _fuzz_state(self, guide: StateGuide, state) -> bool:
+        """Route to *state*, fuzz its job's commands. True = stop campaign."""
+        state_name = state.value
+        try:
+            guided = guide.enter(state)
+        except TransportError as error:
+            return self._on_transport_error(error, state_name)
+        self.log.info(
+            self._now,
+            "state-guiding",
+            f"entered {state_name}",
+            job=guided.job.value,
+        )
+
+        commands = sorted(JOB_VALID_COMMANDS[guided.job])
+        batches_since_ping = 0
+        for code in commands:
+            if self._budget_exhausted():
+                break
+            for _ in range(self.config.packets_per_command):
+                packet = self.mutator.mutate(code, self.queue.take_identifier())
+                self._last_trigger = packet.describe()
+                try:
+                    self.queue.send(packet)
+                    self.queue.drain()
+                except TransportError as error:
+                    return self._on_transport_error(error, state_name)
+                if self._budget_exhausted():
+                    break
+            batches_since_ping += 1
+            if batches_since_ping >= self.config.ping_every_commands:
+                batches_since_ping = 0
+                stop = self._ping_checkpoint(state_name)
+                if stop:
+                    return True
+
+        try:
+            guide.leave(guided)
+        except TransportError as error:
+            return self._on_transport_error(error, state_name)
+        return False
+
+    def _ping_checkpoint(self, state_name: str) -> bool:
+        """Detection-phase ping test. True = stop campaign."""
+        if self.detector.ping_test(self.config.echo_payload):
+            return False
+        error_cls = self.link.down_error or TargetTimeoutError
+        return self._on_transport_error(error_cls(), state_name)
+
+    def _on_transport_error(self, error: TransportError, state_name: str) -> bool:
+        """Record a finding; decide whether the campaign stops."""
+        finding = self.detector.diagnose(error, state_name, self._last_trigger)
+        self.findings.append(finding)
+        self.log.vulnerability(
+            self._now,
+            "detection",
+            f"{finding.vulnerability_class.value}: {finding.error_message}",
+            state=state_name,
+            trigger=finding.trigger,
+            dump=bool(finding.crash_dump),
+        )
+        if self.config.stop_on_first_finding or self.reset_hook is None:
+            return True
+        self.reset_hook()
+        self.log.info(self._now, "detection", "target reset, campaign continues")
+        return False
+
+    def _build_report(self) -> CampaignReport:
+        return CampaignReport(
+            target_name=self.target_name,
+            findings=tuple(self.findings),
+            elapsed_seconds=self._now,
+            packets_sent=self.sniffer.transmitted_count(),
+            sweeps_completed=self._sweeps,
+            efficiency=measure(self.sniffer, self._now),
+            covered_states=state_coverage(self.sniffer),
+        )

@@ -1,0 +1,101 @@
+"""Phase 3 — core field mutating (paper §III.D, Algorithm 1).
+
+Generates valid malformed packets: for each valid command of the current
+job, build the command with its spec layout, then
+
+* keep ``F`` fixed (the signaling Header CID, 0x0001),
+* keep ``D`` consistent (lengths derived, code valid for the job,
+  identifier freshly assigned),
+* keep ``MA`` at defaults ("used without changes"),
+* mutate ``MC``: PSM ← ``random(abnormal)`` from the Table IV abnormal
+  ranges, CIDP ← ``random(normal)`` from 0x0040–0xFFFF ignoring the
+  target's dynamic allocation,
+* append a garbage tail that never pushes the frame past the signaling
+  MTU.
+
+The result is exactly the Fig. 7 transformation: a packet the target
+parses (no "command not understood", no "invalid length", no "MTU
+exceeded") whose port/channel plumbing is poisoned.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+
+from repro.core.config import FuzzConfig
+from repro.l2cap.constants import CommandCode, MIN_SIGNALING_MTU
+from repro.l2cap.fields import (
+    CIDP_FIELD_NAMES,
+    random_abnormal_psm,
+    random_normal_cidp,
+)
+from repro.l2cap.packets import COMMAND_SPECS, L2capPacket
+
+
+class CoreFieldMutator:
+    """Algorithm 1 implementation.
+
+    :param config: campaign configuration (garbage sizing, ``n``).
+    :param rng: seeded random source (determinism for replay).
+    :param signaling_mtu: the target's signaling MTU; garbage tails are
+        clamped so ``wire length <= MTU`` always holds.
+    """
+
+    def __init__(
+        self,
+        config: FuzzConfig,
+        rng: random.Random,
+        signaling_mtu: int = MIN_SIGNALING_MTU,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.signaling_mtu = signaling_mtu
+
+    def mutate(self, code: CommandCode, identifier: int) -> L2capPacket:
+        """Build one malformed packet for *code* (Algorithm 1 lines 5-21).
+
+        :param identifier: the packet ID to stamp (a ``D`` field, kept
+            valid).
+        """
+        packet = L2capPacket(code, identifier)  # D defaults, F fixed, MA defaults
+        spec = COMMAND_SPECS[code]
+        for field in spec.fields:
+            if field.name == "psm":
+                packet.fields["psm"] = random_abnormal_psm(self.rng)
+            elif field.name in CIDP_FIELD_NAMES:
+                packet.fields[field.name] = random_normal_cidp(
+                    self.rng, field_size=field.size
+                )
+        if not self.config.mutate_core_fields_only:
+            # Ablation: BFuzz-style corruption of the dependent fields.
+            if self.rng.random() < 0.5:
+                packet.declared_data_len = self.rng.randrange(0, 4)
+        if self.config.append_garbage:
+            packet.garbage = self._garbage_tail(packet)
+        return packet
+
+    def _garbage_tail(self, packet: L2capPacket) -> bytes:
+        """Draw a garbage tail that keeps the frame within the MTU."""
+        headroom = self.signaling_mtu - packet.wire_length
+        if headroom <= 0:
+            return b""
+        length = self.rng.randint(1, min(self.config.max_garbage, headroom))
+        return bytes(self.rng.getrandbits(8) for _ in range(length))
+
+    def generate(
+        self,
+        commands: Iterable[CommandCode],
+        take_identifier,
+        per_command: int | None = None,
+    ) -> Iterator[L2capPacket]:
+        """Algorithm 1's double loop: *n* malformed packets per command.
+
+        :param commands: the valid commands of the current job.
+        :param take_identifier: callable yielding fresh packet IDs.
+        :param per_command: overrides ``config.packets_per_command``.
+        """
+        count = per_command if per_command is not None else self.config.packets_per_command
+        for code in sorted(commands):
+            for _ in range(count):
+                yield self.mutate(code, take_identifier())

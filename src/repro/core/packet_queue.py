@@ -1,0 +1,96 @@
+"""The packet queue between the fuzzer and the target (paper Fig. 5).
+
+Both normal packets (state transition) and malformed packets (fuzz tests)
+flow through :class:`PacketQueue`, which frames them as HCI ACL packets,
+pushes them down the virtual link, parses the target's responses, and
+feeds everything to the sniffer so the evaluation metrics can be computed
+from the same trace a Wireshark capture would give.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sniffer import PacketSniffer
+from repro.errors import PacketDecodeError
+from repro.hci.fragmentation import Reassembler, fragment
+from repro.hci.packets import AclPacket
+from repro.hci.transport import VirtualLink
+from repro.l2cap.packets import L2capPacket
+
+
+class PacketQueue:
+    """Tx/Rx pump with trace capture.
+
+    :param link: the virtual link to the target.
+    :param sniffer: trace collector (a fresh one is created if omitted).
+    :param handle: ACL connection handle used for all frames.
+    :param acl_mtu: controller buffer size; L2CAP frames larger than this
+        are fragmented into continuation ACL packets (0 = no
+        fragmentation, the default fast path).
+    """
+
+    def __init__(
+        self,
+        link: VirtualLink,
+        sniffer: PacketSniffer | None = None,
+        handle: int = 0x000B,
+        acl_mtu: int = 0,
+    ) -> None:
+        self.link = link
+        self.sniffer = sniffer if sniffer is not None else PacketSniffer()
+        self.handle = handle
+        self.acl_mtu = acl_mtu
+        self._next_identifier = 0
+        self._reassembler = Reassembler()
+
+    @property
+    def clock(self):
+        """The campaign's simulated clock."""
+        return self.link.clock
+
+    def take_identifier(self) -> int:
+        """Allocate the next request identifier (1..255, wrapping)."""
+        self._next_identifier = self._next_identifier % 0xFF + 1
+        return self._next_identifier
+
+    def send(self, packet: L2capPacket) -> None:
+        """Transmit one L2CAP packet.
+
+        The packet is recorded in the trace *before* transmission so a
+        send that kills the target still counts as transmitted.
+
+        :raises TransportError: when the link is (or goes) down.
+        """
+        self.sniffer.observe_sent(packet, self.clock.now)
+        payload = packet.encode()
+        if self.acl_mtu and len(payload) > self.acl_mtu:
+            for fragment_pkt in fragment(payload, self.handle, self.acl_mtu):
+                self.link.send_frame(fragment_pkt.encode())
+            return
+        self.link.send_frame(AclPacket(handle=self.handle, payload=payload).encode())
+
+    def drain(self) -> list[L2capPacket]:
+        """Collect and trace every response currently queued."""
+        responses: list[L2capPacket] = []
+        for frame in self.link.drain():
+            try:
+                acl = AclPacket.decode(frame)
+            except PacketDecodeError:
+                continue
+            payload = self._reassembler.feed(acl)
+            if payload is None:
+                continue
+            try:
+                packet = L2capPacket.decode(payload)
+            except PacketDecodeError:
+                continue
+            self.sniffer.observe_received(packet, self.clock.now)
+            responses.append(packet)
+        return responses
+
+    def exchange(self, packet: L2capPacket) -> list[L2capPacket]:
+        """Send one packet and return the target's immediate responses.
+
+        :raises TransportError: when the link is (or goes) down.
+        """
+        self.send(packet)
+        return self.drain()

@@ -1,0 +1,86 @@
+"""End-of-campaign reporting (feeds the paper's Table VI rows)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.metrics import MutationEfficiency
+from repro.core.detection import Finding
+from repro.l2cap.states import ChannelState
+
+
+def format_elapsed(seconds: float) -> str:
+    """Render a duration the way Table VI does ("1 m 32 s", "2 h 40 m")."""
+    seconds = max(0.0, seconds)
+    hours, remainder = divmod(int(round(seconds)), 3600)
+    minutes, secs = divmod(remainder, 60)
+    if hours:
+        return f"{hours} h {minutes} m"
+    if minutes:
+        return f"{minutes} m {secs} s"
+    return f"{secs} s"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignReport:
+    """Everything one campaign produced.
+
+    :param target_name: device under test.
+    :param findings: detected vulnerabilities, in detection order.
+    :param elapsed_seconds: simulated campaign duration.
+    :param packets_sent: total transmissions.
+    :param sweeps_completed: full state-plan sweeps finished.
+    :param efficiency: trace-derived Table VII metrics for this run.
+    :param covered_states: PRETT-style state coverage of the run.
+    """
+
+    target_name: str
+    findings: tuple[Finding, ...]
+    elapsed_seconds: float
+    packets_sent: int
+    sweeps_completed: int
+    efficiency: MutationEfficiency
+    covered_states: frozenset[ChannelState]
+
+    @property
+    def vulnerability_found(self) -> bool:
+        """The Table VI "Vuln?" column."""
+        return bool(self.findings)
+
+    @property
+    def first_finding(self) -> Finding | None:
+        """The first detected vulnerability, if any."""
+        return self.findings[0] if self.findings else None
+
+    def as_table6_row(self) -> dict:
+        """Render as one row of paper Table VI."""
+        finding = self.first_finding
+        return {
+            "device": self.target_name,
+            "vuln": "Yes" if finding else "No",
+            "description": finding.vulnerability_class.value if finding else "N/A",
+            "elapsed": format_elapsed(finding.sim_time) if finding else "N/A",
+            "elapsed_seconds": round(finding.sim_time, 2) if finding else None,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"Target: {self.target_name}",
+            f"Packets sent: {self.packets_sent}"
+            f" ({self.sweeps_completed} full sweep(s),"
+            f" {format_elapsed(self.elapsed_seconds)} simulated)",
+            f"State coverage: {len(self.covered_states)}/19",
+            f"MP Ratio: {100 * self.efficiency.mp_ratio:.2f}%"
+            f"  PR Ratio: {100 * self.efficiency.pr_ratio:.2f}%"
+            f"  Mutation efficiency: {100 * self.efficiency.mutation_efficiency:.2f}%",
+        ]
+        if not self.findings:
+            lines.append("No vulnerability detected.")
+        for finding in self.findings:
+            lines.append(
+                f"[{finding.vulnerability_class.value}] {finding.error_message} "
+                f"in {finding.state} at {format_elapsed(finding.sim_time)} "
+                f"(trigger: {finding.trigger})"
+            )
+        return "\n".join(lines)

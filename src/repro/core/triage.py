@@ -1,0 +1,138 @@
+"""Crash triage: replay and minimise a crashing campaign trace.
+
+Paper §V limitation 2: "L2Fuzz can detect vulnerabilities by analyzing
+the target's response packets; however, the root cause cannot be
+determined immediately." With saved traces (``repro.analysis.traceio``)
+and resettable virtual targets, we can do better than log hooking:
+
+* :func:`replay` re-sends a trace's transmitted packets against a fresh
+  target and reports whether (and where) the crash reproduces;
+* :func:`minimize_trigger` shrinks a crashing packet sequence to a
+  minimal reproducer with delta debugging (ddmin-style chunk removal),
+  typically isolating the state-transition packets plus the single
+  malformed trigger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+from repro.analysis.sniffer import Direction, TracedPacket
+from repro.errors import TransportError
+from repro.hci.packets import AclPacket
+from repro.l2cap.packets import L2capPacket
+
+#: A target factory returns a fresh (device, link) pair per attempt.
+TargetFactory = Callable[[], tuple[object, object]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying a packet sequence."""
+
+    crashed: bool
+    frames_replayed: int
+    trigger_index: int | None
+    error_message: str | None
+    crash_id: str | None
+
+    @property
+    def trigger_packet_index(self) -> int | None:
+        """Index (into the replayed sequence) of the killing packet."""
+        return self.trigger_index
+
+
+def sent_packets(entries: Sequence[TracedPacket]) -> list[L2capPacket]:
+    """Extract the fuzzer→target packets from a trace."""
+    return [
+        entry.packet for entry in entries if entry.direction is Direction.SENT
+    ]
+
+
+def replay(
+    packets: Sequence[L2capPacket],
+    target_factory: TargetFactory,
+    handle: int = 0x000B,
+) -> ReplayOutcome:
+    """Re-send *packets* in order against a fresh target.
+
+    Responses are drained and discarded — replay only cares whether the
+    target survives the stimulus.
+    """
+    device, link = target_factory()
+    for index, packet in enumerate(packets):
+        frame = AclPacket(handle=handle, payload=packet.encode()).encode()
+        try:
+            link.send_frame(frame)
+            link.drain()
+        except TransportError as error:
+            crash = getattr(device, "crash", None)
+            return ReplayOutcome(
+                crashed=True,
+                frames_replayed=index + 1,
+                trigger_index=index,
+                error_message=error.message,
+                crash_id=crash.vulnerability_id if crash else None,
+            )
+    return ReplayOutcome(
+        crashed=False,
+        frames_replayed=len(packets),
+        trigger_index=None,
+        error_message=None,
+        crash_id=None,
+    )
+
+
+def minimize_trigger(
+    packets: Sequence[L2capPacket],
+    target_factory: TargetFactory,
+    max_rounds: int = 16,
+) -> list[L2capPacket]:
+    """Delta-debug *packets* down to a minimal crashing subsequence.
+
+    Classic ddmin shape: try dropping chunks at decreasing granularity,
+    keeping any removal that still reproduces the crash. Each attempt
+    uses a fresh target from *target_factory*, so the search is sound
+    for deterministic triggers.
+
+    :raises ValueError: if the full sequence does not crash the target.
+    """
+    current = list(packets)
+    if not replay(current, target_factory).crashed:
+        raise ValueError("the supplied packet sequence does not crash the target")
+
+    chunk = max(1, len(current) // 2)
+    rounds = 0
+    while chunk >= 1 and rounds < max_rounds:
+        rounds += 1
+        reduced_this_pass = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk :]
+            if candidate and replay(candidate, target_factory).crashed:
+                current = candidate
+                reduced_this_pass = True
+                # stay at the same index: the next chunk shifted into place
+            else:
+                index += chunk
+        if not reduced_this_pass:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return current
+
+
+def triage_report(
+    minimal: Sequence[L2capPacket], outcome: ReplayOutcome
+) -> str:
+    """Human-readable root-cause summary of a minimised reproducer."""
+    lines = [
+        f"Minimal reproducer: {len(minimal)} packet(s)"
+        f" -> {outcome.error_message or 'no crash'}"
+        + (f" [{outcome.crash_id}]" if outcome.crash_id else ""),
+    ]
+    for index, packet in enumerate(minimal):
+        marker = " <== trigger" if outcome.trigger_index == index else ""
+        lines.append(f"  {index}: {packet.describe()}{marker}")
+    return "\n".join(lines)

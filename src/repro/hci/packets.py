@@ -1,0 +1,94 @@
+"""HCI ACL framing (the outermost layer of paper Fig. 3).
+
+The Host Controller Interface carries L2CAP traffic between host and
+controller. One ACL data packet wraps one L2CAP frame::
+
+    | Type (1) | Connection Handle + Flags (2) | Length (2) | payload |
+
+The 12-bit connection handle identifies the baseband link; the top four
+bits carry the packet-boundary and broadcast flags.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+
+#: HCI packet-type indicators (Core 5.2 Vol 4 Part A §2).
+HCI_COMMAND_PKT = 0x01
+HCI_ACL_DATA_PKT = 0x02
+HCI_SYNC_DATA_PKT = 0x03
+HCI_EVENT_PKT = 0x04
+
+#: Packet-boundary flag: first automatically-flushable packet.
+PB_FIRST_FLUSHABLE = 0b10
+
+#: Packet-boundary flag: continuation fragment.
+PB_CONTINUATION = 0b01
+
+#: Largest connection-handle value (12 bits).
+MAX_CONNECTION_HANDLE = 0x0EFF
+
+ACL_HEADER_LEN = 5
+
+
+@dataclasses.dataclass(frozen=True)
+class AclPacket:
+    """One HCI ACL data packet wrapping an L2CAP frame.
+
+    :param handle: 12-bit connection handle of the baseband link.
+    :param payload: the L2CAP frame bytes.
+    :param pb_flag: packet-boundary flag (2 bits).
+    :param bc_flag: broadcast flag (2 bits).
+    """
+
+    handle: int
+    payload: bytes
+    pb_flag: int = PB_FIRST_FLUSHABLE
+    bc_flag: int = 0
+
+    def encode(self) -> bytes:
+        """Serialise to UART-style wire bytes (type octet included).
+
+        :raises PacketEncodeError: for out-of-range handle or flags.
+        """
+        if not 0 <= self.handle <= MAX_CONNECTION_HANDLE:
+            raise PacketEncodeError(f"connection handle {self.handle:#x} out of range")
+        if not 0 <= self.pb_flag <= 0b11 or not 0 <= self.bc_flag <= 0b11:
+            raise PacketEncodeError("PB/BC flags are 2-bit values")
+        if len(self.payload) > 0xFFFF:
+            raise PacketEncodeError("ACL payload exceeds 65535 bytes")
+        handle_and_flags = (
+            (self.handle & 0x0FFF)
+            | ((self.pb_flag & 0b11) << 12)
+            | ((self.bc_flag & 0b11) << 14)
+        )
+        return (
+            struct.pack("<BHH", HCI_ACL_DATA_PKT, handle_and_flags, len(self.payload))
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "AclPacket":
+        """Parse wire bytes into an ACL packet.
+
+        :raises PacketDecodeError: on truncation or wrong packet type.
+        """
+        if len(raw) < ACL_HEADER_LEN:
+            raise PacketDecodeError(f"ACL packet too short: {len(raw)} bytes")
+        packet_type, handle_and_flags, length = struct.unpack_from("<BHH", raw, 0)
+        if packet_type != HCI_ACL_DATA_PKT:
+            raise PacketDecodeError(f"not an ACL data packet (type={packet_type:#x})")
+        payload = raw[ACL_HEADER_LEN:]
+        if length != len(payload):
+            raise PacketDecodeError(
+                f"ACL length field {length} disagrees with payload {len(payload)}"
+            )
+        return cls(
+            handle=handle_and_flags & 0x0FFF,
+            payload=payload,
+            pb_flag=(handle_and_flags >> 12) & 0b11,
+            bc_flag=(handle_and_flags >> 14) & 0b11,
+        )

@@ -1,0 +1,185 @@
+"""Virtual duplex link between a fuzzer and a target device.
+
+This is the reproduction's stand-in for the Bluetooth dongle and the air
+interface. It is a synchronous, deterministic simulation: the initiator
+pushes one ACL frame, the attached remote endpoint (a virtual device)
+processes it immediately and may enqueue response frames.
+
+The link also owns the campaign's *simulated clock*. Real Bluetooth
+fuzzing throughput is dominated by radio turnaround and target processing
+latency, so the clock charges a configurable cost per transmitted frame;
+throughput and elapsed-time results (paper §IV.C pps, Table VI elapsed
+times) are read off this clock rather than wall time.
+
+When the remote endpoint crashes, the link transitions to ``down`` and
+every later operation raises the :class:`~repro.errors.TransportError`
+subclass the crash mapped to — exactly the error strings the paper's
+detection phase matches on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from collections.abc import Callable
+
+from repro.errors import (
+    TargetCrashedError,
+    TargetTimeoutError,
+    TransportError,
+)
+from repro.hci.packets import AclPacket
+
+
+class SimClock:
+    """Deterministic simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward.
+
+        :raises ValueError: if *seconds* is negative.
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+
+
+@dataclasses.dataclass
+class LinkStats:
+    """Frame counters kept by the link."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    frames_dropped: int = 0
+
+
+class VirtualLink:
+    """Duplex frame pipe with crash propagation and a per-frame time cost.
+
+    :param clock: simulated clock shared by the campaign (a fresh one is
+        created when omitted).
+    :param tx_cost: seconds charged per transmitted frame — models radio
+        turnaround plus target processing; drives pps and elapsed-time
+        results.
+    :param loss_rate: probability of silently dropping an outbound frame
+        (failure-injection hook; default 0 keeps runs deterministic).
+    :param rng: random source used only when *loss_rate* > 0.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        tx_cost: float = 0.0019,
+        loss_rate: float = 0.0,
+        rng=None,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        self.clock = clock if clock is not None else SimClock()
+        self.tx_cost = tx_cost
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._remote: Callable[[bytes], list[bytes]] | None = None
+        self._inbound: deque[bytes] = deque()
+        self._down_error: type[TransportError] | None = None
+        self.stats = LinkStats()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, handler: Callable[[bytes], list[bytes]]) -> None:
+        """Register the remote endpoint's frame handler.
+
+        The handler takes raw ACL bytes and returns the list of raw ACL
+        response frames the remote produces.
+        """
+        self._remote = handler
+
+    @property
+    def is_up(self) -> bool:
+        """True while the link (and the remote's Bluetooth service) lives."""
+        return self._down_error is None
+
+    @property
+    def down_error(self) -> type[TransportError] | None:
+        """The error class the link failed with, if any."""
+        return self._down_error
+
+    def take_down(self, error: type[TransportError]) -> None:
+        """Force the link down with *error* (used by crash propagation)."""
+        self._down_error = error
+
+    def restore(self) -> None:
+        """Bring a downed link back up (device reset in the testbed)."""
+        self._down_error = None
+        self._inbound.clear()
+
+    # -- data path ------------------------------------------------------------
+
+    def send_frame(self, frame: bytes) -> None:
+        """Transmit one raw ACL frame to the remote endpoint.
+
+        Charges :attr:`tx_cost` on the clock, then delivers synchronously.
+        Responses the remote produces are queued for :meth:`receive_frame`.
+
+        :raises TransportError: (a subclass) once the link is down.
+        """
+        self.clock.advance(self.tx_cost)
+        if self._down_error is not None:
+            raise self._down_error()
+        if self._remote is None:
+            raise TargetTimeoutError("no remote endpoint attached")
+        if self.loss_rate > 0.0 and self._rng is not None:
+            if self._rng.random() < self.loss_rate:
+                self.stats.frames_dropped += 1
+                return
+        self.stats.frames_sent += 1
+        try:
+            responses = self._remote(frame)
+        except TargetCrashedError as crash_exc:
+            self._down_error = crash_exc.crash.transport_error
+            raise self._down_error() from crash_exc
+        for response in responses:
+            self._inbound.append(response)
+            self.stats.frames_received += 1
+
+    def send_packet(self, packet: AclPacket) -> None:
+        """Convenience: encode and transmit an :class:`AclPacket`."""
+        self.send_frame(packet.encode())
+
+    def receive_frame(self) -> bytes | None:
+        """Pop the next queued response frame (None if the queue is empty).
+
+        :raises TransportError: once the link is down and drained — a
+            downed target cannot answer, which the fuzzer observes as the
+            crash's error condition.
+        """
+        if self._inbound:
+            return self._inbound.popleft()
+        if self._down_error is not None:
+            raise self._down_error()
+        return None
+
+    def receive_packet(self) -> AclPacket | None:
+        """Convenience: receive and decode one :class:`AclPacket`."""
+        frame = self.receive_frame()
+        if frame is None:
+            return None
+        return AclPacket.decode(frame)
+
+    def drain(self) -> list[bytes]:
+        """Pop every currently queued response frame."""
+        frames = list(self._inbound)
+        self._inbound.clear()
+        return frames
+
+    def pending(self) -> int:
+        """Number of response frames waiting to be received."""
+        return len(self._inbound)

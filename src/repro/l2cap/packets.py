@@ -1,0 +1,719 @@
+"""Codec for the 26 Bluetooth 5.2 L2CAP signaling commands.
+
+This module replaces the paper's use of scapy. Packets are represented by
+:class:`L2capPacket`, a generic container driven by declarative
+:class:`CommandSpec` tables, so the fuzzer's mutation engine can reflect
+over fields by name instead of hard-coding offsets.
+
+Framing follows paper Fig. 3::
+
+    | Payload Length (2) | Header CID (2) | Code (1) | Identifier (1) |
+    | Data Length (2)    | Data Fields (n) | [garbage tail]           |
+
+A key subtlety reproduced from paper Fig. 7: the *garbage tail* appended
+by the mutator is **not** counted in ``Payload Length`` / ``Data Length``.
+The declared lengths describe the un-garbaged packet, so a spec-conformant
+receiver parses the declared region and is left with trailing bytes — the
+exact situation that triggered the Pixel 3 null-pointer dereference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from collections.abc import Iterator, Mapping
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+from repro.l2cap.constants import (
+    COMMAND_HEADER_LEN,
+    L2CAP_HEADER_LEN,
+    MAX_L2CAP_PAYLOAD,
+    SIGNALING_CID,
+    CommandCode,
+    ConfigOptionType,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldSpec:
+    """One fixed-width data field of an L2CAP command.
+
+    :param name: canonical lower-case field name (e.g. ``"psm"``).
+    :param size: width in bytes (1 or 2; multi-byte fields are
+        little-endian per the Bluetooth specification).
+    :param default: value used when the caller does not supply one.
+    """
+
+    name: str
+    size: int
+    default: int = 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest value representable in this field."""
+        return (1 << (8 * self.size)) - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class CommandSpec:
+    """Layout of one L2CAP command: fixed fields plus an optional tail.
+
+    :param code: the :class:`CommandCode` this spec describes.
+    :param fields: ordered fixed-width fields.
+    :param tail_name: name of the trailing variable-length region
+        (``"options"``, ``"data"``, ``"cid_list"``) or None if the
+        command has no variable part.
+    """
+
+    code: CommandCode
+    fields: tuple[FieldSpec, ...]
+    tail_name: str | None = None
+
+    @property
+    def fixed_size(self) -> int:
+        """Total bytes occupied by the fixed-width fields."""
+        return sum(field.size for field in self.fields)
+
+    def field(self, name: str) -> FieldSpec:
+        """Return the spec for field *name*.
+
+        :raises KeyError: if the command has no such field.
+        """
+        for field in self.fields:
+            if field.name == name:
+                return field
+        raise KeyError(f"{self.code.name} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        """Return True if the command carries a field called *name*."""
+        return any(field.name == name for field in self.fields)
+
+
+def _u16(name: str, default: int = 0) -> FieldSpec:
+    return FieldSpec(name, 2, default)
+
+
+def _u8(name: str, default: int = 0) -> FieldSpec:
+    return FieldSpec(name, 1, default)
+
+
+#: Declarative layout of every Bluetooth 5.2 signaling command
+#: (Core 5.2 Vol 3 Part A §4).
+COMMAND_SPECS: dict[CommandCode, CommandSpec] = {
+    spec.code: spec
+    for spec in (
+        CommandSpec(
+            CommandCode.COMMAND_REJECT,
+            (_u16("reason"),),
+            tail_name="data",
+        ),
+        CommandSpec(
+            CommandCode.CONNECTION_REQ,
+            (_u16("psm"), _u16("scid")),
+        ),
+        CommandSpec(
+            CommandCode.CONNECTION_RSP,
+            (_u16("dcid"), _u16("scid"), _u16("result"), _u16("status")),
+        ),
+        CommandSpec(
+            CommandCode.CONFIGURATION_REQ,
+            (_u16("dcid"), _u16("flags")),
+            tail_name="options",
+        ),
+        CommandSpec(
+            CommandCode.CONFIGURATION_RSP,
+            (_u16("scid"), _u16("flags"), _u16("result")),
+            tail_name="options",
+        ),
+        CommandSpec(
+            CommandCode.DISCONNECTION_REQ,
+            (_u16("dcid"), _u16("scid")),
+        ),
+        CommandSpec(
+            CommandCode.DISCONNECTION_RSP,
+            (_u16("dcid"), _u16("scid")),
+        ),
+        CommandSpec(CommandCode.ECHO_REQ, (), tail_name="data"),
+        CommandSpec(CommandCode.ECHO_RSP, (), tail_name="data"),
+        CommandSpec(
+            CommandCode.INFORMATION_REQ,
+            (_u16("info_type", default=0x0002),),
+        ),
+        CommandSpec(
+            CommandCode.INFORMATION_RSP,
+            (_u16("info_type", default=0x0002), _u16("result")),
+            tail_name="data",
+        ),
+        CommandSpec(
+            CommandCode.CREATE_CHANNEL_REQ,
+            (_u16("psm"), _u16("scid"), _u8("cont_id")),
+        ),
+        CommandSpec(
+            CommandCode.CREATE_CHANNEL_RSP,
+            (_u16("dcid"), _u16("scid"), _u16("result"), _u16("status")),
+        ),
+        CommandSpec(
+            CommandCode.MOVE_CHANNEL_REQ,
+            (_u16("icid"), _u8("cont_id")),
+        ),
+        CommandSpec(
+            CommandCode.MOVE_CHANNEL_RSP,
+            (_u16("icid"), _u16("result")),
+        ),
+        CommandSpec(
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ,
+            (_u16("icid"), _u16("result")),
+        ),
+        CommandSpec(
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP,
+            (_u16("icid"),),
+        ),
+        CommandSpec(
+            CommandCode.CONNECTION_PARAMETER_UPDATE_REQ,
+            (
+                _u16("interval_min", default=0x0006),
+                _u16("interval_max", default=0x0C80),
+                _u16("latency"),
+                _u16("timeout", default=0x0A00),
+            ),
+        ),
+        CommandSpec(
+            CommandCode.CONNECTION_PARAMETER_UPDATE_RSP,
+            (_u16("result"),),
+        ),
+        CommandSpec(
+            CommandCode.LE_CREDIT_BASED_CONNECTION_REQ,
+            (
+                _u16("spsm", default=0x0080),
+                _u16("scid"),
+                _u16("mtu", default=0x00F7),
+                _u16("mps", default=0x00F7),
+                _u16("credit", default=0x0001),
+            ),
+        ),
+        CommandSpec(
+            CommandCode.LE_CREDIT_BASED_CONNECTION_RSP,
+            (
+                _u16("dcid"),
+                _u16("mtu", default=0x00F7),
+                _u16("mps", default=0x00F7),
+                _u16("credit", default=0x0001),
+                _u16("result"),
+            ),
+        ),
+        CommandSpec(
+            CommandCode.FLOW_CONTROL_CREDIT_IND,
+            (_u16("cid"), _u16("credit", default=0x0001)),
+        ),
+        CommandSpec(
+            CommandCode.CREDIT_BASED_CONNECTION_REQ,
+            (
+                _u16("spsm", default=0x0080),
+                _u16("mtu", default=0x00F7),
+                _u16("mps", default=0x00F7),
+                _u16("credit", default=0x0001),
+            ),
+            tail_name="cid_list",
+        ),
+        CommandSpec(
+            CommandCode.CREDIT_BASED_CONNECTION_RSP,
+            (
+                _u16("mtu", default=0x00F7),
+                _u16("mps", default=0x00F7),
+                _u16("credit", default=0x0001),
+                _u16("result"),
+            ),
+            tail_name="cid_list",
+        ),
+        CommandSpec(
+            CommandCode.CREDIT_BASED_RECONFIGURE_REQ,
+            (_u16("mtu", default=0x00F7), _u16("mps", default=0x00F7)),
+            tail_name="cid_list",
+        ),
+        CommandSpec(
+            CommandCode.CREDIT_BASED_RECONFIGURE_RSP,
+            (_u16("result"),),
+        ),
+    )
+}
+
+assert len(COMMAND_SPECS) == 26, "Bluetooth 5.2 defines 26 L2CAP commands"
+
+
+@dataclasses.dataclass
+class L2capPacket:
+    """One L2CAP signaling packet, mutable for fuzzing purposes.
+
+    :param code: command code (may be an int outside :class:`CommandCode`
+        when deliberately malformed).
+    :param identifier: matching identifier for request/response pairing.
+    :param fields: fixed-width data-field values keyed by canonical name.
+    :param tail: variable-length region (config options, echo data, CID
+        lists) in already-encoded form.
+    :param garbage: extra bytes appended *beyond* the declared lengths —
+        the paper's garbage tail. Never counted in Payload/Data Length.
+    :param header_cid: destination channel of the packet; 0x0001 for
+        signaling (the fixed ``F`` field).
+    :param declared_payload_len: explicit override of the Payload Length
+        header; None derives it from the content (the valid value).
+    :param declared_data_len: explicit override of Data Length; None
+        derives it. Baseline fuzzers mutate these to model ``D``-field
+        corruption.
+    :param fill_defaults: fill absent fields with spec defaults at
+        construction. The decoder turns this off so that truncated
+        packets stay truncated.
+    """
+
+    code: int
+    identifier: int = 1
+    fields: dict[str, int] = dataclasses.field(default_factory=dict)
+    tail: bytes = b""
+    garbage: bytes = b""
+    header_cid: int = SIGNALING_CID
+    declared_payload_len: int | None = None
+    declared_data_len: int | None = None
+    fill_defaults: dataclasses.InitVar[bool] = True
+
+    def __post_init__(self, fill_defaults: bool) -> None:
+        spec = self.spec
+        if spec is not None and fill_defaults:
+            for field in spec.fields:
+                self.fields.setdefault(field.name, field.default)
+
+    # -- reflection --------------------------------------------------------
+
+    @property
+    def is_data_frame(self) -> bool:
+        """True for non-signaling frames (basic B-frames).
+
+        Data frames have no command header: the payload region is the
+        upper-layer payload verbatim, carried in :attr:`tail`.
+        """
+        return self.header_cid != SIGNALING_CID
+
+    @property
+    def spec(self) -> CommandSpec | None:
+        """The command layout, or None for unknown/invalid codes."""
+        try:
+            return COMMAND_SPECS[CommandCode(self.code)]
+        except ValueError:
+            return None
+
+    @property
+    def command_name(self) -> str:
+        """Human-readable command name (``"UNKNOWN_0xNN"`` if invalid)."""
+        try:
+            return CommandCode(self.code).name
+        except ValueError:
+            return f"UNKNOWN_0x{self.code:02X}"
+
+    def field_names(self) -> tuple[str, ...]:
+        """Names of the fixed-width data fields this command carries."""
+        spec = self.spec
+        if spec is None:
+            return tuple(self.fields)
+        return tuple(field.name for field in spec.fields)
+
+    # -- length bookkeeping -------------------------------------------------
+
+    @property
+    def data_length(self) -> int:
+        """Declared Data Length (derived from content unless overridden)."""
+        if self.declared_data_len is not None:
+            return self.declared_data_len
+        return self._natural_data_length()
+
+    @property
+    def payload_length(self) -> int:
+        """Declared Payload Length (derived unless overridden)."""
+        if self.declared_payload_len is not None:
+            return self.declared_payload_len
+        if self.is_data_frame:
+            return len(self.tail)
+        return COMMAND_HEADER_LEN + self._natural_data_length()
+
+    def _natural_data_length(self) -> int:
+        spec = self.spec
+        if spec is None:
+            fixed = 2 * len(self.fields)
+        else:
+            fixed = spec.fixed_size
+        return fixed + len(self.tail)
+
+    @property
+    def wire_length(self) -> int:
+        """Actual bytes on the wire, including the garbage tail."""
+        return len(self.encode())
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise to wire bytes (paper Fig. 3 framing).
+
+        :raises PacketEncodeError: if a field value does not fit its width
+            or the payload would exceed the 65,535-byte L2CAP maximum.
+        """
+        payload_len = self.payload_length
+        if payload_len > MAX_L2CAP_PAYLOAD:
+            raise PacketEncodeError(
+                f"payload length {payload_len} exceeds L2CAP maximum"
+            )
+        header = struct.pack("<HH", payload_len, self.header_cid)
+        if self.is_data_frame:
+            # B-frame: the payload is the upper-layer bytes verbatim.
+            return header + self.tail + self.garbage
+        body = self._encode_fields() + self.tail
+        cmd_header = struct.pack(
+            "<BBH", self.code & 0xFF, self.identifier & 0xFF, self.data_length
+        )
+        return header + cmd_header + body + self.garbage
+
+    def _encode_fields(self) -> bytes:
+        spec = self.spec
+        parts = []
+        if spec is None:
+            # Unknown command: encode whatever fields exist as u16 in
+            # insertion order so deliberately-invalid codes still fuzz.
+            for value in self.fields.values():
+                parts.append(struct.pack("<H", value & 0xFFFF))
+            return b"".join(parts)
+        for field in spec.fields:
+            value = self.fields.get(field.name, field.default)
+            if not 0 <= value <= field.max_value:
+                raise PacketEncodeError(
+                    f"{self.command_name}.{field.name}={value:#x} does not "
+                    f"fit in {field.size} byte(s)"
+                )
+            if field.size == 1:
+                parts.append(struct.pack("<B", value))
+            else:
+                parts.append(struct.pack("<H", value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "L2capPacket":
+        """Parse wire bytes into a packet.
+
+        Trailing bytes beyond the declared Data Length are preserved in
+        :attr:`garbage`, mirroring how a real stack sees a garbage tail.
+
+        :raises PacketDecodeError: on truncated or inconsistent framing.
+        """
+        if len(raw) < L2CAP_HEADER_LEN:
+            raise PacketDecodeError(
+                f"packet too short: {len(raw)} bytes < header {L2CAP_HEADER_LEN}"
+            )
+        payload_len, header_cid = struct.unpack_from("<HH", raw, 0)
+        if header_cid != SIGNALING_CID:
+            return cls._decode_data_frame(raw, payload_len, header_cid)
+        if len(raw) < L2CAP_HEADER_LEN + COMMAND_HEADER_LEN:
+            raise PacketDecodeError(
+                f"signaling packet too short: {len(raw)} bytes < minimum "
+                f"{L2CAP_HEADER_LEN + COMMAND_HEADER_LEN}"
+            )
+        code, identifier, data_len = struct.unpack_from("<BBH", raw, L2CAP_HEADER_LEN)
+        body = raw[L2CAP_HEADER_LEN + COMMAND_HEADER_LEN :]
+        if data_len > len(body):
+            raise PacketDecodeError(
+                f"declared data length {data_len} exceeds available "
+                f"{len(body)} bytes"
+            )
+        declared = body[:data_len]
+        garbage = body[data_len:]
+
+        fields: dict[str, int] = {}
+        tail = b""
+        try:
+            spec = COMMAND_SPECS[CommandCode(code)]
+        except ValueError:
+            spec = None
+        if spec is None:
+            tail = declared
+        else:
+            offset = 0
+            for field in spec.fields:
+                if offset + field.size > len(declared):
+                    # Short packet: remaining fields absent. Keep what we
+                    # parsed; stacks treat this as malformed.
+                    break
+                if field.size == 1:
+                    (value,) = struct.unpack_from("<B", declared, offset)
+                else:
+                    (value,) = struct.unpack_from("<H", declared, offset)
+                fields[field.name] = value
+                offset += field.size
+            tail = declared[offset:]
+
+        packet = cls(
+            code=code,
+            identifier=identifier,
+            fields=fields,
+            tail=tail,
+            garbage=garbage,
+            header_cid=header_cid,
+            fill_defaults=False,
+        )
+        # Preserve declared lengths verbatim if they disagree with content,
+        # so re-encoding is byte-faithful and length lies survive a
+        # decode/encode round trip.
+        if payload_len != packet.payload_length:
+            packet.declared_payload_len = payload_len
+        if data_len != packet._natural_data_length():
+            packet.declared_data_len = data_len
+        return packet
+
+    @classmethod
+    def _decode_data_frame(
+        cls, raw: bytes, payload_len: int, header_cid: int
+    ) -> "L2capPacket":
+        body = raw[L2CAP_HEADER_LEN:]
+        if payload_len > len(body):
+            raise PacketDecodeError(
+                f"declared payload length {payload_len} exceeds available "
+                f"{len(body)} bytes"
+            )
+        packet = cls(
+            code=0,
+            identifier=0,
+            fields={},
+            tail=body[:payload_len],
+            garbage=body[payload_len:],
+            header_cid=header_cid,
+            fill_defaults=False,
+        )
+        return packet
+
+    # -- convenience ---------------------------------------------------------
+
+    def copy(self) -> "L2capPacket":
+        """Deep-enough copy for independent mutation."""
+        return dataclasses.replace(
+            self, fields=dict(self.fields), fill_defaults=False
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for logs."""
+        fields = ", ".join(f"{k}=0x{v:04X}" for k, v in self.fields.items())
+        extra = ""
+        if self.tail:
+            extra += f" tail={self.tail.hex()}"
+        if self.garbage:
+            extra += f" garbage={self.garbage.hex()}"
+        return f"{self.command_name}(id={self.identifier}, {fields}){extra}"
+
+
+# ---------------------------------------------------------------------------
+# Configuration options (the OPT / QoS / MTU members of MA)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfigOption:
+    """One configuration option TLV (type, length, value)."""
+
+    option_type: int
+    value: bytes
+
+    def encode(self) -> bytes:
+        """Serialise as ``type(1) | length(1) | value``."""
+        if len(self.value) > 0xFF:
+            raise PacketEncodeError("config option value exceeds 255 bytes")
+        return struct.pack("<BB", self.option_type & 0xFF, len(self.value)) + self.value
+
+
+def mtu_option(mtu: int = 0x0400) -> ConfigOption:
+    """Build the standard MTU configuration option."""
+    return ConfigOption(ConfigOptionType.MTU, struct.pack("<H", mtu & 0xFFFF))
+
+
+def flush_timeout_option(timeout: int = 0xFFFF) -> ConfigOption:
+    """Build the flush-timeout configuration option."""
+    return ConfigOption(ConfigOptionType.FLUSH_TIMEOUT, struct.pack("<H", timeout & 0xFFFF))
+
+
+def qos_option(
+    service_type: int = 0x01,
+    token_rate: int = 0,
+    token_bucket: int = 0,
+    peak_bandwidth: int = 0,
+    latency: int = 0xFFFFFFFF,
+    delay_variation: int = 0xFFFFFFFF,
+) -> ConfigOption:
+    """Build the QoS configuration option (flags byte + 5 u32 parameters)."""
+    value = struct.pack(
+        "<BBIIIII",
+        0,
+        service_type & 0xFF,
+        token_rate,
+        token_bucket,
+        peak_bandwidth,
+        latency,
+        delay_variation,
+    )
+    return ConfigOption(ConfigOptionType.QOS, value)
+
+
+def encode_options(options: list[ConfigOption]) -> bytes:
+    """Concatenate configuration options into a tail region."""
+    return b"".join(option.encode() for option in options)
+
+
+def decode_options(raw: bytes) -> list[ConfigOption]:
+    """Parse a tail region into configuration options.
+
+    :raises PacketDecodeError: on a truncated TLV.
+    """
+    options = []
+    offset = 0
+    while offset < len(raw):
+        if offset + 2 > len(raw):
+            raise PacketDecodeError("truncated config option header")
+        option_type, length = struct.unpack_from("<BB", raw, offset)
+        offset += 2
+        if offset + length > len(raw):
+            raise PacketDecodeError("truncated config option value")
+        options.append(ConfigOption(option_type, raw[offset : offset + length]))
+        offset += length
+    return options
+
+
+def encode_cid_list(cids: list[int]) -> bytes:
+    """Encode a list of CIDs (credit-based commands' tail)."""
+    return b"".join(struct.pack("<H", cid & 0xFFFF) for cid in cids)
+
+
+def decode_cid_list(raw: bytes) -> list[int]:
+    """Decode the CID-list tail of credit-based commands."""
+    if len(raw) % 2:
+        raise PacketDecodeError("CID list has odd length")
+    return [value for (value,) in struct.iter_unpack("<H", raw)]
+
+
+# ---------------------------------------------------------------------------
+# Builders for the normal packets the state-guiding phase sends
+# ---------------------------------------------------------------------------
+
+
+def connection_request(psm: int, scid: int, identifier: int = 1) -> L2capPacket:
+    """Build a spec-valid Connection Request."""
+    return L2capPacket(
+        CommandCode.CONNECTION_REQ,
+        identifier,
+        {"psm": psm, "scid": scid},
+    )
+
+
+def connection_response(
+    dcid: int, scid: int, result: int, status: int = 0, identifier: int = 1
+) -> L2capPacket:
+    """Build a Connection Response."""
+    return L2capPacket(
+        CommandCode.CONNECTION_RSP,
+        identifier,
+        {"dcid": dcid, "scid": scid, "result": result, "status": status},
+    )
+
+
+def configuration_request(
+    dcid: int,
+    identifier: int = 1,
+    options: list[ConfigOption] | None = None,
+    flags: int = 0,
+) -> L2capPacket:
+    """Build a Configuration Request (default: a single MTU option)."""
+    if options is None:
+        options = [mtu_option()]
+    return L2capPacket(
+        CommandCode.CONFIGURATION_REQ,
+        identifier,
+        {"dcid": dcid, "flags": flags},
+        tail=encode_options(options),
+    )
+
+
+def configuration_response(
+    scid: int, result: int = 0, identifier: int = 1, flags: int = 0
+) -> L2capPacket:
+    """Build a Configuration Response."""
+    return L2capPacket(
+        CommandCode.CONFIGURATION_RSP,
+        identifier,
+        {"scid": scid, "flags": flags, "result": result},
+    )
+
+
+def disconnection_request(dcid: int, scid: int, identifier: int = 1) -> L2capPacket:
+    """Build a Disconnection Request."""
+    return L2capPacket(
+        CommandCode.DISCONNECTION_REQ,
+        identifier,
+        {"dcid": dcid, "scid": scid},
+    )
+
+
+def echo_request(data: bytes = b"", identifier: int = 1) -> L2capPacket:
+    """Build an Echo Request — the "ping" of the detection phase."""
+    return L2capPacket(CommandCode.ECHO_REQ, identifier, tail=data)
+
+
+def information_request(info_type: int = 0x0002, identifier: int = 1) -> L2capPacket:
+    """Build an Information Request."""
+    return L2capPacket(CommandCode.INFORMATION_REQ, identifier, {"info_type": info_type})
+
+
+def create_channel_request(
+    psm: int, scid: int, cont_id: int = 0, identifier: int = 1
+) -> L2capPacket:
+    """Build a Create Channel Request."""
+    return L2capPacket(
+        CommandCode.CREATE_CHANNEL_REQ,
+        identifier,
+        {"psm": psm, "scid": scid, "cont_id": cont_id},
+    )
+
+
+def move_channel_request(icid: int, cont_id: int = 1, identifier: int = 1) -> L2capPacket:
+    """Build a Move Channel Request."""
+    return L2capPacket(
+        CommandCode.MOVE_CHANNEL_REQ,
+        identifier,
+        {"icid": icid, "cont_id": cont_id},
+    )
+
+
+def command_reject(reason: int, identifier: int, data: bytes = b"") -> L2capPacket:
+    """Build a Command Reject response."""
+    return L2capPacket(
+        CommandCode.COMMAND_REJECT,
+        identifier,
+        {"reason": reason},
+        tail=data,
+    )
+
+
+def default_packet(code: CommandCode, identifier: int = 1, **fields: int) -> L2capPacket:
+    """Build any command with spec defaults, overriding chosen *fields*."""
+    packet = L2capPacket(code, identifier)
+    for name, value in fields.items():
+        if name not in packet.field_names():
+            raise KeyError(f"{code.name} has no field {name!r}")
+        packet.fields[name] = value
+    return packet
+
+
+def iter_command_codes() -> Iterator[CommandCode]:
+    """Iterate all 26 command codes in numeric order."""
+    return iter(sorted(COMMAND_SPECS))
+
+
+def spec_for(code: int) -> CommandSpec | None:
+    """Look up the :class:`CommandSpec` for *code* (None if unknown)."""
+    try:
+        return COMMAND_SPECS[CommandCode(code)]
+    except ValueError:
+        return None
+
+
+def fields_defaults(code: CommandCode) -> Mapping[str, int]:
+    """Return the default field values for *code*."""
+    return {field.name: field.default for field in COMMAND_SPECS[code].fields}

@@ -1,0 +1,267 @@
+"""The Bluetooth 5.2 L2CAP channel state machine (paper Fig. 2).
+
+L2CAP is channel-oriented: every connection-oriented channel runs its own
+instance of a 19-state machine. This module defines the state enum, the
+role-aware transition relation used by the virtual host stacks, and the
+event/action table of the WAIT_CONNECT state that the paper prints as
+Table II.
+
+Terminology note — *initiator* vs *acceptor* states. Several states are
+only entered by the side that originated an exchange (e.g. a device only
+reaches WAIT_CONNECT_RSP after *sending* a Connection Request). When the
+fuzzer is the master and the target a passive slave, the target can never
+enter those six initiator-side states; this is exactly the coverage
+ceiling the paper reports (13 of 19 states, §IV.D and §V limitation 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.l2cap.constants import CommandCode
+
+
+class ChannelState(enum.Enum):
+    """The 19 L2CAP channel states of Bluetooth 5.2 (paper Fig. 2)."""
+
+    CLOSED = "CLOSED"
+    WAIT_CONNECT = "WAIT_CONNECT"
+    WAIT_CONNECT_RSP = "WAIT_CONNECT_RSP"
+    WAIT_CREATE = "WAIT_CREATE"
+    WAIT_CREATE_RSP = "WAIT_CREATE_RSP"
+    WAIT_CONFIG = "WAIT_CONFIG"
+    WAIT_CONFIG_RSP = "WAIT_CONFIG_RSP"
+    WAIT_CONFIG_REQ = "WAIT_CONFIG_REQ"
+    WAIT_CONFIG_REQ_RSP = "WAIT_CONFIG_REQ_RSP"
+    WAIT_SEND_CONFIG = "WAIT_SEND_CONFIG"
+    WAIT_IND_FINAL_RSP = "WAIT_IND_FINAL_RSP"
+    WAIT_FINAL_RSP = "WAIT_FINAL_RSP"
+    WAIT_CONTROL_IND = "WAIT_CONTROL_IND"
+    WAIT_DISCONNECT = "WAIT_DISCONNECT"
+    WAIT_MOVE = "WAIT_MOVE"
+    WAIT_MOVE_RSP = "WAIT_MOVE_RSP"
+    WAIT_MOVE_CONFIRM = "WAIT_MOVE_CONFIRM"
+    WAIT_CONFIRM_RSP = "WAIT_CONFIRM_RSP"
+    OPEN = "OPEN"
+
+
+ALL_STATES: tuple[ChannelState, ...] = tuple(ChannelState)
+assert len(ALL_STATES) == 19, "Bluetooth 5.2 defines 19 L2CAP states"
+
+
+#: States a device only enters when it *initiates* an exchange. A passive
+#: slave probed by an external master never reaches these — the structural
+#: reason the best possible master-side fuzzer coverage is 13 states.
+INITIATOR_ONLY_STATES = frozenset(
+    {
+        ChannelState.WAIT_CONNECT_RSP,
+        ChannelState.WAIT_CREATE_RSP,
+        ChannelState.WAIT_MOVE_RSP,
+        ChannelState.WAIT_CONFIRM_RSP,
+        ChannelState.WAIT_FINAL_RSP,
+        ChannelState.WAIT_CONTROL_IND,
+    }
+)
+
+#: States an external master can drive a slave target into.
+ACCEPTOR_REACHABLE_STATES = frozenset(ALL_STATES) - INITIATOR_ONLY_STATES
+assert len(ACCEPTOR_REACHABLE_STATES) == 13
+
+#: Configuration-phase states: a channel in any of these is mid-configuration.
+CONFIGURATION_STATES = frozenset(
+    {
+        ChannelState.WAIT_CONFIG,
+        ChannelState.WAIT_CONFIG_RSP,
+        ChannelState.WAIT_CONFIG_REQ,
+        ChannelState.WAIT_CONFIG_REQ_RSP,
+        ChannelState.WAIT_SEND_CONFIG,
+        ChannelState.WAIT_IND_FINAL_RSP,
+        ChannelState.WAIT_FINAL_RSP,
+        ChannelState.WAIT_CONTROL_IND,
+    }
+)
+
+#: States in which a channel exists (a CID has been allocated).
+CHANNEL_ALIVE_STATES = frozenset(ALL_STATES) - {ChannelState.CLOSED}
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One acceptor-side transition: event in, action out, next state.
+
+    :param event: the command code received from the peer.
+    :param action: the command code sent in response (None = silent).
+    :param next_state: resulting channel state (None = no change).
+    :param accepts: True when the event is valid in this state; False when
+        the stack answers with a reject/refusal.
+    """
+
+    event: CommandCode
+    action: CommandCode | None
+    next_state: ChannelState | None
+    accepts: bool = True
+
+
+def _t(
+    event: CommandCode,
+    action: CommandCode | None,
+    next_state: ChannelState | None,
+    accepts: bool = True,
+) -> Transition:
+    return Transition(event, action, next_state, accepts)
+
+
+#: Acceptor-side transition relation for the states an external master can
+#: exercise. Events absent from a state's list are answered with Command
+#: Reject ("command not understood" for responses-out-of-context, per
+#: Table II) by the host-stack engine.
+ACCEPTOR_TRANSITIONS: dict[ChannelState, tuple[Transition, ...]] = {
+    ChannelState.CLOSED: (
+        _t(CommandCode.CONNECTION_REQ, CommandCode.CONNECTION_RSP, ChannelState.WAIT_CONFIG),
+        _t(
+            CommandCode.CREATE_CHANNEL_REQ,
+            CommandCode.CREATE_CHANNEL_RSP,
+            ChannelState.WAIT_CONFIG,
+        ),
+    ),
+    # WAIT_CONNECT: passive open — the acceptor has advertised a service
+    # and waits for a Connection Request (paper Table II).
+    ChannelState.WAIT_CONNECT: (
+        _t(CommandCode.CONNECTION_REQ, CommandCode.CONNECTION_RSP, ChannelState.WAIT_CONFIG),
+    ),
+    # WAIT_CREATE: same as WAIT_CONNECT for AMP channel creation.
+    ChannelState.WAIT_CREATE: (
+        _t(
+            CommandCode.CREATE_CHANNEL_REQ,
+            CommandCode.CREATE_CHANNEL_RSP,
+            ChannelState.WAIT_CONFIG,
+        ),
+    ),
+    # Configuration cluster. The engine refines the next state with its
+    # local/remote config bookkeeping; the table records the canonical
+    # transitions of Core 5.2 Fig. 6.2.
+    ChannelState.WAIT_CONFIG: (
+        _t(
+            CommandCode.CONFIGURATION_REQ,
+            CommandCode.CONFIGURATION_RSP,
+            ChannelState.WAIT_SEND_CONFIG,
+        ),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_CONFIG_REQ_RSP: (
+        _t(
+            CommandCode.CONFIGURATION_REQ,
+            CommandCode.CONFIGURATION_RSP,
+            ChannelState.WAIT_CONFIG_RSP,
+        ),
+        _t(CommandCode.CONFIGURATION_RSP, None, ChannelState.WAIT_CONFIG_REQ),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_CONFIG_REQ: (
+        _t(
+            CommandCode.CONFIGURATION_REQ,
+            CommandCode.CONFIGURATION_RSP,
+            ChannelState.OPEN,
+        ),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_CONFIG_RSP: (
+        _t(CommandCode.CONFIGURATION_RSP, None, ChannelState.OPEN),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_SEND_CONFIG: (
+        # The acceptor owes its own Configuration Request; the engine sends
+        # it spontaneously and moves to WAIT_CONFIG_RSP.
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_IND_FINAL_RSP: (
+        _t(CommandCode.CONFIGURATION_RSP, None, ChannelState.OPEN),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.OPEN: (
+        _t(CommandCode.CONFIGURATION_REQ, CommandCode.CONFIGURATION_RSP, ChannelState.WAIT_CONFIG),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+        _t(CommandCode.MOVE_CHANNEL_REQ, CommandCode.MOVE_CHANNEL_RSP, ChannelState.WAIT_MOVE_CONFIRM),
+    ),
+    ChannelState.WAIT_MOVE: (
+        _t(
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ,
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP,
+            ChannelState.OPEN,
+        ),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_MOVE_CONFIRM: (
+        _t(
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ,
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP,
+            ChannelState.OPEN,
+        ),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+    ChannelState.WAIT_DISCONNECT: (
+        _t(CommandCode.DISCONNECTION_RSP, None, ChannelState.CLOSED),
+        _t(CommandCode.DISCONNECTION_REQ, CommandCode.DISCONNECTION_RSP, ChannelState.CLOSED),
+    ),
+}
+
+
+#: Commands that are connection-scoped rather than channel-scoped: they are
+#: valid in *any* state because they do not touch a channel state machine.
+CONNECTION_SCOPED_COMMANDS = frozenset(
+    {
+        CommandCode.ECHO_REQ,
+        CommandCode.INFORMATION_REQ,
+        CommandCode.COMMAND_REJECT,
+    }
+)
+
+
+def valid_events(state: ChannelState) -> frozenset[CommandCode]:
+    """Commands a spec-conformant acceptor accepts in *state*.
+
+    Connection-scoped commands (echo, information) are always included.
+    """
+    transitions = ACCEPTOR_TRANSITIONS.get(state, ())
+    events = {transition.event for transition in transitions if transition.accepts}
+    return frozenset(events) | CONNECTION_SCOPED_COMMANDS
+
+
+def lookup_transition(state: ChannelState, event: CommandCode) -> Transition | None:
+    """Find the acceptor transition for *event* in *state* (None = reject)."""
+    for transition in ACCEPTOR_TRANSITIONS.get(state, ()):
+        if transition.event == event:
+            return transition
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Paper Table II — WAIT_CONNECT events and actions
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class EventActionRow:
+    """One row of the paper's Table II."""
+
+    event: CommandCode
+    action: str
+    transitions_to: ChannelState | None
+
+
+#: Table II verbatim: what a device in WAIT_CONNECT does for each incoming
+#: command. Only Connect Req is accepted; everything else is rejected.
+WAIT_CONNECT_TABLE: tuple[EventActionRow, ...] = (
+    EventActionRow(CommandCode.CONNECTION_REQ, "Connect Rsp", ChannelState.WAIT_CONFIG),
+    EventActionRow(CommandCode.CONNECTION_RSP, "Reject", None),
+    EventActionRow(CommandCode.CONFIGURATION_REQ, "Reject", None),
+    EventActionRow(CommandCode.CONFIGURATION_RSP, "Reject", None),
+    EventActionRow(CommandCode.DISCONNECTION_RSP, "Reject", None),
+    EventActionRow(CommandCode.CREATE_CHANNEL_REQ, "Reject", None),
+    EventActionRow(CommandCode.CREATE_CHANNEL_RSP, "Reject", None),
+    EventActionRow(CommandCode.MOVE_CHANNEL_REQ, "Reject", None),
+    EventActionRow(CommandCode.MOVE_CHANNEL_RSP, "Reject", None),
+    EventActionRow(CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ, "Reject", None),
+    EventActionRow(CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP, "Reject", None),
+)

@@ -1,0 +1,173 @@
+"""Spec-conformance validation of L2CAP packets.
+
+Two consumers:
+
+* the virtual host stacks use :func:`frame_violations` to decide which
+  Command Reject to send (the reject semantics the paper's taxonomy is
+  designed around), and
+* the analysis sniffer uses :func:`is_malformed` to count *malformed*
+  packets the way the paper's MP-Ratio does — a packet is malformed when
+  any part of it deviates from a spec-clean encoding of its command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.l2cap.constants import (
+    CONNECTIONLESS_CID,
+    SIGNALING_CID,
+    CommandCode,
+    RejectReason,
+    is_valid_psm,
+)
+from repro.l2cap.fields import is_normal_cidp
+from repro.l2cap.packets import COMMAND_SPECS, L2capPacket
+
+
+class Violation(enum.Enum):
+    """Categories of spec deviation detectable from a single packet."""
+
+    UNKNOWN_CODE = "unknown command code"
+    BAD_HEADER_CID = "header CID is neither a fixed channel nor allocated"
+    LENGTH_MISMATCH = "declared length disagrees with content"
+    TRUNCATED_FIELDS = "data region shorter than command layout"
+    GARBAGE_TAIL = "bytes beyond declared data length"
+    INVALID_PSM = "PSM outside the valid port grid"
+    UNALLOCATED_CID = "channel-endpoint value ignores dynamic allocation"
+    MTU_EXCEEDED = "frame exceeds signaling MTU"
+
+
+#: Channel-endpoint fields that refer to the *receiver's* CID allocation.
+#: Only these can "ignore dynamic allocation": a Connection Request's SCID
+#: is the sender's own allocation and is judged by the sender's bookkeeping,
+#: not the receiver's.
+RECEIVER_CID_FIELDS: dict[int, tuple[str, ...]] = {
+    CommandCode.CONFIGURATION_REQ: ("dcid",),
+    CommandCode.CONFIGURATION_RSP: ("scid",),
+    CommandCode.DISCONNECTION_REQ: ("dcid",),
+    CommandCode.MOVE_CHANNEL_REQ: ("icid",),
+    CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ: ("icid",),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one packet."""
+
+    violations: tuple[Violation, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when the packet is a spec-clean encoding."""
+        return not self.violations
+
+    def has(self, violation: Violation) -> bool:
+        """True when *violation* was observed."""
+        return violation in self.violations
+
+
+def frame_violations(
+    packet: L2capPacket,
+    signaling_mtu: int,
+    allocated_cids: frozenset[int] = frozenset(),
+) -> ValidationReport:
+    """Validate *packet* the way a conformant receiving stack would.
+
+    :param packet: decoded packet.
+    :param signaling_mtu: the receiver's signaling MTU; larger frames are
+        rejected with "Signaling MTU exceeded".
+    :param allocated_cids: CIDs the receiver has actually allocated.
+        Channel-endpoint fields referencing other dynamic CIDs count as
+        :attr:`Violation.UNALLOCATED_CID` ("Invalid CID in request").
+    """
+    if packet.header_cid != SIGNALING_CID:
+        return _data_frame_violations(packet, allocated_cids)
+
+    violations: list[Violation] = []
+
+    if packet.spec is None:
+        violations.append(Violation.UNKNOWN_CODE)
+    if packet.declared_payload_len is not None or packet.declared_data_len is not None:
+        violations.append(Violation.LENGTH_MISMATCH)
+    if packet.spec is not None:
+        present = set(packet.fields)
+        expected = {field.name for field in packet.spec.fields}
+        if not expected <= present:
+            violations.append(Violation.TRUNCATED_FIELDS)
+    if packet.garbage:
+        violations.append(Violation.GARBAGE_TAIL)
+    if packet.wire_length > signaling_mtu:
+        violations.append(Violation.MTU_EXCEEDED)
+
+    psm = packet.fields.get("psm")
+    if psm is not None and not is_valid_psm(psm):
+        violations.append(Violation.INVALID_PSM)
+
+    for name in RECEIVER_CID_FIELDS.get(packet.code, ()):
+        value = packet.fields.get(name)
+        if value is None:
+            continue
+        if is_normal_cidp(value) and value not in allocated_cids:
+            violations.append(Violation.UNALLOCATED_CID)
+            break
+
+    return ValidationReport(tuple(violations))
+
+
+def _data_frame_violations(
+    packet: L2capPacket, allocated_cids: frozenset[int]
+) -> ValidationReport:
+    """Judge a non-signaling frame: data to a live or fixed channel is
+    clean; data aimed at an unallocated dynamic CID is malformed."""
+    violations: list[Violation] = []
+    fixed_channels = {SIGNALING_CID, CONNECTIONLESS_CID}
+    if packet.header_cid not in fixed_channels and packet.header_cid not in allocated_cids:
+        violations.append(Violation.BAD_HEADER_CID)
+    return ValidationReport(tuple(violations))
+
+
+def reject_reason_for(report: ValidationReport) -> RejectReason | None:
+    """Map a validation report to the Command Reject reason a stack sends.
+
+    Mirrors paper §III.D: mutated ``F``/``D`` provokes "Command not
+    understood", an MTU-busting frame provokes "Signaling MTU exceeded",
+    and a bogus channel endpoint provokes "Invalid CID in request". Clean
+    packets (or packets whose only oddity is field *values* inside valid
+    layouts, e.g. an abnormal PSM or garbage the parser never reaches)
+    yield None — they are processed, not rejected.
+    """
+    if report.has(Violation.MTU_EXCEEDED):
+        return RejectReason.SIGNALING_MTU_EXCEEDED
+    if (
+        report.has(Violation.UNKNOWN_CODE)
+        or report.has(Violation.BAD_HEADER_CID)
+        or report.has(Violation.LENGTH_MISMATCH)
+        or report.has(Violation.TRUNCATED_FIELDS)
+    ):
+        return RejectReason.COMMAND_NOT_UNDERSTOOD
+    if report.has(Violation.UNALLOCATED_CID):
+        return RejectReason.INVALID_CID
+    return None
+
+
+def is_malformed(packet: L2capPacket, allocated_cids: frozenset[int] = frozenset()) -> bool:
+    """Classify a transmitted packet as malformed (MP-Ratio numerator).
+
+    A packet is malformed when it deviates from the spec-clean encoding a
+    cooperating peer would produce: structural violations, garbage tails,
+    invalid PSMs, or channel endpoints that ignore the peer's allocation.
+    This is the packet-trace-level judgement a Wireshark analyst makes in
+    the paper's §IV.C measurement.
+    """
+    report = frame_violations(packet, signaling_mtu=1 << 30, allocated_cids=allocated_cids)
+    return not report.clean
+
+
+def spec_layout_ok(packet: L2capPacket) -> bool:
+    """True if the packet's code and field layout match a 5.2 command."""
+    if packet.spec is None:
+        return False
+    expected = {field.name for field in COMMAND_SPECS[CommandCode(packet.code)].fields}
+    return expected <= set(packet.fields)

@@ -1,0 +1,25 @@
+"""OBEX substrate: the object-exchange top of the Fig. 1 stack."""
+
+from repro.obex.constants import HeaderId, Opcode, ResponseCode
+from repro.obex.packets import (
+    ObexHeader,
+    ObexPacket,
+    connect_request,
+    disconnect_request,
+    get_request,
+    put_request,
+)
+from repro.obex.server import ObexServer
+
+__all__ = [
+    "HeaderId",
+    "ObexHeader",
+    "ObexPacket",
+    "ObexServer",
+    "Opcode",
+    "ResponseCode",
+    "connect_request",
+    "disconnect_request",
+    "get_request",
+    "put_request",
+]

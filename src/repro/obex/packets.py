@@ -1,0 +1,185 @@
+"""OBEX packet codec.
+
+Packet layout::
+
+    | opcode (1) | packet length (2, BE) | [connect extras] | headers |
+
+CONNECT requests and their responses carry three extra octets (version,
+flags, max packet size) before the headers. Headers are id-tagged values
+whose layout (unicode / byte-sequence / 1-byte / 4-byte) is encoded in
+the id's top two bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+from repro.obex.constants import (
+    DEFAULT_MAX_PACKET,
+    HeaderLayout,
+    OBEX_VERSION,
+    Opcode,
+    layout_of,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ObexHeader:
+    """One OBEX header (id + python-native value)."""
+
+    header_id: int
+    value: object
+
+    def encode(self) -> bytes:
+        """Serialise per the id's layout."""
+        layout = layout_of(self.header_id)
+        if layout is HeaderLayout.UNICODE:
+            encoded = str(self.value).encode("utf-16-be") + b"\x00\x00"
+            if len(encoded) + 3 > 0xFFFF:
+                raise PacketEncodeError("unicode header too long")
+            return struct.pack(">BH", self.header_id, len(encoded) + 3) + encoded
+        if layout is HeaderLayout.BYTES:
+            value = bytes(self.value)
+            return struct.pack(">BH", self.header_id, len(value) + 3) + value
+        if layout is HeaderLayout.ONE_BYTE:
+            return struct.pack(">BB", self.header_id, int(self.value) & 0xFF)
+        return struct.pack(">BI", self.header_id, int(self.value) & 0xFFFFFFFF)
+
+
+def decode_headers(raw: bytes) -> list[ObexHeader]:
+    """Parse a header region.
+
+    :raises PacketDecodeError: on truncated or inconsistent headers.
+    """
+    headers = []
+    offset = 0
+    while offset < len(raw):
+        header_id = raw[offset]
+        layout = layout_of(header_id)
+        if layout is HeaderLayout.ONE_BYTE:
+            if offset + 2 > len(raw):
+                raise PacketDecodeError("truncated 1-byte OBEX header")
+            headers.append(ObexHeader(header_id, raw[offset + 1]))
+            offset += 2
+        elif layout is HeaderLayout.FOUR_BYTES:
+            if offset + 5 > len(raw):
+                raise PacketDecodeError("truncated 4-byte OBEX header")
+            (value,) = struct.unpack_from(">I", raw, offset + 1)
+            headers.append(ObexHeader(header_id, value))
+            offset += 5
+        else:
+            if offset + 3 > len(raw):
+                raise PacketDecodeError("truncated OBEX header length")
+            (total,) = struct.unpack_from(">H", raw, offset + 1)
+            if total < 3 or offset + total > len(raw):
+                raise PacketDecodeError("OBEX header length out of bounds")
+            body = raw[offset + 3 : offset + total]
+            if layout is HeaderLayout.UNICODE:
+                if body.endswith(b"\x00\x00"):
+                    body = body[:-2]  # exactly one UTF-16 null terminator
+                text = body.decode("utf-16-be", errors="replace")
+                headers.append(ObexHeader(header_id, text))
+            else:
+                headers.append(ObexHeader(header_id, body))
+            offset += total
+    return headers
+
+
+@dataclasses.dataclass(frozen=True)
+class ObexPacket:
+    """One OBEX request or response.
+
+    :param code: opcode (requests) or response code (responses).
+    :param headers: ordered headers.
+    :param connect_extras: (version, flags, max_packet) for CONNECT
+        requests and CONNECT responses; None otherwise.
+    """
+
+    code: int
+    headers: tuple[ObexHeader, ...] = ()
+    connect_extras: tuple[int, int, int] | None = None
+
+    def encode(self) -> bytes:
+        """Serialise the packet."""
+        body = b""
+        if self.connect_extras is not None:
+            version, flags, max_packet = self.connect_extras
+            body += struct.pack(">BBH", version, flags, max_packet)
+        body += b"".join(header.encode() for header in self.headers)
+        total = 3 + len(body)
+        if total > 0xFFFF:
+            raise PacketEncodeError("OBEX packet exceeds 65535 bytes")
+        return struct.pack(">BH", self.code & 0xFF, total) + body
+
+    @classmethod
+    def decode(cls, raw: bytes, has_connect_extras: bool | None = None) -> "ObexPacket":
+        """Parse a packet.
+
+        :param has_connect_extras: force extras parsing; None infers from
+            the opcode (CONNECT requests carry extras; for responses the
+            caller must say, since response codes are ambiguous).
+        :raises PacketDecodeError: on framing errors.
+        """
+        if len(raw) < 3:
+            raise PacketDecodeError(f"OBEX packet too short: {len(raw)} bytes")
+        code, total = struct.unpack_from(">BH", raw, 0)
+        if total != len(raw):
+            raise PacketDecodeError(
+                f"OBEX length {total} disagrees with {len(raw)} bytes"
+            )
+        body = raw[3:]
+        extras = None
+        wants_extras = (
+            has_connect_extras
+            if has_connect_extras is not None
+            else code == Opcode.CONNECT
+        )
+        if wants_extras:
+            if len(body) < 4:
+                raise PacketDecodeError("truncated OBEX connect extras")
+            version, flags, max_packet = struct.unpack_from(">BBH", body, 0)
+            extras = (version, flags, max_packet)
+            body = body[4:]
+        return cls(code, tuple(decode_headers(body)), extras)
+
+    def header(self, header_id: int) -> object | None:
+        """First header value with *header_id* (None when absent)."""
+        for header in self.headers:
+            if header.header_id == header_id:
+                return header.value
+        return None
+
+
+def connect_request(max_packet: int = DEFAULT_MAX_PACKET) -> ObexPacket:
+    """Build a CONNECT request."""
+    return ObexPacket(
+        Opcode.CONNECT, connect_extras=(OBEX_VERSION, 0x00, max_packet)
+    )
+
+
+def disconnect_request() -> ObexPacket:
+    """Build a DISCONNECT request."""
+    return ObexPacket(Opcode.DISCONNECT)
+
+
+def put_request(name: str, body: bytes) -> ObexPacket:
+    """Build a single-shot (final) PUT carrying a whole object."""
+    from repro.obex.constants import HeaderId
+
+    return ObexPacket(
+        Opcode.PUT_FINAL,
+        (
+            ObexHeader(HeaderId.NAME, name),
+            ObexHeader(HeaderId.LENGTH, len(body)),
+            ObexHeader(HeaderId.END_OF_BODY, body),
+        ),
+    )
+
+
+def get_request(name: str) -> ObexPacket:
+    """Build a (final) GET for a named object."""
+    from repro.obex.constants import HeaderId
+
+    return ObexPacket(Opcode.GET_FINAL, (ObexHeader(HeaderId.NAME, name),))

@@ -1,0 +1,22 @@
+"""RFCOMM substrate: the paper's §V protocol-transfer demonstration."""
+
+from repro.rfcomm.constants import CONTROL_DLCI, FrameType, fcs
+from repro.rfcomm.frames import RfcommFrame, disc, dm, sabm, ua, uih
+from repro.rfcomm.fuzzer import RfcommFuzzer, RfcommFuzzReport
+from repro.rfcomm.mux import DlciState, RfcommMux
+
+__all__ = [
+    "CONTROL_DLCI",
+    "DlciState",
+    "FrameType",
+    "RfcommFrame",
+    "RfcommFuzzReport",
+    "RfcommFuzzer",
+    "RfcommMux",
+    "disc",
+    "dm",
+    "fcs",
+    "sabm",
+    "ua",
+    "uih",
+]

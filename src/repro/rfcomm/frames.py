@@ -1,0 +1,143 @@
+"""RFCOMM frame codec.
+
+Frame layout (TS 07.10 basic option)::
+
+    | Address (1) | Control (1) | Length (1 or 2) | payload | FCS (1) |
+
+* Address: ``DLCI(6) | C/R | EA``.
+* Control: frame type with the P/F bit.
+* Length: EA-extended — one byte for payloads up to 127, two bytes above.
+* FCS: over address+control for UIH frames; over address+control+length
+  for SABM/UA/DM/DISC.
+
+Field taxonomy, mirroring the paper's L2CAP split: the **address octet
+(DLCI)** is the mutable core field (it selects the channel), the
+control/length/FCS are dependent fields a conformant mux checks before
+anything else, and the payload is application data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+from repro.rfcomm.constants import FrameType, POLL_FINAL, fcs, fcs_ok
+
+
+@dataclasses.dataclass
+class RfcommFrame:
+    """One RFCOMM frame.
+
+    :param dlci: data link connection identifier (0-63).
+    :param frame_type: SABM/UA/DM/DISC/UIH.
+    :param payload: UIH payload bytes.
+    :param poll_final: the P/F bit.
+    :param command: the C/R bit (True = command, from the initiator).
+    :param fcs_override: wrong FCS to emit instead of the computed one
+        (fuzzing hook); None emits the valid FCS.
+    """
+
+    dlci: int
+    frame_type: int
+    payload: bytes = b""
+    poll_final: bool = True
+    command: bool = True
+    fcs_override: int | None = None
+
+    @property
+    def address(self) -> int:
+        """The address octet (DLCI | C/R | EA)."""
+        return ((self.dlci & 0x3F) << 2) | (0x02 if self.command else 0x00) | 0x01
+
+    @property
+    def control(self) -> int:
+        """The control octet (type | P/F)."""
+        return (self.frame_type & 0xEF) | (POLL_FINAL if self.poll_final else 0)
+
+    def encode(self) -> bytes:
+        """Serialise the frame with a valid (or overridden) FCS.
+
+        :raises PacketEncodeError: for out-of-range DLCI or payload.
+        """
+        if not 0 <= self.dlci <= 63:
+            raise PacketEncodeError(f"DLCI {self.dlci} out of range")
+        if len(self.payload) > 0x7FFF:
+            raise PacketEncodeError("RFCOMM payload exceeds 32767 bytes")
+        if len(self.payload) <= 0x7F:
+            length = bytes([(len(self.payload) << 1) | 0x01])
+        else:
+            value = len(self.payload) << 1
+            length = bytes([value & 0xFE, (value >> 8) & 0xFF])
+        header = bytes([self.address, self.control]) + length
+        if self.frame_type == FrameType.UIH:
+            checked = header[:2]
+        else:
+            checked = header
+        check = self.fcs_override if self.fcs_override is not None else fcs(checked)
+        return header + self.payload + bytes([check & 0xFF])
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "RfcommFrame":
+        """Parse a frame and verify its FCS.
+
+        :raises PacketDecodeError: on truncation, length mismatch or a
+            bad frame check sequence.
+        """
+        if len(raw) < 4:
+            raise PacketDecodeError(f"RFCOMM frame too short: {len(raw)} bytes")
+        address, control = raw[0], raw[1]
+        if not address & 0x01:
+            raise PacketDecodeError("address EA bit not set (extended addresses unsupported)")
+        offset = 2
+        length_byte = raw[offset]
+        if length_byte & 0x01:
+            length = length_byte >> 1
+            offset += 1
+        else:
+            if len(raw) < 5:
+                raise PacketDecodeError("truncated two-byte length")
+            length = (length_byte >> 1) | (raw[offset + 1] << 7)
+            offset += 2
+        header = raw[:offset]
+        payload = raw[offset : offset + length]
+        if len(payload) != length or offset + length + 1 > len(raw):
+            raise PacketDecodeError("RFCOMM length disagrees with frame size")
+        received_fcs = raw[offset + length]
+
+        frame_type = control & 0xEF
+        checked = header[:2] if frame_type == FrameType.UIH else header
+        if not fcs_ok(checked, received_fcs):
+            raise PacketDecodeError("RFCOMM FCS check failed")
+
+        return cls(
+            dlci=(address >> 2) & 0x3F,
+            frame_type=frame_type,
+            payload=payload,
+            poll_final=bool(control & POLL_FINAL),
+            command=bool(address & 0x02),
+        )
+
+
+def sabm(dlci: int) -> RfcommFrame:
+    """Build a SABM (connect) frame."""
+    return RfcommFrame(dlci, FrameType.SABM)
+
+
+def ua(dlci: int) -> RfcommFrame:
+    """Build a UA (accept) frame."""
+    return RfcommFrame(dlci, FrameType.UA, command=False)
+
+
+def dm(dlci: int) -> RfcommFrame:
+    """Build a DM (reject) frame."""
+    return RfcommFrame(dlci, FrameType.DM, command=False)
+
+
+def disc(dlci: int) -> RfcommFrame:
+    """Build a DISC (disconnect) frame."""
+    return RfcommFrame(dlci, FrameType.DISC)
+
+
+def uih(dlci: int, payload: bytes = b"") -> RfcommFrame:
+    """Build a UIH (data) frame."""
+    return RfcommFrame(dlci, FrameType.UIH, payload=payload, poll_final=False)

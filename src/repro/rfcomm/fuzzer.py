@@ -1,0 +1,179 @@
+"""RFCOMM fuzzer: the L2Fuzz methodology transferred to another protocol.
+
+Paper §V ("Applicability to other protocols"): RFCOMM has its own state
+machine and its own core-field split, so *state guiding* and *core field
+mutating* apply unchanged. This module demonstrates exactly that:
+
+* **state guiding** — the fuzzer walks the mux states with valid frames
+  (SABM on DLCI 0 → control connected → SABM on a data DLCI → data
+  connected), and fuzzes each state with the frames valid there;
+* **core field mutating** — only the DLCI (the channel-selecting core
+  field) is mutated; the FCS and length (dependent fields) stay valid so
+  the mux parses the frame; a garbage tail is appended beyond the
+  declared frame end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.core.packet_queue import PacketQueue
+from repro.errors import TransportError
+from repro.l2cap.packets import L2capPacket
+from repro.rfcomm.constants import CONTROL_DLCI, FrameType, MAX_DLCI
+from repro.rfcomm.frames import RfcommFrame, disc, sabm, uih
+
+
+@dataclasses.dataclass
+class RfcommFuzzReport:
+    """Outcome of an RFCOMM fuzzing pass."""
+
+    frames_sent: int = 0
+    accepted: int = 0  # UA or data echo came back
+    rejected: int = 0  # DM came back
+    crashed: bool = False
+    crash_error: str | None = None
+
+
+class RfcommFuzzer:
+    """Fuzzes a target's RFCOMM mux over an open L2CAP channel.
+
+    :param queue: packet queue to the target.
+    :param our_cid: our L2CAP CID of the RFCOMM channel.
+    :param target_cid: the target's CID of the RFCOMM channel.
+    :param seed: RNG seed.
+    :param max_garbage: garbage-tail cap (kept small, like the paper's).
+    """
+
+    def __init__(
+        self,
+        queue: PacketQueue,
+        our_cid: int,
+        target_cid: int,
+        seed: int = 0x1202,
+        max_garbage: int = 12,
+    ) -> None:
+        self.queue = queue
+        self.our_cid = our_cid
+        self.target_cid = target_cid
+        self.rng = random.Random(seed)
+        self.max_garbage = max_garbage
+        self.report = RfcommFuzzReport()
+
+    # -- state guiding -----------------------------------------------------------------
+
+    def open_control_channel(self) -> bool:
+        """Valid SABM on DLCI 0 (the mandatory first transition)."""
+        return self._expect_ua(sabm(CONTROL_DLCI))
+
+    def open_data_dlci(self, dlci: int) -> bool:
+        """Valid SABM on a data DLCI."""
+        return self._expect_ua(sabm(dlci))
+
+    def close_dlci(self, dlci: int) -> bool:
+        """Valid DISC."""
+        return self._expect_ua(disc(dlci))
+
+    # -- core field mutating -----------------------------------------------------------
+
+    def mutate_frame(self, frame_type: int) -> bytes:
+        """Build one malformed frame: DLCI mutated, D kept valid, garbage.
+
+        Mirrors Algorithm 1: the core field (DLCI) gets a random value
+        over its full range (ignoring which DLCIs are actually open), the
+        dependent fields (length, FCS) stay correct so the frame parses,
+        and a garbage tail rides beyond the declared end.
+        """
+        dlci = self.rng.randrange(0, MAX_DLCI + 1)
+        if frame_type == FrameType.UIH:
+            payload = bytes(self.rng.getrandbits(8) for _ in range(4))
+            frame = uih(dlci, payload)
+        else:
+            frame = RfcommFrame(dlci, frame_type)
+        garbage = bytes(
+            self.rng.getrandbits(8)
+            for _ in range(self.rng.randint(4, self.max_garbage))
+        )
+        return frame.encode() + garbage
+
+    def fuzz_state(self, frame_types: tuple[int, ...], per_type: int = 5) -> None:
+        """Send *per_type* mutated frames of each valid type, classifying
+        the responses; stops early if the target dies."""
+        for frame_type in frame_types:
+            for _ in range(per_type):
+                raw = self.mutate_frame(frame_type)
+                if not self._send_raw(raw):
+                    return
+
+    def run(self, per_type: int = 5) -> RfcommFuzzReport:
+        """Full guided pass: fuzz each mux state with its valid frames."""
+        # State 1: everything disconnected — only SABM is valid.
+        self.fuzz_state((FrameType.SABM,), per_type)
+        if self.report.crashed:
+            return self.report
+        # State 2: control channel up.
+        if self.open_control_channel():
+            self.fuzz_state((FrameType.SABM, FrameType.UIH), per_type)
+        if self.report.crashed:
+            return self.report
+        # State 3: a data DLCI up — UIH and DISC become valid.
+        if self.open_data_dlci(dlci=3):
+            self.fuzz_state((FrameType.UIH, FrameType.DISC), per_type)
+        return self.report
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _send_raw(self, payload: bytes) -> bool:
+        """Ship one RFCOMM frame as an L2CAP data frame. False = target died."""
+        packet = L2capPacket(
+            code=0, identifier=0, header_cid=self.target_cid, tail=payload,
+            fill_defaults=False,
+        )
+        try:
+            responses = self.queue.exchange(packet)
+        except TransportError as error:
+            self.report.frames_sent += 1
+            self.report.crashed = True
+            self.report.crash_error = error.message
+            return False
+        self.report.frames_sent += 1
+        for response in responses:
+            if response.header_cid != self.our_cid:
+                continue
+            self._classify(response.tail)
+        return True
+
+    def _classify(self, payload: bytes) -> None:
+        from repro.errors import PacketDecodeError
+
+        try:
+            frame = RfcommFrame.decode(payload)
+        except PacketDecodeError:
+            return
+        if frame.frame_type == FrameType.DM:
+            self.report.rejected += 1
+        elif frame.frame_type in (FrameType.UA, FrameType.UIH):
+            self.report.accepted += 1
+
+    def _expect_ua(self, frame: RfcommFrame) -> bool:
+        try:
+            packet = L2capPacket(
+                code=0, identifier=0, header_cid=self.target_cid,
+                tail=frame.encode(), fill_defaults=False,
+            )
+            responses = self.queue.exchange(packet)
+        except TransportError as error:
+            self.report.crashed = True
+            self.report.crash_error = error.message
+            return False
+        for response in responses:
+            if response.header_cid != self.our_cid:
+                continue
+            try:
+                reply = RfcommFrame.decode(response.tail)
+            except Exception:
+                continue
+            if reply.frame_type == FrameType.UA and reply.dlci == frame.dlci:
+                return True
+        return False

@@ -1,0 +1,228 @@
+"""SDP PDU framing and parameter codecs (Core 5.2 Vol 3 Part B §4).
+
+PDU header: ``pdu_id(1) | transaction_id(2, BE) | parameter_length(2, BE)``
+followed by PDU-specific parameters. Requests and responses end with a
+continuation-state field; this implementation always answers within one
+PDU, so the continuation state is the empty marker ``0x00``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import PacketDecodeError
+from repro.sdp.constants import PduId
+from repro.sdp.data_elements import DataElement
+
+PDU_HEADER_LEN = 5
+
+#: The empty continuation state (no continuation).
+NO_CONTINUATION = b"\x00"
+
+
+@dataclasses.dataclass(frozen=True)
+class SdpPdu:
+    """One SDP PDU: header plus raw parameters."""
+
+    pdu_id: int
+    transaction_id: int
+    parameters: bytes
+
+    def encode(self) -> bytes:
+        """Serialise header + parameters."""
+        return (
+            struct.pack(">BHH", self.pdu_id & 0xFF, self.transaction_id & 0xFFFF,
+                        len(self.parameters))
+            + self.parameters
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "SdpPdu":
+        """Parse a PDU.
+
+        :raises PacketDecodeError: on truncation or length mismatch.
+        """
+        if len(raw) < PDU_HEADER_LEN:
+            raise PacketDecodeError(f"SDP PDU too short: {len(raw)} bytes")
+        pdu_id, transaction_id, param_len = struct.unpack_from(">BHH", raw, 0)
+        parameters = raw[PDU_HEADER_LEN:]
+        if param_len != len(parameters):
+            raise PacketDecodeError(
+                f"SDP parameter length {param_len} disagrees with "
+                f"{len(parameters)} bytes present"
+            )
+        return cls(pdu_id, transaction_id, parameters)
+
+
+# -- parameter codecs --------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSearchAttributeRequest:
+    """Parameters of a ServiceSearchAttributeRequest."""
+
+    search_pattern: DataElement  # sequence of UUIDs
+    max_attribute_bytes: int
+    attribute_id_list: DataElement  # sequence of u16 ids / u32 ranges
+
+    def encode(self) -> bytes:
+        return (
+            self.search_pattern.encode()
+            + struct.pack(">H", self.max_attribute_bytes)
+            + self.attribute_id_list.encode()
+            + NO_CONTINUATION
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ServiceSearchAttributeRequest":
+        pattern, offset = DataElement.decode_prefix(raw)
+        if offset + 2 > len(raw):
+            raise PacketDecodeError("truncated max-attribute-bytes")
+        (max_bytes,) = struct.unpack_from(">H", raw, offset)
+        offset += 2
+        id_list, offset = DataElement.decode_prefix(raw, offset)
+        if offset >= len(raw):
+            raise PacketDecodeError("missing continuation state")
+        return cls(pattern, max_bytes, id_list)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSearchAttributeResponse:
+    """Parameters of a ServiceSearchAttributeResponse."""
+
+    attribute_lists: DataElement  # sequence of per-record attribute lists
+
+    def encode(self) -> bytes:
+        body = self.attribute_lists.encode()
+        return struct.pack(">H", len(body)) + body + NO_CONTINUATION
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ServiceSearchAttributeResponse":
+        if len(raw) < 3:
+            raise PacketDecodeError("truncated ServiceSearchAttributeResponse")
+        (byte_count,) = struct.unpack_from(">H", raw, 0)
+        body = raw[2 : 2 + byte_count]
+        if len(body) != byte_count:
+            raise PacketDecodeError("attribute-list byte count disagrees")
+        return cls(DataElement.decode(body))
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSearchRequest:
+    """Parameters of a ServiceSearchRequest."""
+
+    search_pattern: DataElement
+    max_record_count: int
+
+    def encode(self) -> bytes:
+        return (
+            self.search_pattern.encode()
+            + struct.pack(">H", self.max_record_count)
+            + NO_CONTINUATION
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ServiceSearchRequest":
+        pattern, offset = DataElement.decode_prefix(raw)
+        if offset + 2 > len(raw):
+            raise PacketDecodeError("truncated max-record-count")
+        (max_count,) = struct.unpack_from(">H", raw, offset)
+        return cls(pattern, max_count)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSearchResponse:
+    """Parameters of a ServiceSearchResponse."""
+
+    handles: tuple[int, ...]
+
+    def encode(self) -> bytes:
+        body = b"".join(struct.pack(">I", handle) for handle in self.handles)
+        return (
+            struct.pack(">HH", len(self.handles), len(self.handles))
+            + body
+            + NO_CONTINUATION
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ServiceSearchResponse":
+        if len(raw) < 4:
+            raise PacketDecodeError("truncated ServiceSearchResponse")
+        total, current = struct.unpack_from(">HH", raw, 0)
+        handles = []
+        offset = 4
+        for _ in range(current):
+            if offset + 4 > len(raw):
+                raise PacketDecodeError("truncated record handle list")
+            (handle,) = struct.unpack_from(">I", raw, offset)
+            handles.append(handle)
+            offset += 4
+        return cls(tuple(handles))
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceAttributeRequest:
+    """Parameters of a ServiceAttributeRequest."""
+
+    record_handle: int
+    max_attribute_bytes: int
+    attribute_id_list: DataElement
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack(">IH", self.record_handle, self.max_attribute_bytes)
+            + self.attribute_id_list.encode()
+            + NO_CONTINUATION
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ServiceAttributeRequest":
+        if len(raw) < 6:
+            raise PacketDecodeError("truncated ServiceAttributeRequest")
+        handle, max_bytes = struct.unpack_from(">IH", raw, 0)
+        id_list, _offset = DataElement.decode_prefix(raw, 6)
+        return cls(handle, max_bytes, id_list)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceAttributeResponse:
+    """Parameters of a ServiceAttributeResponse."""
+
+    attribute_list: DataElement
+
+    def encode(self) -> bytes:
+        body = self.attribute_list.encode()
+        return struct.pack(">H", len(body)) + body + NO_CONTINUATION
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ServiceAttributeResponse":
+        if len(raw) < 3:
+            raise PacketDecodeError("truncated ServiceAttributeResponse")
+        (byte_count,) = struct.unpack_from(">H", raw, 0)
+        body = raw[2 : 2 + byte_count]
+        if len(body) != byte_count:
+            raise PacketDecodeError("attribute-list byte count disagrees")
+        return cls(DataElement.decode(body))
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorResponse:
+    """Parameters of an SDP ErrorResponse."""
+
+    error_code: int
+
+    def encode(self) -> bytes:
+        return struct.pack(">H", self.error_code)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ErrorResponse":
+        if len(raw) < 2:
+            raise PacketDecodeError("truncated ErrorResponse")
+        (code,) = struct.unpack_from(">H", raw, 0)
+        return cls(code)
+
+
+def request(pdu_id: PduId, transaction_id: int, params) -> bytes:
+    """Frame *params* (a parameter dataclass) as a full PDU."""
+    return SdpPdu(pdu_id, transaction_id, params.encode()).encode()

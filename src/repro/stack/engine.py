@@ -1,0 +1,669 @@
+"""The L2CAP host-stack engine driving every virtual device.
+
+One engine instance is the software stack of one target: it parses
+incoming signaling frames, enforces the Bluetooth 5.2 rejection rules
+(modulated by its :class:`~repro.stack.vendors.VendorPersonality`), runs
+the per-channel 19-state machine, and feeds accepted packets past the
+injected vulnerability models.
+
+Design invariant reproduced from the paper: **rejected packets never
+reach buggy code.** Bug predicates are evaluated only on packets the
+stack accepted for parsing, which is why the fuzzer's core-field
+discipline matters at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.errors import ChannelError, PacketDecodeError, TargetCrashedError
+from repro.hci.transport import SimClock
+from repro.l2cap.constants import (
+    CommandCode,
+    ConfigOptionType,
+    ConfigResult,
+    ConnectionResult,
+    InfoResult,
+    InfoType,
+    MIN_SIGNALING_MTU,
+    MoveResult,
+    RejectReason,
+    SIGNALING_CID,
+    is_valid_psm,
+)
+from repro.l2cap.jobs import Job, job_of
+from repro.l2cap.packets import (
+    L2capPacket,
+    command_reject,
+    configuration_request,
+    decode_options,
+    disconnection_request,
+)
+from repro.l2cap.states import ChannelState, CONFIGURATION_STATES
+from repro.l2cap.validation import frame_violations, reject_reason_for, Violation
+from repro.stack.channels import ChannelManager
+from repro.stack.crash import CrashReport
+from repro.stack.services import ServiceDirectory
+from repro.stack.vendors import VendorPersonality
+from repro.stack.vulnerabilities import TriggerContext, VulnerabilityModel
+
+
+@dataclasses.dataclass(frozen=True)
+class StateVisit:
+    """One recorded entry of a channel into a state."""
+
+    sim_time: float
+    local_cid: int
+    state: ChannelState
+
+
+class HostStackEngine:
+    """Vendor-flavoured L2CAP acceptor.
+
+    :param personality: behavioural profile of the vendor stack.
+    :param services: the device's service directory.
+    :param clock: campaign clock (response latency is charged here).
+    :param vulnerabilities: injected bug models.
+    :param armed: when False the bug predicates are skipped — used by the
+        measurement harness so 100k-packet ratio runs are not cut short
+        by a crash (the paper measured ratios and detection separately).
+    :param data_handlers: upper-layer services keyed by PSM — payload
+        bytes in, response payload bytes out (e.g. the SDP server).
+        Data frames to a live channel whose PSM has a handler are
+        answered on that channel; all other data frames are dropped.
+    """
+
+    def __init__(
+        self,
+        personality: VendorPersonality,
+        services: ServiceDirectory,
+        clock: SimClock | None = None,
+        vulnerabilities: tuple[VulnerabilityModel, ...] = (),
+        armed: bool = True,
+        data_handlers: dict | None = None,
+    ) -> None:
+        self.personality = personality
+        self.services = services
+        self.clock = clock if clock is not None else SimClock()
+        self.vulnerabilities = tuple(vulnerabilities)
+        self.armed = armed
+        self.data_handlers = dict(data_handlers or {})
+        self.channels = ChannelManager(personality.max_channels)
+        self.state_history: list[StateVisit] = []
+        self.crash: CrashReport | None = None
+        self._next_identifier = 0x70
+        #: Transition-coverage counters: (command, state, outcome) →
+        #: hits. A black-box stand-in for the code coverage the paper
+        #: cannot measure (§V cites Frankenstein's firmware-emulation
+        #: approach); each key approximates one branch of the command
+        #: dispatcher of a real stack.
+        self.transition_hits: Counter = Counter()
+
+    # -- public surface --------------------------------------------------------
+
+    def handle_l2cap(self, packet: L2capPacket) -> list[L2capPacket]:
+        """Process one incoming L2CAP frame; return outgoing frames.
+
+        :raises TargetCrashedError: when an injected bug triggers.
+        """
+        if self.crash is not None:
+            return []
+        self.clock.advance(self.personality.response_latency)
+
+        if packet.header_cid != SIGNALING_CID:
+            return self._handle_data_frame(packet)
+
+        report = frame_violations(
+            packet,
+            signaling_mtu=self.personality.signaling_mtu,
+            allocated_cids=frozenset(),  # CID checks are done per-command
+        )
+        structural_reason = self._structural_reject(report)
+        if structural_reason is not None:
+            self._record_transition(packet, "structural-reject")
+            return [command_reject(structural_reason, packet.identifier)]
+        if self.personality.rejects_garbage_tail and packet.garbage:
+            # Hardened parsers discard anything beyond the declared length.
+            self._record_transition(packet, "structural-reject")
+            return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
+        responses = self._dispatch(packet)
+        self._record_transition(packet, self._outcome_of(responses))
+        return responses
+
+    def reset(self) -> None:
+        """Restart the stack after a crash (the testbed's device reset)."""
+        self.crash = None
+        self.channels.clear()
+
+    def visited_states(self) -> frozenset[ChannelState]:
+        """All channel states any channel has entered so far."""
+        return frozenset(visit.state for visit in self.state_history)
+
+    def transition_coverage(self) -> frozenset[tuple[str, str, str]]:
+        """Distinct (command, state, outcome) branches exercised so far."""
+        return frozenset(self.transition_hits)
+
+    def _record_transition(self, packet: L2capPacket, outcome: str) -> None:
+        try:
+            command = CommandCode(packet.code).name
+        except ValueError:
+            command = "UNKNOWN"
+        state = self._ambient_state()
+        self.transition_hits[(command, state.value, outcome)] += 1
+
+    @staticmethod
+    def _outcome_of(responses: list[L2capPacket]) -> str:
+        if not responses:
+            return "silent"
+        if responses[0].code == CommandCode.COMMAND_REJECT:
+            return "reject"
+        return "handled"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _structural_reject(self, report) -> RejectReason | None:
+        """Rejections decidable before command dispatch (F/D violations)."""
+        if report.has(Violation.MTU_EXCEEDED):
+            return RejectReason.SIGNALING_MTU_EXCEEDED
+        if report.has(Violation.UNKNOWN_CODE):
+            return RejectReason.COMMAND_NOT_UNDERSTOOD
+        if report.has(Violation.LENGTH_MISMATCH) or report.has(Violation.TRUNCATED_FIELDS):
+            return RejectReason.COMMAND_NOT_UNDERSTOOD
+        return None
+
+    def _handle_data_frame(self, packet: L2capPacket) -> list[L2capPacket]:
+        """Non-signaling traffic: deliver to a live channel or drop.
+
+        Data frames never elicit *signaling* responses; a frame addressed
+        to a live channel whose PSM has an upper-layer handler (the SDP
+        server) is answered with a data frame on the same channel.
+        """
+        block = self.channels.get(packet.header_cid)
+        if block is None:
+            return []
+        handler = self.data_handlers.get(block.psm)
+        if handler is None:
+            return []
+        response_payload = handler(packet.tail)
+        if not response_payload:
+            return []
+        return [
+            L2capPacket(
+                code=0,
+                identifier=0,
+                header_cid=block.remote_cid,
+                tail=response_payload,
+                fill_defaults=False,
+            )
+        ]
+
+    def _visit(self, local_cid: int, state: ChannelState) -> None:
+        self.state_history.append(StateVisit(self.clock.now, local_cid, state))
+
+    def _set_state(self, block, state: ChannelState) -> None:
+        block.state = state
+        self._visit(block.local_cid, state)
+
+    def _take_identifier(self) -> int:
+        self._next_identifier = self._next_identifier % 0xFF + 1
+        return self._next_identifier
+
+    def _ambient_state(self) -> ChannelState:
+        """Best guess at 'the state under test' for orphan packets.
+
+        Real stacks execute their channel state machine with whatever
+        control block the lookup produced (possibly NULL); the relevant
+        state is that of the connection's active channel. We use the most
+        recently progressed live channel, preferring mid-configuration
+        ones, falling back to CLOSED.
+        """
+        live = self.channels.live_channels()
+        for block in reversed(live):
+            if block.state in CONFIGURATION_STATES:
+                return block.state
+        if live:
+            return live[-1].state
+        return ChannelState.CLOSED
+
+    def _check_bugs(self, packet: L2capPacket, state: ChannelState | None) -> None:
+        """Evaluate injected bug predicates on an accepted packet.
+
+        :raises TargetCrashedError: when a predicate matches (armed only).
+        """
+        if not self.armed or not self.vulnerabilities or self.crash is not None:
+            return
+        effective_state = state if state is not None else self._ambient_state()
+        context = TriggerContext(
+            packet=packet,
+            state=effective_state,
+            job=job_of(effective_state),
+            allocated_cids=self.channels.allocated_cids(),
+            live_states=frozenset(
+                block.state for block in self.channels.live_channels()
+            ),
+        )
+        for model in self.vulnerabilities:
+            if model.check(context):
+                self.crash = model.fire(context, self.clock.now)
+                raise TargetCrashedError(self.crash)
+
+    def _unsolicited_response(self, packet: L2capPacket) -> list[L2capPacket]:
+        """Handle a response command that answers nothing we sent."""
+        if self.personality.accepts_unsolicited_responses:
+            self._check_bugs(packet, None)
+            return []  # the Android quirk of paper §III.C: silently eaten
+        return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, packet: L2capPacket) -> list[L2capPacket]:
+        code = CommandCode(packet.code)
+        handler = {
+            CommandCode.COMMAND_REJECT: self._on_command_reject,
+            CommandCode.CONNECTION_REQ: self._on_connection_req,
+            CommandCode.CONNECTION_RSP: self._unsolicited_response,
+            CommandCode.CONFIGURATION_REQ: self._on_configuration_req,
+            CommandCode.CONFIGURATION_RSP: self._on_configuration_rsp,
+            CommandCode.DISCONNECTION_REQ: self._on_disconnection_req,
+            CommandCode.DISCONNECTION_RSP: self._on_disconnection_rsp,
+            CommandCode.ECHO_REQ: self._on_echo_req,
+            CommandCode.ECHO_RSP: self._unsolicited_response,
+            CommandCode.INFORMATION_REQ: self._on_information_req,
+            CommandCode.INFORMATION_RSP: self._unsolicited_response,
+            CommandCode.CREATE_CHANNEL_REQ: self._on_create_channel_req,
+            CommandCode.CREATE_CHANNEL_RSP: self._unsolicited_response,
+            CommandCode.MOVE_CHANNEL_REQ: self._on_move_channel_req,
+            CommandCode.MOVE_CHANNEL_RSP: self._unsolicited_response,
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ: self._on_move_confirmation_req,
+            CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP: self._unsolicited_response,
+        }.get(code)
+        if handler is not None:
+            return handler(packet)
+        return self._on_le_family(packet)
+
+    # -- command handlers ----------------------------------------------------------
+
+    def _on_command_reject(self, packet: L2capPacket) -> list[L2capPacket]:
+        return []  # rejects are terminal; never answered
+
+    def _on_connection_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        self._check_bugs(packet, ChannelState.CLOSED)
+        psm = packet.fields.get("psm", 0)
+        scid = packet.fields.get("scid", 0)
+
+        def refuse(result: ConnectionResult) -> list[L2capPacket]:
+            return [
+                L2capPacket(
+                    CommandCode.CONNECTION_RSP,
+                    packet.identifier,
+                    {"dcid": 0, "scid": scid, "result": result, "status": 0},
+                )
+            ]
+
+        if not is_valid_psm(psm):
+            return refuse(ConnectionResult.REFUSED_PSM_NOT_SUPPORTED)
+        record = self.services.lookup(psm)
+        if record is None:
+            return refuse(ConnectionResult.REFUSED_PSM_NOT_SUPPORTED)
+        if record.requires_pairing:
+            # Unpaired peer: refused without parsing further (paper §III.B).
+            return refuse(ConnectionResult.REFUSED_SECURITY_BLOCK)
+        if not 0x0040 <= scid <= 0xFFFF:
+            return refuse(ConnectionResult.REFUSED_INVALID_SCID)
+        if self.channels.by_remote_cid(scid) is not None:
+            return refuse(ConnectionResult.REFUSED_SCID_ALREADY_ALLOCATED)
+        try:
+            block = self.channels.allocate(
+                psm, scid, initiates_config=record.initiates_config
+            )
+        except ChannelError:
+            return refuse(ConnectionResult.REFUSED_NO_RESOURCES)
+
+        # The service sat in passive-open; entering via Connect Req is the
+        # WAIT_CONNECT row of paper Table II.
+        self._visit(block.local_cid, ChannelState.WAIT_CONNECT)
+        responses = [
+            L2capPacket(
+                CommandCode.CONNECTION_RSP,
+                packet.identifier,
+                {
+                    "dcid": block.local_cid,
+                    "scid": scid,
+                    "result": ConnectionResult.SUCCESS,
+                    "status": 0,
+                },
+            )
+        ]
+        self._set_state(block, ChannelState.WAIT_CONFIG)
+        if block.initiates_config:
+            responses.append(self._send_local_config(block))
+            self._set_state(block, ChannelState.WAIT_CONFIG_REQ_RSP)
+        return responses
+
+    def _on_create_channel_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        self._check_bugs(packet, ChannelState.WAIT_CREATE)
+        psm = packet.fields.get("psm", 0)
+        scid = packet.fields.get("scid", 0)
+        cont_id = packet.fields.get("cont_id", 0)
+
+        def refuse(result: ConnectionResult) -> list[L2capPacket]:
+            return [
+                L2capPacket(
+                    CommandCode.CREATE_CHANNEL_RSP,
+                    packet.identifier,
+                    {"dcid": 0, "scid": scid, "result": result, "status": 0},
+                )
+            ]
+
+        if not self.personality.supports_amp:
+            return refuse(ConnectionResult.REFUSED_CONTROLLER_ID_NOT_SUPPORTED)
+        if cont_id not in (0, 1):
+            return refuse(ConnectionResult.REFUSED_CONTROLLER_ID_NOT_SUPPORTED)
+        if not is_valid_psm(psm) or not self.services.supports(psm):
+            return refuse(ConnectionResult.REFUSED_PSM_NOT_SUPPORTED)
+        record = self.services.lookup(psm)
+        if record.requires_pairing:
+            return refuse(ConnectionResult.REFUSED_SECURITY_BLOCK)
+        if not 0x0040 <= scid <= 0xFFFF:
+            return refuse(ConnectionResult.REFUSED_INVALID_SCID)
+        if self.channels.by_remote_cid(scid) is not None:
+            return refuse(ConnectionResult.REFUSED_SCID_ALREADY_ALLOCATED)
+        try:
+            block = self.channels.allocate(
+                psm, scid, initiates_config=record.initiates_config
+            )
+        except ChannelError:
+            return refuse(ConnectionResult.REFUSED_NO_RESOURCES)
+
+        self._visit(block.local_cid, ChannelState.WAIT_CREATE)
+        responses = [
+            L2capPacket(
+                CommandCode.CREATE_CHANNEL_RSP,
+                packet.identifier,
+                {
+                    "dcid": block.local_cid,
+                    "scid": scid,
+                    "result": ConnectionResult.SUCCESS,
+                    "status": 0,
+                },
+            )
+        ]
+        self._set_state(block, ChannelState.WAIT_CONFIG)
+        if block.initiates_config:
+            responses.append(self._send_local_config(block))
+            self._set_state(block, ChannelState.WAIT_CONFIG_REQ_RSP)
+        return responses
+
+    def _evaluate_config_options(self, packet: L2capPacket) -> ConfigResult:
+        """Negotiate the option TLVs of a Configuration Request.
+
+        Core 5.2 Vol 3 Part A §5: an MTU below the 48-byte minimum is
+        unacceptable; an unknown option whose type lacks the hint bit
+        (0x80) yields UNKNOWN_OPTIONS; undecodable TLVs are rejected.
+        """
+        if not packet.tail:
+            return ConfigResult.SUCCESS
+        try:
+            options = decode_options(packet.tail)
+        except PacketDecodeError:
+            return ConfigResult.REJECTED
+        known = {option.value for option in ConfigOptionType}
+        for option in options:
+            base_type = option.option_type & 0x7F
+            if base_type not in known:
+                if option.option_type & 0x80:
+                    continue  # hint options may be ignored
+                return ConfigResult.UNKNOWN_OPTIONS
+            if base_type == ConfigOptionType.MTU and len(option.value) >= 2:
+                mtu = int.from_bytes(option.value[:2], "little")
+                if mtu < MIN_SIGNALING_MTU:
+                    return ConfigResult.UNACCEPTABLE_PARAMETERS
+        return ConfigResult.SUCCESS
+
+    def _send_local_config(self, block) -> L2capPacket:
+        block.local_config_sent = True
+        return configuration_request(
+            dcid=block.remote_cid, identifier=self._take_identifier()
+        )
+
+    def _on_configuration_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        dcid = packet.fields.get("dcid", 0)
+        block = self.channels.get(dcid)
+        if block is None:
+            if self.personality.accepts_unallocated_cidp:
+                # The BlueDroid quirk: the CSM executes with whatever the
+                # lookup returned — the D1/D2 bug path.
+                self._check_bugs(packet, None)
+                return [
+                    L2capPacket(
+                        CommandCode.CONFIGURATION_RSP,
+                        packet.identifier,
+                        {"scid": 0, "flags": 0, "result": ConfigResult.SUCCESS},
+                    )
+                ]
+            return [command_reject(RejectReason.INVALID_CID, packet.identifier)]
+
+        if block.state not in CONFIGURATION_STATES and block.state is not ChannelState.OPEN:
+            return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
+
+        self._check_bugs(packet, block.state)
+        option_result = self._evaluate_config_options(packet)
+        if option_result is not ConfigResult.SUCCESS:
+            # Negotiation failure: the channel stays where it was and the
+            # peer must retry with acceptable parameters.
+            return [
+                L2capPacket(
+                    CommandCode.CONFIGURATION_RSP,
+                    packet.identifier,
+                    {
+                        "scid": block.remote_cid,
+                        "flags": 0,
+                        "result": option_result,
+                    },
+                )
+            ]
+        if block.state is ChannelState.OPEN:
+            block.reset_config()
+            self._set_state(block, ChannelState.WAIT_CONFIG)
+
+        block.remote_config_done = True
+        responses = [
+            L2capPacket(
+                CommandCode.CONFIGURATION_RSP,
+                packet.identifier,
+                {
+                    "scid": block.remote_cid,
+                    "flags": 0,
+                    "result": ConfigResult.SUCCESS,
+                },
+            )
+        ]
+        if not block.local_config_sent:
+            # We owe our own Configuration Request: pass through
+            # WAIT_SEND_CONFIG and emit it.
+            self._set_state(block, ChannelState.WAIT_SEND_CONFIG)
+            responses.append(self._send_local_config(block))
+            self._set_state(block, ChannelState.WAIT_CONFIG_RSP)
+        elif block.local_config_done:
+            self._set_state(block, ChannelState.OPEN)
+        else:
+            self._set_state(block, ChannelState.WAIT_CONFIG_RSP)
+        return responses
+
+    def _on_configuration_rsp(self, packet: L2capPacket) -> list[L2capPacket]:
+        scid = packet.fields.get("scid", 0)
+        block = self.channels.get(scid)
+        if block is None or not block.local_config_sent or block.local_config_done:
+            return self._unsolicited_response(packet)
+
+        self._check_bugs(packet, block.state)
+        result = packet.fields.get("result", 0)
+        if result == ConfigResult.PENDING and self.personality.config_pending_supported:
+            self._set_state(block, ChannelState.WAIT_IND_FINAL_RSP)
+            return []
+        if result in (ConfigResult.REJECTED, ConfigResult.UNACCEPTABLE_PARAMETERS):
+            if self.personality.disconnects_on_config_rejection:
+                request = disconnection_request(
+                    dcid=block.remote_cid,
+                    scid=block.local_cid,
+                    identifier=self._take_identifier(),
+                )
+                self._set_state(block, ChannelState.WAIT_DISCONNECT)
+                return [request]
+            return []
+        block.local_config_done = True
+        if block.remote_config_done:
+            self._set_state(block, ChannelState.OPEN)
+        else:
+            self._set_state(block, ChannelState.WAIT_CONFIG_REQ)
+        return []
+
+    def _on_disconnection_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        dcid = packet.fields.get("dcid", 0)
+        scid = packet.fields.get("scid", 0)
+        block = self.channels.get(dcid)
+        if block is None or (block.remote_cid != scid and scid != 0):
+            self._check_bugs(packet, None)
+            return [command_reject(RejectReason.INVALID_CID, packet.identifier)]
+        self._check_bugs(packet, block.state)
+        self.channels.release(block.local_cid)
+        self._visit(block.local_cid, ChannelState.CLOSED)
+        return [
+            L2capPacket(
+                CommandCode.DISCONNECTION_RSP,
+                packet.identifier,
+                {"dcid": dcid, "scid": scid},
+            )
+        ]
+
+    def _on_disconnection_rsp(self, packet: L2capPacket) -> list[L2capPacket]:
+        scid = packet.fields.get("scid", 0)
+        block = self.channels.get(scid)
+        if block is None or block.state is not ChannelState.WAIT_DISCONNECT:
+            return self._unsolicited_response(packet)
+        self._check_bugs(packet, block.state)
+        self.channels.release(block.local_cid)
+        self._visit(block.local_cid, ChannelState.CLOSED)
+        return []
+
+    def _on_echo_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        self._check_bugs(packet, None)
+        return [
+            L2capPacket(CommandCode.ECHO_RSP, packet.identifier, tail=packet.tail)
+        ]
+
+    def _on_information_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        self._check_bugs(packet, None)
+        info_type = packet.fields.get("info_type", 0)
+        known = {item.value for item in InfoType}
+        if info_type not in known:
+            return [
+                L2capPacket(
+                    CommandCode.INFORMATION_RSP,
+                    packet.identifier,
+                    {"info_type": info_type, "result": InfoResult.NOT_SUPPORTED},
+                )
+            ]
+        payload = {
+            InfoType.CONNECTIONLESS_MTU: (672).to_bytes(2, "little"),
+            InfoType.EXTENDED_FEATURES: (0x000002B8).to_bytes(4, "little"),
+            InfoType.FIXED_CHANNELS: (0x00000006).to_bytes(8, "little"),
+        }[InfoType(info_type)]
+        return [
+            L2capPacket(
+                CommandCode.INFORMATION_RSP,
+                packet.identifier,
+                {"info_type": info_type, "result": InfoResult.SUCCESS},
+                tail=payload,
+            )
+        ]
+
+    def _on_move_channel_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        icid = packet.fields.get("icid", 0)
+
+        def respond(result: MoveResult) -> list[L2capPacket]:
+            return [
+                L2capPacket(
+                    CommandCode.MOVE_CHANNEL_RSP,
+                    packet.identifier,
+                    {"icid": icid, "result": result},
+                )
+            ]
+
+        if not self.personality.supports_amp:
+            return respond(MoveResult.REFUSED_NOT_ALLOWED)
+        block = self.channels.get(icid)
+        if block is None:
+            self._check_bugs(packet, None)
+            return [command_reject(RejectReason.INVALID_CID, packet.identifier)]
+        if block.state is not ChannelState.OPEN:
+            return respond(MoveResult.REFUSED_COLLISION)
+        self._check_bugs(packet, block.state)
+        self._visit(block.local_cid, ChannelState.WAIT_MOVE)
+        self._set_state(block, ChannelState.WAIT_MOVE_CONFIRM)
+        return respond(MoveResult.SUCCESS)
+
+    def _on_move_confirmation_req(self, packet: L2capPacket) -> list[L2capPacket]:
+        icid = packet.fields.get("icid", 0)
+        block = self.channels.get(icid)
+        if not self.personality.supports_amp or block is None:
+            self._check_bugs(packet, None)
+            return [command_reject(RejectReason.INVALID_CID, packet.identifier)]
+        if block.state is not ChannelState.WAIT_MOVE_CONFIRM:
+            return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
+        self._check_bugs(packet, block.state)
+        self._set_state(block, ChannelState.OPEN)
+        return [
+            L2capPacket(
+                CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP,
+                packet.identifier,
+                {"icid": icid},
+            )
+        ]
+
+    def _on_le_family(self, packet: L2capPacket) -> list[L2capPacket]:
+        """Handle the LE / credit-based command family (codes 0x12–0x1A).
+
+        BR/EDR-only stacks reject these outright; LE-capable stacks parse
+        them but refuse the operations on a BR/EDR link.
+        """
+        if not self.personality.supports_le_signaling:
+            return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
+        self._check_bugs(packet, None)
+        code = CommandCode(packet.code)
+        if code is CommandCode.CONNECTION_PARAMETER_UPDATE_REQ:
+            return [
+                L2capPacket(
+                    CommandCode.CONNECTION_PARAMETER_UPDATE_RSP,
+                    packet.identifier,
+                    {"result": 0},
+                )
+            ]
+        if code is CommandCode.LE_CREDIT_BASED_CONNECTION_REQ:
+            return [
+                L2capPacket(
+                    CommandCode.LE_CREDIT_BASED_CONNECTION_RSP,
+                    packet.identifier,
+                    {"dcid": 0, "mtu": 0, "mps": 0, "credit": 0, "result": 0x0002},
+                )
+            ]
+        if code is CommandCode.CREDIT_BASED_CONNECTION_REQ:
+            return [
+                L2capPacket(
+                    CommandCode.CREDIT_BASED_CONNECTION_RSP,
+                    packet.identifier,
+                    {"mtu": 0, "mps": 0, "credit": 0, "result": 0x0002},
+                )
+            ]
+        if code is CommandCode.CREDIT_BASED_RECONFIGURE_REQ:
+            return [
+                L2capPacket(
+                    CommandCode.CREDIT_BASED_RECONFIGURE_RSP,
+                    packet.identifier,
+                    {"result": 0x0001},
+                )
+            ]
+        if code is CommandCode.FLOW_CONTROL_CREDIT_IND:
+            return []  # credits for an unknown channel are silently dropped
+        return []  # stray LE responses are ignored

@@ -1,0 +1,129 @@
+"""Vendor personalities: how real host stacks deviate from the spec.
+
+The paper's fuzzer design leans on two empirical facts about deployed
+stacks: (1) they reject differently — mutated ``F``/``D`` fields provoke
+"command not understood", bogus CIDs provoke "invalid CID", oversized
+frames provoke "MTU exceeded" — and (2) they *accept* differently — some
+Android builds accept a Connect Rsp while in WAIT_CONNECT (§III.C), and
+the buggy stacks parse CIDP values a conformant stack would refuse.
+
+A :class:`VendorPersonality` bundles those deviations so the same engine
+reproduces BlueDroid, BlueZ, the Apple stacks, Broadcom BTW and the
+Windows stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.l2cap.constants import DEFAULT_SIGNALING_MTU
+
+
+@dataclasses.dataclass(frozen=True)
+class VendorPersonality:
+    """Behavioural profile of one vendor's L2CAP implementation.
+
+    :param name: personality name (e.g. ``"BlueDroid"``).
+    :param signaling_mtu: signaling-channel MTU; larger frames get
+        "Signaling MTU exceeded" rejects.
+    :param max_channels: channel-capacity limit (≈ number of services).
+    :param accepts_unsolicited_responses: the Android quirk of §III.C —
+        response commands arriving out of context are silently ignored
+        instead of rejected.
+    :param accepts_unallocated_cidp: parses channel-endpoint values that
+        were never dynamically allocated instead of rejecting with
+        "Invalid CID" — the quirk that exposes the CIDP bug path.
+    :param rejects_garbage_tail: hardened parsers (the stacks where the
+        paper found nothing) discard any packet with bytes beyond the
+        declared length.
+    :param supports_amp: implements Create/Move channel flows; stacks
+        without AMP refuse them, which caps reachable states.
+    :param supports_le_signaling: answers the LE/credit-based command
+        family; BR/EDR-only stacks reject those codes.
+    :param config_pending_supported: honours result=PENDING in a
+        Configuration Response (enables the WAIT_IND_FINAL_RSP path).
+    :param disconnects_on_config_rejection: initiates its own disconnect
+        when its Configuration Request is rejected (enables the
+        WAIT_DISCONNECT path for an external fuzzer).
+    :param response_latency: extra seconds of simulated processing per
+        exchange; dominates time-to-vulnerability in Table VI runs.
+    """
+
+    name: str
+    signaling_mtu: int = DEFAULT_SIGNALING_MTU
+    max_channels: int = 8
+    accepts_unsolicited_responses: bool = False
+    accepts_unallocated_cidp: bool = False
+    rejects_garbage_tail: bool = False
+    supports_amp: bool = False
+    supports_le_signaling: bool = False
+    config_pending_supported: bool = True
+    disconnects_on_config_rejection: bool = True
+    response_latency: float = 0.0
+
+
+#: Android's open-source stack: permissive parser, AMP code still linked
+#: in, accepts unsolicited responses (paper §III.C) and unallocated CIDP
+#: values (the D1/D2 bug path).
+BLUEDROID = VendorPersonality(
+    name="BlueDroid",
+    signaling_mtu=672,
+    max_channels=10,
+    accepts_unsolicited_responses=True,
+    accepts_unallocated_cidp=True,
+    supports_amp=True,
+    supports_le_signaling=True,
+)
+
+#: Linux BlueZ: spec-strict on CIDs, AMP-capable, generous MTU.
+BLUEZ = VendorPersonality(
+    name="BlueZ",
+    signaling_mtu=672,
+    max_channels=13,
+    supports_amp=True,
+    supports_le_signaling=True,
+)
+
+#: Apple iOS stack: hardened proprietary parser (paper: "they may have
+#: implemented an exception handling logic for malformed packets").
+IOS_STACK = VendorPersonality(
+    name="iOS stack",
+    signaling_mtu=672,
+    max_channels=12,
+    rejects_garbage_tail=True,
+    config_pending_supported=False,
+)
+
+#: Apple RTKit (AirPods firmware): tiny embedded stack, few channels, no
+#: AMP, fragile PSM handling.
+RTKIT = VendorPersonality(
+    name="RTKit stack",
+    signaling_mtu=256,
+    max_channels=6,
+    config_pending_supported=False,
+    disconnects_on_config_rejection=False,
+)
+
+#: Broadcom BTW (Galaxy Buds+): hardened embedded stack.
+BTW = VendorPersonality(
+    name="BTW",
+    signaling_mtu=512,
+    max_channels=6,
+    rejects_garbage_tail=True,
+    config_pending_supported=False,
+)
+
+#: Microsoft Windows stack: hardened, no AMP exposure to peers.
+WINDOWS_STACK = VendorPersonality(
+    name="Windows stack",
+    signaling_mtu=672,
+    max_channels=12,
+    rejects_garbage_tail=True,
+)
+
+
+#: All built-in personalities by name.
+PERSONALITIES: dict[str, VendorPersonality] = {
+    personality.name: personality
+    for personality in (BLUEDROID, BLUEZ, IOS_STACK, RTKIT, BTW, WINDOWS_STACK)
+}

@@ -1,0 +1,35 @@
+"""Testbed: the Table V device profiles and campaign sessions."""
+
+from repro.testbed.profiles import (
+    ALL_PROFILES,
+    D1,
+    D2,
+    D3,
+    D4,
+    D5,
+    D6,
+    D7,
+    D8,
+    DeviceProfile,
+    PROFILES_BY_ID,
+    table5_rows,
+)
+from repro.testbed.session import FuzzSession, L2FUZZ_PPS, run_campaign
+
+__all__ = [
+    "ALL_PROFILES",
+    "D1",
+    "D2",
+    "D3",
+    "D4",
+    "D5",
+    "D6",
+    "D7",
+    "D8",
+    "DeviceProfile",
+    "FuzzSession",
+    "L2FUZZ_PPS",
+    "PROFILES_BY_ID",
+    "run_campaign",
+    "table5_rows",
+]

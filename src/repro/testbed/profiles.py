@@ -1,0 +1,334 @@
+"""The eight test devices of paper Table V, as virtual-device profiles.
+
+Each profile carries the Table V metadata verbatim plus the simulation
+parameters that stand in for the physical device: vendor personality,
+service catalogue, injected vulnerability models, and a per-exchange
+response latency calibrated so the simulated time-to-vulnerability lands
+in the paper's reported band (§IV.B attributes elapsed time to "the
+number of service ports provided and the logic complexity of Bluetooth
+applications" — latency is our stand-in for that logic complexity).
+
+Port openness: devices under test are in discoverable/pairing mode, where
+SDP is always connectable unpaired (paper §III.B) and AV distribution
+ports commonly accept unpaired L2CAP connections; everything else is
+gated behind pairing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.l2cap.constants import Psm
+from repro.stack.device import DeviceMeta, VirtualDevice
+from repro.stack.services import ServiceDirectory, ServiceRecord
+from repro.stack.vendors import (
+    BLUEDROID,
+    BLUEZ,
+    BTW,
+    IOS_STACK,
+    RTKIT,
+    WINDOWS_STACK,
+    VendorPersonality,
+)
+from repro.stack.vulnerabilities import (
+    BLUEDROID_CIDP_NULL_DEREF,
+    BLUEDROID_CREATE_CHANNEL_DOS,
+    BLUEZ_GPF,
+    RTKIT_PSM_SHUTDOWN,
+    VulnerabilityModel,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceProfile:
+    """One row of Table V plus its simulation parameters."""
+
+    device_id: str
+    device_type: str
+    vendor: str
+    name: str
+    year: int
+    model: str
+    chip: str
+    os_or_fw: str
+    bt_stack: str
+    bt_version: str
+    personality: VendorPersonality
+    services: tuple[ServiceRecord, ...]
+    vulnerabilities: tuple[VulnerabilityModel, ...]
+    mac_address: str
+    build_fingerprint: str
+
+    def build(self, clock=None, armed: bool = True, zero_latency: bool = False) -> VirtualDevice:
+        """Instantiate the virtual device for this profile.
+
+        :param armed: False disables bug triggering (ratio measurements).
+        :param zero_latency: strip the response latency so throughput is
+            governed purely by the fuzzer's pps model (the §IV.C setup).
+        """
+        personality = self.personality
+        if zero_latency:
+            personality = dataclasses.replace(personality, response_latency=0.0)
+        directory = ServiceDirectory(list(self.services))
+        meta = DeviceMeta(
+            mac_address=self.mac_address,
+            name=self.name,
+            device_class=self.device_type,
+        )
+        return VirtualDevice(
+            meta=meta,
+            personality=personality,
+            services=directory,
+            vulnerabilities=self.vulnerabilities,
+            clock=clock,
+            armed=armed,
+            build_fingerprint=self.build_fingerprint,
+        )
+
+
+def _sdp() -> ServiceRecord:
+    return ServiceRecord(Psm.SDP, "Service Discovery Protocol")
+
+
+def _avdtp_open() -> ServiceRecord:
+    return ServiceRecord(
+        Psm.AVDTP, "Audio/Video Distribution", initiates_config=True
+    )
+
+
+def _paired(psm: int, name: str, initiates_config: bool = False) -> ServiceRecord:
+    return ServiceRecord(psm, name, requires_pairing=True, initiates_config=initiates_config)
+
+
+_PHONE_SERVICES = (
+    _sdp(),
+    _avdtp_open(),
+    _paired(Psm.RFCOMM, "RFCOMM"),
+    _paired(Psm.HID_CONTROL, "HID Control"),
+    _paired(Psm.AVCTP, "Audio/Video Control"),
+)
+
+
+D1 = DeviceProfile(
+    device_id="D1",
+    device_type="Tablet PC",
+    vendor="Google",
+    name="Nexus 7",
+    year=2013,
+    model="ASUS-1A005A",
+    chip="Snapdragon 600",
+    os_or_fw="Android 6.0.1",
+    bt_stack="BlueDroid",
+    bt_version="4.0 + LE",
+    personality=dataclasses.replace(BLUEDROID, response_latency=0.55),
+    services=_PHONE_SERVICES,
+    vulnerabilities=(BLUEDROID_CIDP_NULL_DEREF,),
+    mac_address="AC:37:43:A1:00:01",
+    build_fingerprint="google/razor/flo:6.0.1/MOB30X/3036618:user/release-keys",
+)
+
+D2 = DeviceProfile(
+    device_id="D2",
+    device_type="Smartphone",
+    vendor="Google",
+    name="Pixel 3",
+    year=2018,
+    model="GA00464",
+    chip="Snapdragon 845",
+    os_or_fw="Android 11.0.1",
+    bt_stack="BlueDroid",
+    bt_version="5.0 + LE",
+    personality=dataclasses.replace(BLUEDROID, response_latency=0.50),
+    services=_PHONE_SERVICES + (_paired(Psm.BNEP, "BNEP"),),
+    vulnerabilities=(BLUEDROID_CIDP_NULL_DEREF,),
+    mac_address="F8:0F:F9:00:00:02",
+    build_fingerprint="google/blueline/blueline:11/RQ1D.210105.003/7005430:user/release-keys",
+)
+
+D3 = DeviceProfile(
+    device_id="D3",
+    device_type="Smartphone",
+    vendor="Samsung",
+    name="Galaxy 7",
+    year=2016,
+    model="SM-G930L",
+    chip="Exynos 8890",
+    os_or_fw="Android 8.0.0",
+    bt_stack="BlueDroid",
+    bt_version="4.2",
+    # Samsung's fork is spec-strict on config-state CIDs (so the D1/D2
+    # bug path is closed) but its AMP channel creation is broken.
+    personality=dataclasses.replace(
+        BLUEDROID, accepts_unallocated_cidp=False, response_latency=0.50
+    ),
+    services=_PHONE_SERVICES + (_paired(Psm.BNEP, "BNEP"),),
+    vulnerabilities=(BLUEDROID_CREATE_CHANNEL_DOS,),
+    mac_address="C0:BD:D1:00:00:03",
+    build_fingerprint="samsung/heroltexx/herolte:8.0.0/R16NW/G930LKLU1DQL1:user/release-keys",
+)
+
+D4 = DeviceProfile(
+    device_id="D4",
+    device_type="Smartphone",
+    vendor="Apple",
+    name="iPhone 6S",
+    year=2015,
+    model="A1688",
+    chip="A9",
+    os_or_fw="iOS 15.0.2",
+    bt_stack="iOS stack",
+    bt_version="4.2",
+    personality=dataclasses.replace(IOS_STACK, response_latency=0.30),
+    services=(
+        _sdp(),
+        _paired(Psm.AVDTP, "Audio/Video Distribution", initiates_config=True),
+        _paired(Psm.RFCOMM, "RFCOMM"),
+        _paired(Psm.HID_CONTROL, "HID Control"),
+        _paired(Psm.AVCTP, "Audio/Video Control"),
+    ),
+    vulnerabilities=(),
+    mac_address="DC:2B:2A:00:00:04",
+    build_fingerprint="apple/iphone8,1/19A404",
+)
+
+D5 = DeviceProfile(
+    device_id="D5",
+    device_type="Earphone",
+    vendor="Apple",
+    name="Airpods 1 gen",
+    year=2016,
+    model="A1523",
+    chip="W1",
+    os_or_fw="6.8.8",
+    bt_stack="RTKit stack",
+    bt_version="4.2",
+    personality=dataclasses.replace(RTKIT, response_latency=1.70),
+    # Six service ports (paper §IV.B); earbuds in pairing mode accept AV
+    # connections unpaired.
+    services=(
+        _sdp(),
+        _avdtp_open(),
+        ServiceRecord(Psm.AVCTP, "Audio/Video Control"),
+        _paired(Psm.RFCOMM, "RFCOMM"),
+        _paired(Psm.AVCTP_BROWSING, "AVCTP Browsing"),
+        _paired(Psm.HID_CONTROL, "HID Control"),
+    ),
+    vulnerabilities=(RTKIT_PSM_SHUTDOWN,),
+    mac_address="9C:64:8B:00:00:05",
+    build_fingerprint="apple/rtkit/a1523:6.8.8",
+)
+
+D6 = DeviceProfile(
+    device_id="D6",
+    device_type="Earphone",
+    vendor="Samsung",
+    name="Galaxy Buds+",
+    year=2020,
+    model="SM-R175NZKATUR",
+    chip="BCM43015",
+    os_or_fw="R175XXU0AUG1",
+    bt_stack="BTW",
+    bt_version="5.0 + LE",
+    personality=dataclasses.replace(BTW, response_latency=0.30),
+    services=(
+        _sdp(),
+        _avdtp_open(),
+        ServiceRecord(Psm.AVCTP, "Audio/Video Control"),
+        _paired(Psm.RFCOMM, "RFCOMM"),
+        _paired(Psm.AVCTP_BROWSING, "AVCTP Browsing"),
+        _paired(Psm.HID_CONTROL, "HID Control"),
+    ),
+    vulnerabilities=(),
+    mac_address="D0:7F:A0:00:00:06",
+    build_fingerprint="samsung/buds+/r175:R175XXU0AUG1",
+)
+
+D7 = DeviceProfile(
+    device_id="D7",
+    device_type="Laptop",
+    vendor="LG",
+    name="Gram 2019",
+    year=2019,
+    model="15ZD990-VX50K",
+    chip="Intel wireless BT",
+    os_or_fw="Windows 10",
+    bt_stack="Windows stack",
+    bt_version="5.0",
+    personality=dataclasses.replace(WINDOWS_STACK, response_latency=0.30),
+    services=(
+        _sdp(),
+        _paired(Psm.RFCOMM, "RFCOMM"),
+        _paired(Psm.HID_CONTROL, "HID Control"),
+        _paired(Psm.HID_INTERRUPT, "HID Interrupt"),
+        _paired(Psm.AVDTP, "Audio/Video Distribution", initiates_config=True),
+        _paired(Psm.AVCTP, "Audio/Video Control"),
+        _paired(Psm.BNEP, "BNEP"),
+        _paired(Psm.UPNP, "UPnP"),
+    ),
+    vulnerabilities=(),
+    mac_address="34:02:86:00:00:07",
+    build_fingerprint="lg/gram2019/win10:19041",
+)
+
+#: D8's thirteen service ports (paper §IV.B).
+_D8_SERVICES = (
+    _sdp(),
+    _avdtp_open(),
+    ServiceRecord(Psm.AVCTP, "Audio/Video Control"),
+    _paired(Psm.RFCOMM, "RFCOMM"),
+    _paired(Psm.TCS_BIN, "TCS-BIN"),
+    _paired(Psm.TCS_BIN_CORDLESS, "TCS-BIN Cordless"),
+    _paired(Psm.BNEP, "BNEP"),
+    _paired(Psm.HID_CONTROL, "HID Control"),
+    _paired(Psm.HID_INTERRUPT, "HID Interrupt"),
+    _paired(Psm.UPNP, "UPnP"),
+    _paired(Psm.AVCTP_BROWSING, "AVCTP Browsing"),
+    _paired(Psm.UDI_C_PLANE, "UDI C-Plane"),
+    _paired(Psm.THREED_SP, "3D Synchronization"),
+)
+
+D8 = DeviceProfile(
+    device_id="D8",
+    device_type="Laptop",
+    vendor="LG",
+    name="Gram 2017",
+    year=2017,
+    model="15ZD970-GX55K",
+    chip="Intel wireless BT",
+    os_or_fw="Ubuntu 18.04.4",
+    bt_stack="BlueZ",
+    bt_version="5.0",
+    personality=dataclasses.replace(BLUEZ, response_latency=0.08),
+    services=_D8_SERVICES,
+    vulnerabilities=(BLUEZ_GPF,),
+    mac_address="A0:51:0B:00:00:08",
+    build_fingerprint="lg/gram2017/ubuntu:18.04.4",
+)
+
+
+#: All Table V profiles in order.
+ALL_PROFILES: tuple[DeviceProfile, ...] = (D1, D2, D3, D4, D5, D6, D7, D8)
+
+#: Profiles by device id.
+PROFILES_BY_ID: dict[str, DeviceProfile] = {
+    profile.device_id: profile for profile in ALL_PROFILES
+}
+
+
+def table5_rows() -> list[dict]:
+    """Render Table V as dictionaries (one per device)."""
+    return [
+        {
+            "no": profile.device_id,
+            "type": profile.device_type,
+            "vendor": profile.vendor,
+            "name": profile.name,
+            "year": profile.year,
+            "model": profile.model,
+            "chip": profile.chip,
+            "os_or_fw": profile.os_or_fw,
+            "bt_stack": profile.bt_stack,
+            "bt_version": profile.bt_version,
+        }
+        for profile in ALL_PROFILES
+    ]

@@ -1,0 +1,89 @@
+"""Fuzzing sessions: wire a fuzzer to a virtual device and run it.
+
+A :class:`FuzzSession` is the reproduction's equivalent of plugging the
+dongle in and launching the tool against one Table V device: it builds
+the virtual device from its profile, strings a link between them with the
+fuzzer's throughput model, and runs the campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import FuzzConfig
+from repro.core.fuzzer import L2Fuzz
+from repro.core.report import CampaignReport
+from repro.hci.transport import SimClock, VirtualLink
+from repro.testbed.profiles import DeviceProfile
+
+#: Throughput the paper measured for L2Fuzz on D2 (§IV.C): 524.27 packets
+#: per second, dominating the link's per-frame cost.
+L2FUZZ_PPS = 524.27
+
+
+@dataclasses.dataclass
+class FuzzSession:
+    """One fuzzer-vs-device campaign.
+
+    :param profile: the target's Table V profile.
+    :param config: fuzzer configuration.
+    :param armed: False disables the injected bugs (ratio measurements).
+    :param zero_latency: strip device response latency (throughput runs).
+    :param pps: fuzzer throughput model (packets per simulated second).
+    :param auto_reset: enable the long-term-fuzzing extension — crashed
+        devices are reset and the campaign continues.
+    """
+
+    profile: DeviceProfile
+    config: FuzzConfig = dataclasses.field(default_factory=FuzzConfig)
+    armed: bool = True
+    zero_latency: bool = False
+    pps: float = L2FUZZ_PPS
+    auto_reset: bool = False
+
+    def __post_init__(self) -> None:
+        self.clock = SimClock()
+        self.device = self.profile.build(
+            clock=self.clock, armed=self.armed, zero_latency=self.zero_latency
+        )
+        self.link = VirtualLink(clock=self.clock, tx_cost=1.0 / self.pps)
+        self.device.attach_to(self.link)
+        config = self.config
+        if self.auto_reset and config.stop_on_first_finding:
+            config = dataclasses.replace(config, stop_on_first_finding=False)
+        self.fuzzer = L2Fuzz(
+            link=self.link,
+            inquiry=self.device.inquiry,
+            browse=None,  # browse over the air via the real SDP exchange
+            config=config,
+            dump_probe=lambda: self.device.crash_dumps,
+            reset_hook=self._reset_target,
+            target_name=f"{self.profile.device_id} ({self.profile.name})",
+        )
+
+    def _reset_target(self) -> None:
+        self.device.reset(self.link)
+
+    def run(self) -> CampaignReport:
+        """Run the campaign to completion and return the report."""
+        return self.fuzzer.run()
+
+
+def run_campaign(
+    profile: DeviceProfile,
+    config: FuzzConfig | None = None,
+    armed: bool = True,
+    zero_latency: bool = False,
+    pps: float = L2FUZZ_PPS,
+    auto_reset: bool = False,
+) -> CampaignReport:
+    """Convenience one-shot: build a session and run it."""
+    session = FuzzSession(
+        profile=profile,
+        config=config if config is not None else FuzzConfig(),
+        armed=armed,
+        zero_latency=zero_latency,
+        pps=pps,
+        auto_reset=auto_reset,
+    )
+    return session.run()

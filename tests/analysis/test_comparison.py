@@ -1,0 +1,77 @@
+"""Tests for the four-fuzzer comparison harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import (
+    FUZZER_ORDER,
+    FuzzerRunResult,
+    figure10_bars,
+    figure11_maps,
+    run_baseline_trial,
+    run_l2fuzz_trial,
+    table7_rows,
+)
+from repro.analysis.metrics import CumulativePoint, MutationEfficiency
+from repro.baselines.bss import BssFuzzer
+from repro.l2cap.states import ChannelState
+
+
+def _result(name, coverage=(ChannelState.CLOSED,)):
+    return FuzzerRunResult(
+        name=name,
+        efficiency=MutationEfficiency(100, 50, 80, 20, 1.0),
+        mp_points=(CumulativePoint(100, 50),),
+        pr_points=(CumulativePoint(80, 20),),
+        coverage=frozenset(coverage),
+    )
+
+
+class TestRenderingHelpers:
+    def test_table7_rows_follow_paper_order(self):
+        results = {name: _result(name) for name in reversed(FUZZER_ORDER)}
+        rows = table7_rows(results)
+        assert [row["fuzzer"] for row in rows] == list(FUZZER_ORDER)
+
+    def test_table7_rows_skip_missing_fuzzers(self):
+        rows = table7_rows({"BSS": _result("BSS")})
+        assert len(rows) == 1
+
+    def test_figure10_counts_states(self):
+        results = {
+            "L2Fuzz": _result(
+                "L2Fuzz", (ChannelState.CLOSED, ChannelState.OPEN)
+            ),
+            "BSS": _result("BSS"),
+        }
+        assert figure10_bars(results) == {"L2Fuzz": 2, "BSS": 1}
+
+    def test_figure11_maps_are_sorted_names(self):
+        results = {
+            "BSS": _result("BSS", (ChannelState.OPEN, ChannelState.CLOSED))
+        }
+        assert figure11_maps(results)["BSS"] == ["CLOSED", "OPEN"]
+
+    def test_coverage_count_property(self):
+        assert _result("x", (ChannelState.CLOSED, ChannelState.OPEN)).coverage_count == 2
+
+
+class TestTrialRunners:
+    def test_l2fuzz_trial_small_budget(self):
+        result = run_l2fuzz_trial(max_packets=1500)
+        assert result.name == "L2Fuzz"
+        assert result.efficiency.transmitted >= 1500
+        assert result.mp_points[-1].y > 0
+
+    def test_baseline_trial_small_budget(self):
+        result = run_baseline_trial(BssFuzzer, max_packets=300)
+        assert result.name == "BSS"
+        assert result.efficiency.malformed == 0
+        assert result.efficiency.packets_per_second == pytest.approx(1.95)
+
+    def test_trials_are_deterministic(self):
+        a = run_l2fuzz_trial(max_packets=1000, seed=5)
+        b = run_l2fuzz_trial(max_packets=1000, seed=5)
+        assert a.efficiency == b.efficiency
+        assert a.coverage == b.coverage

@@ -1,0 +1,61 @@
+"""Tests for multi-seed statistics and the coverage proxy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    MetricSummary,
+    seed_sweep,
+    transition_coverage_comparison,
+)
+
+
+class TestMetricSummary:
+    def test_mean_and_spread(self):
+        summary = MetricSummary((0.6, 0.7, 0.8))
+        assert summary.mean == pytest.approx(0.7)
+        assert summary.minimum == 0.6
+        assert summary.maximum == 0.8
+        assert summary.stdev == pytest.approx(0.1)
+
+    def test_single_value_has_zero_stdev(self):
+        assert MetricSummary((0.5,)).stdev == 0.0
+
+    def test_as_dict_rounds(self):
+        row = MetricSummary((0.12345, 0.12355)).as_dict()
+        assert row["mean"] == pytest.approx(0.1235)
+
+
+class TestSeedSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return seed_sweep(seeds=(1, 2, 3), max_packets=4_000)
+
+    def test_ratios_stay_in_paper_band_across_seeds(self, sweep):
+        assert 0.60 < sweep.mp_ratio.minimum
+        assert sweep.mp_ratio.maximum < 0.80
+        assert 0.25 < sweep.pr_ratio.minimum
+        assert sweep.pr_ratio.maximum < 0.40
+
+    def test_low_seed_variance(self, sweep):
+        """The headline metric is not seed luck."""
+        assert sweep.mutation_efficiency.stdev < 0.03
+
+    def test_state_coverage_is_seed_independent(self, sweep):
+        assert sweep.coverage_is_stable
+        assert sweep.coverage_counts[0] == 13
+
+    def test_branch_counts_recorded(self, sweep):
+        assert all(count > 50 for count in sweep.transition_branches)
+
+
+class TestCoverageProxy:
+    def test_l2fuzz_exercises_most_dispatcher_branches(self):
+        """Frankenstein-style proxy: the stateful, parse-surviving fuzzer
+        reaches more distinct (command, state, outcome) branches."""
+        results = transition_coverage_comparison(max_packets=5_000)
+        assert results["L2Fuzz"] > results["Defensics"]
+        assert results["L2Fuzz"] > results["BFuzz"]
+        assert results["L2Fuzz"] > results["BSS"]
+        assert results["BSS"] < 25  # all-valid traffic exercises few branches

@@ -1,0 +1,76 @@
+"""Tests for trace serialisation and reload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import measure
+from repro.analysis.state_coverage import state_coverage
+from repro.analysis.traceio import (
+    dump_trace,
+    load_trace,
+    read_trace,
+    rebuild_sniffer,
+    save_trace,
+)
+from repro.core.config import FuzzConfig
+from repro.core.fuzzer import L2Fuzz
+
+from tests.conftest import make_rig
+
+
+def _campaign_sniffer(max_packets=600):
+    device, link, _ = make_rig(armed=False)
+    fuzzer = L2Fuzz(
+        link=link,
+        inquiry=device.inquiry,
+        browse=device.sdp_browse,
+        config=FuzzConfig(max_packets=max_packets),
+    )
+    fuzzer.run()
+    return fuzzer.sniffer
+
+
+class TestRoundTrip:
+    def test_dump_and_load_preserve_length(self):
+        sniffer = _campaign_sniffer()
+        entries = load_trace(dump_trace(sniffer))
+        assert len(entries) == len(sniffer.trace)
+
+    def test_reloaded_metrics_match_original(self):
+        """The key property: analysis on a saved trace equals the live run."""
+        sniffer = _campaign_sniffer()
+        reloaded = rebuild_sniffer(load_trace(dump_trace(sniffer)))
+        original = measure(sniffer, 1.0)
+        recomputed = measure(reloaded, 1.0)
+        assert recomputed.transmitted == original.transmitted
+        assert recomputed.malformed == original.malformed
+        assert recomputed.received == original.received
+        assert recomputed.rejections == original.rejections
+
+    def test_reloaded_state_coverage_matches(self):
+        sniffer = _campaign_sniffer(1500)
+        reloaded = rebuild_sniffer(load_trace(dump_trace(sniffer)))
+        assert state_coverage(reloaded) == state_coverage(sniffer)
+
+    def test_directions_and_flags_survive(self):
+        sniffer = _campaign_sniffer(100)
+        entries = load_trace(dump_trace(sniffer))
+        for original, reloaded in zip(sniffer.trace, entries):
+            assert reloaded.direction is original.direction
+            assert reloaded.malformed == original.malformed
+            assert reloaded.rejection == original.rejection
+            assert reloaded.packet.encode() == original.packet.encode()
+
+    def test_file_round_trip(self, tmp_path):
+        sniffer = _campaign_sniffer(200)
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(sniffer, path)
+        assert count == len(sniffer.trace)
+        reloaded = read_trace(path)
+        assert reloaded.transmitted_count() == sniffer.transmitted_count()
+
+    def test_blank_lines_skipped(self):
+        sniffer = _campaign_sniffer(50)
+        text = dump_trace(sniffer) + "\n\n\n"
+        assert len(load_trace(text)) == len(sniffer.trace)

@@ -1,0 +1,119 @@
+"""Tests for the three baseline fuzzers' documented behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import measure
+from repro.analysis.state_coverage import state_coverage
+from repro.baselines.bfuzz import BfuzzFuzzer
+from repro.baselines.bss import BssFuzzer
+from repro.baselines.defensics import DefensicsFuzzer
+from repro.l2cap.states import ChannelState
+
+from tests.conftest import make_rig
+
+
+def _run(fuzzer_cls, max_packets=6000, **rig_kwargs):
+    device, link, queue = make_rig(armed=False, **rig_kwargs)
+    fuzzer = fuzzer_cls(queue)
+    fuzzer.run(max_packets)
+    return device, queue, measure(queue.sniffer, link.clock.now)
+
+
+class TestBss:
+    """BSS: zero malformed, zero rejections, three states (paper §IV.C/D)."""
+
+    def test_generates_no_malformed_packets(self):
+        _, _, eff = _run(BssFuzzer)
+        assert eff.mp_ratio == 0.0
+
+    def test_receives_no_rejections(self):
+        _, _, eff = _run(BssFuzzer)
+        assert eff.pr_ratio == 0.0
+
+    def test_mutation_efficiency_is_zero(self):
+        _, _, eff = _run(BssFuzzer)
+        assert eff.mutation_efficiency == 0.0
+
+    def test_covers_exactly_three_states(self):
+        _, queue, _ = _run(BssFuzzer)
+        covered = state_coverage(queue.sniffer)
+        assert covered == frozenset(
+            {
+                ChannelState.CLOSED,
+                ChannelState.WAIT_CONNECT,
+                ChannelState.WAIT_CONFIG,
+            }
+        )
+
+    def test_respects_budget(self):
+        _, queue, _ = _run(BssFuzzer, max_packets=100)
+        assert queue.sniffer.transmitted_count() <= 101
+
+    def test_pps_model(self):
+        assert BssFuzzer.pps == pytest.approx(1.95)
+
+
+class TestBfuzz:
+    """BFuzz: tiny MP ratio, huge PR ratio, six states."""
+
+    def test_mp_ratio_band(self):
+        _, _, eff = _run(BfuzzFuzzer, max_packets=12_000)
+        assert 0.005 < eff.mp_ratio < 0.03  # paper: 1.50%
+
+    def test_pr_ratio_band(self):
+        _, _, eff = _run(BfuzzFuzzer, max_packets=12_000)
+        assert eff.pr_ratio > 0.80  # paper: 91.60%
+
+    def test_mutation_efficiency_tiny(self):
+        _, _, eff = _run(BfuzzFuzzer, max_packets=12_000)
+        assert eff.mutation_efficiency < 0.005  # paper: 0.12%
+
+    def test_covers_six_states(self):
+        _, queue, _ = _run(BfuzzFuzzer, max_packets=12_000)
+        assert len(state_coverage(queue.sniffer)) == 6
+
+    def test_replay_blob_elicits_no_responses(self):
+        device, queue, _ = _run(BfuzzFuzzer, max_packets=1000)
+        # The first 1000 packets are pure replay: no signaling responses.
+        assert queue.sniffer.received_count() == 0
+
+
+class TestDefensics:
+    """Defensics: mostly-valid conformance suite, seven states."""
+
+    def test_mp_ratio_band(self):
+        _, _, eff = _run(DefensicsFuzzer, max_packets=6000)
+        assert 0.01 < eff.mp_ratio < 0.05  # paper: 2.38%
+
+    def test_pr_ratio_band(self):
+        _, _, eff = _run(DefensicsFuzzer, max_packets=6000)
+        assert eff.pr_ratio < 0.05  # paper: 1.73%
+
+    def test_mutation_efficiency_band(self):
+        _, _, eff = _run(DefensicsFuzzer, max_packets=6000)
+        assert 0.005 < eff.mutation_efficiency < 0.05  # paper: 2.33%
+
+    def test_covers_seven_states(self):
+        _, queue, _ = _run(DefensicsFuzzer, max_packets=6000)
+        assert len(state_coverage(queue.sniffer)) == 7
+
+    def test_wait_disconnect_covered(self):
+        _, queue, _ = _run(DefensicsFuzzer, max_packets=6000)
+        assert ChannelState.WAIT_DISCONNECT in state_coverage(queue.sniffer)
+
+
+class TestCrossFuzzerOrdering:
+    """The paper's headline comparison invariants."""
+
+    def test_state_coverage_ordering(self):
+        coverages = {}
+        for cls in (DefensicsFuzzer, BfuzzFuzzer, BssFuzzer):
+            _, queue, _ = _run(cls, max_packets=8000)
+            coverages[cls.name] = len(state_coverage(queue.sniffer))
+        assert coverages["Defensics"] > coverages["BFuzz"] > coverages["BSS"]
+
+    def test_throughput_models_match_paper(self):
+        assert DefensicsFuzzer.pps == pytest.approx(3.37)
+        assert BfuzzFuzzer.pps == pytest.approx(454.54)

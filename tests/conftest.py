@@ -1,0 +1,82 @@
+"""Shared fixtures: wired-up devices, links and queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sniffer import PacketSniffer
+from repro.core.packet_queue import PacketQueue
+from repro.hci.transport import SimClock, VirtualLink
+from repro.stack.device import DeviceMeta, VirtualDevice
+from repro.stack.services import ServiceDirectory, ServiceRecord
+from repro.stack.vendors import BLUEDROID, VendorPersonality
+from repro.l2cap.constants import Psm
+
+
+DEFAULT_META = DeviceMeta(
+    mac_address="AA:BB:CC:DD:EE:FF",
+    name="test-device",
+    device_class="smartphone",
+)
+
+
+def make_services(
+    open_passive: bool = True,
+    open_initiating: bool = True,
+    paired_extra: bool = True,
+) -> ServiceDirectory:
+    """A small catalogue: SDP (passive), AVDTP (initiating), RFCOMM (paired)."""
+    records = []
+    if open_passive:
+        records.append(ServiceRecord(Psm.SDP, "SDP"))
+    if open_initiating:
+        records.append(
+            ServiceRecord(Psm.AVDTP, "AVDTP", initiates_config=True)
+        )
+    if paired_extra:
+        records.append(ServiceRecord(Psm.RFCOMM, "RFCOMM", requires_pairing=True))
+    return ServiceDirectory(records)
+
+
+def make_rig(
+    personality: VendorPersonality = BLUEDROID,
+    services: ServiceDirectory | None = None,
+    vulnerabilities: tuple = (),
+    armed: bool = True,
+    tx_cost: float = 0.001,
+):
+    """Build a (device, link, queue) triple wired together."""
+    clock = SimClock()
+    device = VirtualDevice(
+        meta=DEFAULT_META,
+        personality=personality,
+        services=services if services is not None else make_services(),
+        vulnerabilities=vulnerabilities,
+        clock=clock,
+        armed=armed,
+    )
+    link = VirtualLink(clock=clock, tx_cost=tx_cost)
+    device.attach_to(link)
+    queue = PacketQueue(link, PacketSniffer())
+    return device, link, queue
+
+
+@pytest.fixture
+def rig():
+    """Default BlueDroid-flavoured rig."""
+    return make_rig()
+
+
+@pytest.fixture
+def device(rig):
+    return rig[0]
+
+
+@pytest.fixture
+def link(rig):
+    return rig[1]
+
+
+@pytest.fixture
+def queue(rig):
+    return rig[2]

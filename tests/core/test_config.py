@@ -1,0 +1,33 @@
+"""Tests for FuzzConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FuzzConfig
+
+
+class TestFuzzConfig:
+    def test_defaults_are_sane(self):
+        config = FuzzConfig()
+        assert config.packets_per_command >= 1
+        assert config.max_packets == 100_000
+        assert config.stop_on_first_finding
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"packets_per_command": 0},
+            {"max_packets": 0},
+            {"max_garbage": 0},
+            {"ping_every_commands": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FuzzConfig(**kwargs)
+
+    def test_frozen(self):
+        config = FuzzConfig()
+        with pytest.raises(AttributeError):
+            config.seed = 1

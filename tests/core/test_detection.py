@@ -1,0 +1,100 @@
+"""Tests for phase 4 — vulnerability detecting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection import (
+    VulnerabilityClass,
+    VulnerabilityDetector,
+    classify_error,
+)
+from repro.errors import (
+    ConnectionAbortedTargetError,
+    ConnectionFailedError,
+    ConnectionRefusedTargetError,
+    ConnectionResetTargetError,
+    TargetTimeoutError,
+)
+from repro.l2cap.constants import Psm
+from repro.l2cap.packets import configuration_request, connection_request
+from repro.stack.vulnerabilities import RTKIT_PSM_SHUTDOWN
+
+from tests.conftest import make_rig
+
+
+class TestErrorClassification:
+    """Paper §III.E: Connection Failed ⇒ DoS; everything else ⇒ crash."""
+
+    def test_connection_failed_is_dos(self):
+        assert classify_error(ConnectionFailedError()) is VulnerabilityClass.DOS
+
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            ConnectionAbortedTargetError,
+            ConnectionResetTargetError,
+            ConnectionRefusedTargetError,
+            TargetTimeoutError,
+        ],
+    )
+    def test_other_errors_are_crashes(self, error_cls):
+        assert classify_error(error_cls()) is VulnerabilityClass.CRASH
+
+
+class TestPingTest:
+    def test_alive_target_answers(self):
+        _, _, queue = make_rig()
+        detector = VulnerabilityDetector(queue)
+        assert detector.ping_test()
+
+    def test_dead_target_fails_ping(self):
+        _, link, queue = make_rig()
+        link.take_down(ConnectionResetTargetError)
+        detector = VulnerabilityDetector(queue)
+        assert not detector.ping_test()
+
+
+class TestDumpProbe:
+    def test_no_side_channel_means_none(self):
+        _, _, queue = make_rig()
+        assert VulnerabilityDetector(queue).fetch_crash_dump() is None
+
+    def test_latest_dump_returned(self):
+        _, _, queue = make_rig()
+        detector = VulnerabilityDetector(queue, dump_probe=lambda: ["old", "new"])
+        assert detector.fetch_crash_dump() == "new"
+
+    def test_empty_dump_list_means_none(self):
+        _, _, queue = make_rig()
+        detector = VulnerabilityDetector(queue, dump_probe=lambda: [])
+        assert detector.fetch_crash_dump() is None
+
+
+class TestDiagnose:
+    def test_silent_crash_diagnosed_end_to_end(self):
+        """RTKit-style: device dies silently, ping times out."""
+        device, _, queue = make_rig(
+            vulnerabilities=(RTKIT_PSM_SHUTDOWN,), armed=True
+        )
+        detector = VulnerabilityDetector(
+            queue, dump_probe=lambda: device.crash_dumps
+        )
+        trigger = connection_request(psm=0x0300, scid=0x60)
+        with pytest.raises(TargetTimeoutError) as excinfo:
+            queue.send(trigger)
+        finding = detector.diagnose(excinfo.value, "CLOSED", trigger.describe())
+        assert finding.vulnerability_class is VulnerabilityClass.CRASH
+        assert finding.error_message == "Timeout"
+        assert finding.ping_failed
+        assert finding.crash_dump is None  # RTKit leaves no dump
+        assert "CONNECTION_REQ" in finding.trigger
+
+    def test_finding_records_sim_time(self):
+        _, link, queue = make_rig(tx_cost=0.5)
+        queue.send(configuration_request(dcid=0x40))
+        link.take_down(ConnectionFailedError)
+        detector = VulnerabilityDetector(queue)
+        finding = detector.diagnose(ConnectionFailedError(), "OPEN", "pkt")
+        assert finding.sim_time >= 0.5
+        assert finding.state == "OPEN"

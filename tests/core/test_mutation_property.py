@@ -1,0 +1,73 @@
+"""Property-based tests for the mutator: Algorithm 1 invariants hold for
+every command and every seed."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import FuzzConfig
+from repro.core.mutation import CoreFieldMutator
+from repro.l2cap.constants import MIN_SIGNALING_MTU, is_valid_psm
+from repro.l2cap.fields import CIDP_FIELD_NAMES, FieldCategory, categorize_field
+from repro.l2cap.packets import COMMAND_SPECS, L2capPacket
+from repro.l2cap.validation import is_malformed
+
+
+_codes = st.sampled_from(sorted(COMMAND_SPECS))
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _mutate(code, seed):
+    mutator = CoreFieldMutator(
+        FuzzConfig(seed=seed), random.Random(seed), signaling_mtu=MIN_SIGNALING_MTU
+    )
+    return mutator.mutate(code, identifier=1)
+
+
+class TestMutatorProperties:
+    @given(_codes, _seeds)
+    @settings(max_examples=300)
+    def test_only_mc_fields_deviate_from_defaults(self, code, seed):
+        packet = _mutate(code, seed)
+        spec = COMMAND_SPECS[code]
+        for field in spec.fields:
+            category = categorize_field(field.name)
+            if category is FieldCategory.MUTABLE_APPLICATION:
+                assert packet.fields[field.name] == field.default
+
+    @given(_codes, _seeds)
+    @settings(max_examples=300)
+    def test_mutated_packets_stay_within_mtu(self, code, seed):
+        assert _mutate(code, seed).wire_length <= MIN_SIGNALING_MTU
+
+    @given(_codes, _seeds)
+    @settings(max_examples=300)
+    def test_mutated_packets_always_decodable(self, code, seed):
+        packet = _mutate(code, seed)
+        decoded = L2capPacket.decode(packet.encode())
+        assert decoded.code == code
+        assert decoded.fields == packet.fields
+
+    @given(_codes, _seeds)
+    @settings(max_examples=300)
+    def test_mutated_packets_always_malformed(self, code, seed):
+        assert is_malformed(_mutate(code, seed))
+
+    @given(_codes, _seeds)
+    @settings(max_examples=200)
+    def test_psm_mutations_never_valid(self, code, seed):
+        packet = _mutate(code, seed)
+        psm = packet.fields.get("psm")
+        if psm is not None:
+            assert not is_valid_psm(psm)
+
+    @given(_codes, _seeds)
+    @settings(max_examples=200)
+    def test_cidp_mutations_in_table4_range(self, code, seed):
+        packet = _mutate(code, seed)
+        spec = COMMAND_SPECS[code]
+        for name in CIDP_FIELD_NAMES & set(packet.fields):
+            if spec.field(name).size == 2:
+                assert 0x0040 <= packet.fields[name] <= 0xFFFF

@@ -1,0 +1,52 @@
+"""Tests for the packet queue (Tx/Rx pump with trace capture)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionFailedError
+from repro.l2cap.constants import CommandCode, Psm
+from repro.l2cap.packets import connection_request, echo_request
+from repro.stack.vulnerabilities import RTKIT_PSM_SHUTDOWN
+
+from tests.conftest import make_rig
+
+
+class TestPacketQueue:
+    def test_exchange_traces_both_directions(self):
+        _, _, queue = make_rig()
+        responses = queue.exchange(echo_request(b"x"))
+        assert len(responses) == 1
+        assert queue.sniffer.transmitted_count() == 1
+        assert queue.sniffer.received_count() == 1
+
+    def test_identifiers_wrap_1_to_255(self):
+        _, _, queue = make_rig()
+        first = queue.take_identifier()
+        assert first == 1
+        for _ in range(253):
+            queue.take_identifier()
+        assert queue.take_identifier() == 255
+        assert queue.take_identifier() == 1
+
+    def test_send_charges_clock(self):
+        _, link, queue = make_rig(tx_cost=0.25)
+        queue.send(echo_request())
+        assert queue.clock.now == pytest.approx(0.25)
+
+    def test_failed_send_still_counted_as_transmitted(self):
+        """A packet that kills the target was still transmitted."""
+        device, _, queue = make_rig(
+            vulnerabilities=(RTKIT_PSM_SHUTDOWN,), armed=True
+        )
+        trigger = connection_request(psm=0x0300, scid=0x60)
+        with pytest.raises(Exception):
+            queue.send(trigger)
+        assert queue.sniffer.transmitted_count() == 1
+
+    def test_drain_decodes_responses(self):
+        _, _, queue = make_rig()
+        queue.send(connection_request(psm=Psm.SDP, scid=0x60))
+        responses = queue.drain()
+        assert responses[0].code == CommandCode.CONNECTION_RSP
+        assert queue.drain() == []

@@ -1,0 +1,90 @@
+"""Tests for campaign reporting (Table VI rows)."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import MutationEfficiency
+from repro.core.detection import Finding, VulnerabilityClass
+from repro.core.report import CampaignReport, format_elapsed
+from repro.l2cap.states import ChannelState
+
+
+def _efficiency():
+    return MutationEfficiency(
+        transmitted=100, malformed=70, received=80, rejections=26, elapsed_seconds=10.0
+    )
+
+
+def _finding(sim_time=85.0, vclass=VulnerabilityClass.DOS):
+    return Finding(
+        vulnerability_class=vclass,
+        error_message="Connection Failed",
+        state="WAIT_CONFIG",
+        trigger="CONFIGURATION_REQ(...)",
+        sim_time=sim_time,
+        ping_failed=True,
+    )
+
+
+def _report(findings=()):
+    return CampaignReport(
+        target_name="D2 (Pixel 3)",
+        findings=tuple(findings),
+        elapsed_seconds=120.0,
+        packets_sent=1000,
+        sweeps_completed=2,
+        efficiency=_efficiency(),
+        covered_states=frozenset({ChannelState.CLOSED, ChannelState.OPEN}),
+    )
+
+
+class TestFormatElapsed:
+    def test_seconds(self):
+        assert format_elapsed(40) == "40 s"
+
+    def test_minutes(self):
+        assert format_elapsed(92) == "1 m 32 s"
+
+    def test_hours(self):
+        assert format_elapsed(2 * 3600 + 40 * 60) == "2 h 40 m"
+
+    def test_negative_clamped(self):
+        assert format_elapsed(-5) == "0 s"
+
+
+class TestTable6Row:
+    def test_vulnerable_device_row(self):
+        row = _report([_finding()]).as_table6_row()
+        assert row == {
+            "device": "D2 (Pixel 3)",
+            "vuln": "Yes",
+            "description": "DoS",
+            "elapsed": "1 m 25 s",
+            "elapsed_seconds": 85.0,
+        }
+
+    def test_clean_device_row(self):
+        row = _report().as_table6_row()
+        assert row["vuln"] == "No"
+        assert row["description"] == "N/A"
+        assert row["elapsed"] == "N/A"
+
+    def test_crash_class_reported(self):
+        row = _report([_finding(vclass=VulnerabilityClass.CRASH)]).as_table6_row()
+        assert row["description"] == "Crash"
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self):
+        text = _report([_finding()]).summary()
+        assert "D2 (Pixel 3)" in text
+        assert "2/19" in text
+        assert "70.00%" in text
+        assert "Connection Failed" in text
+
+    def test_clean_summary(self):
+        assert "No vulnerability detected." in _report().summary()
+
+    def test_first_finding(self):
+        report = _report([_finding(10.0), _finding(20.0)])
+        assert report.first_finding.sim_time == 10.0
+        assert report.vulnerability_found

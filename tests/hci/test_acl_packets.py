@@ -1,0 +1,77 @@
+"""Tests for HCI ACL framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+from repro.hci.packets import (
+    ACL_HEADER_LEN,
+    AclPacket,
+    HCI_ACL_DATA_PKT,
+    MAX_CONNECTION_HANDLE,
+    PB_CONTINUATION,
+    PB_FIRST_FLUSHABLE,
+)
+
+
+class TestAclEncoding:
+    def test_wire_layout(self):
+        packet = AclPacket(handle=0x000B, payload=b"\x01\x02")
+        raw = packet.encode()
+        assert raw[0] == HCI_ACL_DATA_PKT
+        # handle 0x00B | PB=10 << 12 -> 0x200B little-endian
+        assert raw[1:3] == (0x200B).to_bytes(2, "little")
+        assert raw[3:5] == (2).to_bytes(2, "little")
+        assert raw[5:] == b"\x01\x02"
+
+    def test_round_trip(self):
+        packet = AclPacket(handle=0x0123, payload=b"hello", pb_flag=PB_CONTINUATION)
+        decoded = AclPacket.decode(packet.encode())
+        assert decoded == packet
+
+    def test_handle_out_of_range_raises(self):
+        with pytest.raises(PacketEncodeError):
+            AclPacket(handle=MAX_CONNECTION_HANDLE + 1, payload=b"").encode()
+
+    def test_bad_flags_raise(self):
+        with pytest.raises(PacketEncodeError):
+            AclPacket(handle=1, payload=b"", pb_flag=7).encode()
+
+    def test_oversized_payload_raises(self):
+        with pytest.raises(PacketEncodeError):
+            AclPacket(handle=1, payload=b"x" * 70_000).encode()
+
+
+class TestAclDecoding:
+    def test_too_short_raises(self):
+        with pytest.raises(PacketDecodeError):
+            AclPacket.decode(b"\x02\x0b")
+
+    def test_wrong_type_raises(self):
+        raw = AclPacket(handle=1, payload=b"x").encode()
+        with pytest.raises(PacketDecodeError):
+            AclPacket.decode(b"\x04" + raw[1:])
+
+    def test_length_mismatch_raises(self):
+        raw = bytearray(AclPacket(handle=1, payload=b"abcd").encode())
+        raw[3] = 9  # lie about the length
+        with pytest.raises(PacketDecodeError):
+            AclPacket.decode(bytes(raw))
+
+    def test_header_len_constant(self):
+        assert ACL_HEADER_LEN == 5
+
+
+class TestAclProperties:
+    @given(
+        st.integers(min_value=0, max_value=MAX_CONNECTION_HANDLE),
+        st.binary(max_size=256),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=200)
+    def test_round_trip_property(self, handle, payload, pb, bc):
+        packet = AclPacket(handle=handle, payload=payload, pb_flag=pb, bc_flag=bc)
+        assert AclPacket.decode(packet.encode()) == packet

@@ -1,0 +1,126 @@
+"""Tests for the F/D/MC/MA field taxonomy (paper Fig. 6 and Table IV)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.l2cap.constants import CommandCode, is_valid_psm
+from repro.l2cap.fields import (
+    CIDP_FIELD_NAMES,
+    FieldCategory,
+    MA_FIELD_NAMES,
+    MC_FIELD_NAMES,
+    abnormal_psm_values,
+    categorize_field,
+    commands_with_core_fields,
+    is_abnormal_psm,
+    is_normal_cidp,
+    mutable_application_fields,
+    mutable_core_fields,
+    random_abnormal_psm,
+    random_normal_cidp,
+)
+from repro.l2cap.packets import L2capPacket, connection_request
+
+
+class TestTaxonomy:
+    def test_mc_fields_match_figure6(self):
+        assert MC_FIELD_NAMES == {"psm", "scid", "dcid", "icid", "cont_id"}
+
+    def test_cidp_is_mc_minus_psm(self):
+        assert CIDP_FIELD_NAMES == MC_FIELD_NAMES - {"psm"}
+
+    @pytest.mark.parametrize("name", ["header_cid"])
+    def test_fixed_fields(self, name):
+        assert categorize_field(name) is FieldCategory.FIXED
+
+    @pytest.mark.parametrize("name", ["payload_len", "code", "identifier", "data_len"])
+    def test_dependent_fields(self, name):
+        assert categorize_field(name) is FieldCategory.DEPENDENT
+
+    @pytest.mark.parametrize("name", sorted(MC_FIELD_NAMES))
+    def test_mutable_core_fields(self, name):
+        assert categorize_field(name) is FieldCategory.MUTABLE_CORE
+
+    @pytest.mark.parametrize(
+        "name", ["reason", "result", "status", "flags", "mtu", "spsm", "qos"]
+    )
+    def test_mutable_application_fields(self, name):
+        assert categorize_field(name) is FieldCategory.MUTABLE_APPLICATION
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            categorize_field("bogus")
+
+    def test_ma_and_mc_disjoint(self):
+        assert not (MA_FIELD_NAMES & MC_FIELD_NAMES)
+
+    def test_packet_core_field_introspection(self):
+        packet = connection_request(psm=1, scid=0x40)
+        assert mutable_core_fields(packet) == ("psm", "scid")
+        assert mutable_application_fields(packet) == ()
+
+    def test_connection_rsp_has_ma_fields(self):
+        packet = L2capPacket(CommandCode.CONNECTION_RSP)
+        assert set(mutable_core_fields(packet)) == {"dcid", "scid"}
+        assert set(mutable_application_fields(packet)) == {"result", "status"}
+
+    def test_commands_with_core_fields_excludes_echo(self):
+        with_core = commands_with_core_fields()
+        assert CommandCode.ECHO_REQ not in with_core
+        assert CommandCode.CONNECTION_REQ in with_core
+        assert CommandCode.MOVE_CHANNEL_REQ in with_core
+
+
+class TestTable4Pools:
+    def test_abnormal_pool_contains_no_valid_psm(self):
+        pool = abnormal_psm_values()
+        sample = random.Random(0).sample(pool, 500)
+        assert all(not is_valid_psm(value) for value in sample)
+
+    def test_abnormal_pool_contains_all_even_values(self):
+        pool = set(abnormal_psm_values())
+        assert 0x0000 in pool
+        assert 0x0ABC in pool
+        assert 0xFFFE in pool
+
+    def test_is_abnormal_psm(self):
+        assert is_abnormal_psm(0x0100)
+        assert is_abnormal_psm(0x0044)
+        assert not is_abnormal_psm(0x0001)
+
+    def test_is_normal_cidp_bounds(self):
+        assert not is_normal_cidp(0x003F)
+        assert is_normal_cidp(0x0040)
+        assert is_normal_cidp(0xFFFF)
+        assert not is_normal_cidp(0x10000)
+
+
+class TestRandomDraws:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_random_abnormal_psm_never_valid(self, seed):
+        value = random_abnormal_psm(random.Random(seed))
+        assert not is_valid_psm(value)
+        assert 0 <= value <= 0xFFFF
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_random_cidp_in_normal_range(self, seed):
+        value = random_normal_cidp(random.Random(seed))
+        assert is_normal_cidp(value)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50)
+    def test_random_cidp_one_byte_fits(self, seed):
+        value = random_normal_cidp(random.Random(seed), field_size=1)
+        assert 0 <= value <= 0xFF
+
+    def test_both_abnormality_families_are_drawn(self):
+        rng = random.Random(42)
+        values = [random_abnormal_psm(rng) for _ in range(200)]
+        assert any(v % 2 == 0 for v in values)  # even family
+        assert any((v >> 8) & 1 for v in values)  # odd-MSB family

@@ -1,0 +1,99 @@
+"""Tests for the 19-state machine (paper Fig. 2 and Table II)."""
+
+from __future__ import annotations
+
+from repro.l2cap.constants import CommandCode
+from repro.l2cap.states import (
+    ACCEPTOR_REACHABLE_STATES,
+    ACCEPTOR_TRANSITIONS,
+    ALL_STATES,
+    CHANNEL_ALIVE_STATES,
+    CONFIGURATION_STATES,
+    ChannelState,
+    EventActionRow,
+    INITIATOR_ONLY_STATES,
+    WAIT_CONNECT_TABLE,
+    lookup_transition,
+    valid_events,
+)
+
+
+class TestStateInventory:
+    def test_there_are_19_states(self):
+        assert len(ALL_STATES) == 19
+
+    def test_initiator_only_states_are_6(self):
+        assert len(INITIATOR_ONLY_STATES) == 6
+
+    def test_acceptor_reachable_states_are_13(self):
+        """The paper's maximum master-side coverage (Fig. 10)."""
+        assert len(ACCEPTOR_REACHABLE_STATES) == 13
+
+    def test_partition_is_complete(self):
+        assert INITIATOR_ONLY_STATES | ACCEPTOR_REACHABLE_STATES == set(ALL_STATES)
+        assert not (INITIATOR_ONLY_STATES & ACCEPTOR_REACHABLE_STATES)
+
+    def test_configuration_cluster_has_8_states(self):
+        assert len(CONFIGURATION_STATES) == 8
+
+    def test_closed_is_the_only_dead_state(self):
+        assert set(ALL_STATES) - CHANNEL_ALIVE_STATES == {ChannelState.CLOSED}
+
+
+class TestTransitions:
+    def test_closed_accepts_connection_request(self):
+        transition = lookup_transition(ChannelState.CLOSED, CommandCode.CONNECTION_REQ)
+        assert transition is not None
+        assert transition.action == CommandCode.CONNECTION_RSP
+        assert transition.next_state is ChannelState.WAIT_CONFIG
+
+    def test_wait_connect_accepts_only_connection_request(self):
+        events = {
+            t.event for t in ACCEPTOR_TRANSITIONS[ChannelState.WAIT_CONNECT]
+        }
+        assert events == {CommandCode.CONNECTION_REQ}
+
+    def test_open_accepts_disconnect_and_move(self):
+        events = {t.event for t in ACCEPTOR_TRANSITIONS[ChannelState.OPEN]}
+        assert CommandCode.DISCONNECTION_REQ in events
+        assert CommandCode.MOVE_CHANNEL_REQ in events
+
+    def test_unknown_event_returns_none(self):
+        assert lookup_transition(ChannelState.WAIT_CONNECT, CommandCode.ECHO_RSP) is None
+
+    def test_echo_and_info_valid_everywhere(self):
+        for state in ACCEPTOR_TRANSITIONS:
+            events = valid_events(state)
+            assert CommandCode.ECHO_REQ in events
+            assert CommandCode.INFORMATION_REQ in events
+
+    def test_disconnect_possible_from_every_config_state_in_table(self):
+        for state in CONFIGURATION_STATES & set(ACCEPTOR_TRANSITIONS):
+            if state is ChannelState.WAIT_SEND_CONFIG:
+                continue  # engine-driven transient
+            events = {t.event for t in ACCEPTOR_TRANSITIONS[state]}
+            assert CommandCode.DISCONNECTION_REQ in events or state not in (
+                ChannelState.WAIT_CONFIG,
+            )
+
+
+class TestTable2:
+    def test_table2_has_eleven_rows(self):
+        assert len(WAIT_CONNECT_TABLE) == 11
+
+    def test_only_connect_req_transitions(self):
+        transitioning = [row for row in WAIT_CONNECT_TABLE if row.transitions_to]
+        assert len(transitioning) == 1
+        row = transitioning[0]
+        assert row.event == CommandCode.CONNECTION_REQ
+        assert row.transitions_to is ChannelState.WAIT_CONFIG
+        assert row.action == "Connect Rsp"
+
+    def test_everything_else_rejected(self):
+        for row in WAIT_CONNECT_TABLE:
+            if row.event != CommandCode.CONNECTION_REQ:
+                assert row.action == "Reject"
+                assert row.transitions_to is None
+
+    def test_rows_are_event_action_rows(self):
+        assert all(isinstance(row, EventActionRow) for row in WAIT_CONNECT_TABLE)

@@ -1,0 +1,153 @@
+"""Tests for the RFCOMM mux and the transferred fuzzing methodology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet_queue import PacketQueue
+from repro.hci.transport import VirtualLink
+from repro.l2cap.constants import CommandCode, ConnectionResult, Psm
+from repro.l2cap.packets import connection_request
+from repro.rfcomm.constants import CONTROL_DLCI, FrameType
+from repro.rfcomm.frames import RfcommFrame, disc, sabm, uih
+from repro.rfcomm.fuzzer import RfcommFuzzer
+from repro.rfcomm.mux import DlciState, RfcommMux
+from repro.stack.device import DeviceMeta, VirtualDevice
+from repro.stack.services import ServiceDirectory, ServiceRecord
+from repro.stack.vendors import BLUEDROID
+
+
+class TestMux:
+    def test_control_channel_connects(self):
+        mux = RfcommMux()
+        response = RfcommFrame.decode(mux.handle_payload(sabm(CONTROL_DLCI).encode()))
+        assert response.frame_type == FrameType.UA
+        assert mux.dlci_state(CONTROL_DLCI) is DlciState.CONNECTED
+
+    def test_data_dlci_requires_control_first(self):
+        mux = RfcommMux(server_channels=(1,))
+        response = RfcommFrame.decode(mux.handle_payload(sabm(3).encode()))
+        assert response.frame_type == FrameType.DM
+
+    def test_data_dlci_connects_after_control(self):
+        mux = RfcommMux(server_channels=(1,))
+        mux.handle_payload(sabm(CONTROL_DLCI).encode())
+        response = RfcommFrame.decode(mux.handle_payload(sabm(3).encode()))
+        assert response.frame_type == FrameType.UA
+
+    def test_unknown_dlci_rejected_with_dm(self):
+        mux = RfcommMux(server_channels=(1,))
+        mux.handle_payload(sabm(CONTROL_DLCI).encode())
+        response = RfcommFrame.decode(mux.handle_payload(sabm(40).encode()))
+        assert response.frame_type == FrameType.DM
+
+    def test_uih_echoes_on_connected_dlci(self):
+        mux = RfcommMux(server_channels=(1,))
+        mux.handle_payload(sabm(CONTROL_DLCI).encode())
+        mux.handle_payload(sabm(3).encode())
+        response = RfcommFrame.decode(mux.handle_payload(uih(3, b"hi").encode()))
+        assert response.frame_type == FrameType.UIH
+        assert response.payload == b"hi"
+
+    def test_uih_to_disconnected_dlci_gets_dm(self):
+        mux = RfcommMux(server_channels=(1,))
+        response = RfcommFrame.decode(mux.handle_payload(uih(3, b"hi").encode()))
+        assert response.frame_type == FrameType.DM
+
+    def test_disc_closes(self):
+        mux = RfcommMux(server_channels=(1,))
+        mux.handle_payload(sabm(CONTROL_DLCI).encode())
+        mux.handle_payload(sabm(3).encode())
+        response = RfcommFrame.decode(mux.handle_payload(disc(3).encode()))
+        assert response.frame_type == FrameType.UA
+        assert mux.dlci_state(3) is DlciState.DISCONNECTED
+
+    def test_bad_fcs_frame_dropped(self):
+        mux = RfcommMux()
+        raw = bytearray(sabm(CONTROL_DLCI).encode())
+        raw[-1] ^= 0xFF
+        assert mux.handle_payload(bytes(raw)) == b""
+        assert mux.frames_rejected == 1
+
+
+def _rfcomm_device(vulnerable=False):
+    """A device exposing RFCOMM without pairing (earbud in pairing mode)."""
+    mux = RfcommMux(server_channels=(1,), vulnerable=vulnerable)
+    services = ServiceDirectory(
+        [
+            ServiceRecord(Psm.SDP, "SDP"),
+            ServiceRecord(Psm.RFCOMM, "Serial Port"),
+        ]
+    )
+    device = VirtualDevice(
+        meta=DeviceMeta("AA:BB:CC:00:00:10", "rfcomm-target", "earphone"),
+        personality=BLUEDROID,
+        services=services,
+    )
+    device.engine.data_handlers[Psm.RFCOMM] = mux.handle_payload
+    link = VirtualLink(clock=device.clock)
+    device.attach_to(link)
+    queue = PacketQueue(link)
+    return device, mux, queue
+
+
+def _open_rfcomm_channel(queue):
+    responses = queue.exchange(connection_request(psm=Psm.RFCOMM, scid=0x0090))
+    rsp = next(r for r in responses if r.code == CommandCode.CONNECTION_RSP)
+    assert rsp.fields["result"] == ConnectionResult.SUCCESS
+    return 0x0090, rsp.fields["dcid"]
+
+
+class TestRfcommFuzzer:
+    def test_state_guiding_opens_channels(self):
+        device, mux, queue = _rfcomm_device()
+        our_cid, target_cid = _open_rfcomm_channel(queue)
+        fuzzer = RfcommFuzzer(queue, our_cid, target_cid)
+        assert fuzzer.open_control_channel()
+        assert fuzzer.open_data_dlci(3)
+        assert mux.dlci_state(3) is DlciState.CONNECTED
+
+    def test_mutated_frames_parse_and_classify(self):
+        device, mux, queue = _rfcomm_device()
+        our_cid, target_cid = _open_rfcomm_channel(queue)
+        fuzzer = RfcommFuzzer(queue, our_cid, target_cid)
+        report = fuzzer.run(per_type=5)
+        assert report.frames_sent >= 20
+        assert report.rejected > 0  # DMs for unopened DLCIs
+        assert not report.crashed
+
+    def test_vulnerable_mux_crashes_under_fuzzing(self):
+        """The §V thesis: the same technique finds RFCOMM bugs."""
+        device, mux, queue = _rfcomm_device(vulnerable=True)
+        our_cid, target_cid = _open_rfcomm_channel(queue)
+        fuzzer = RfcommFuzzer(queue, our_cid, target_cid, seed=7)
+        report = fuzzer.run(per_type=8)
+        assert report.crashed
+        assert not device.is_alive
+        assert device.crash.vulnerability_id == "rfcomm-uih-overflow"
+        assert device.crash_dumps  # tombstone recovered
+
+    def test_valid_frames_never_trigger_the_bug(self):
+        device, mux, queue = _rfcomm_device(vulnerable=True)
+        our_cid, target_cid = _open_rfcomm_channel(queue)
+        fuzzer = RfcommFuzzer(queue, our_cid, target_cid)
+        assert fuzzer.open_control_channel()
+        assert fuzzer.open_data_dlci(3)
+        # Clean UIH data (no garbage) is harmless.
+        from repro.l2cap.packets import L2capPacket
+
+        packet = L2capPacket(
+            code=0, identifier=0, header_cid=target_cid,
+            tail=uih(3, b"clean").encode(), fill_defaults=False,
+        )
+        queue.exchange(packet)
+        assert device.is_alive
+
+    def test_fuzzer_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            device, mux, queue = _rfcomm_device()
+            our_cid, target_cid = _open_rfcomm_channel(queue)
+            report = RfcommFuzzer(queue, our_cid, target_cid, seed=42).run()
+            results.append((report.frames_sent, report.accepted, report.rejected))
+        assert results[0] == results[1]

@@ -1,0 +1,41 @@
+"""Helpers for driving a HostStackEngine directly in tests."""
+
+from __future__ import annotations
+
+from repro.hci.transport import SimClock
+from repro.l2cap.constants import CommandCode, ConnectionResult, Psm
+from repro.l2cap.packets import connection_request
+from repro.stack.engine import HostStackEngine
+from repro.stack.services import ServiceDirectory, ServiceRecord
+from repro.stack.vendors import BLUEDROID, VendorPersonality
+
+
+def make_engine(
+    personality: VendorPersonality = BLUEDROID,
+    vulnerabilities: tuple = (),
+    armed: bool = True,
+    initiating_sdp: bool = False,
+) -> HostStackEngine:
+    """Engine with SDP (open) + AVDTP (open, initiating) + RFCOMM (paired)."""
+    services = ServiceDirectory(
+        [
+            ServiceRecord(Psm.SDP, "SDP", initiates_config=initiating_sdp),
+            ServiceRecord(Psm.AVDTP, "AVDTP", initiates_config=True),
+            ServiceRecord(Psm.RFCOMM, "RFCOMM", requires_pairing=True),
+        ]
+    )
+    return HostStackEngine(
+        personality,
+        services,
+        clock=SimClock(),
+        vulnerabilities=vulnerabilities,
+        armed=armed,
+    )
+
+
+def open_channel(engine: HostStackEngine, psm: int = Psm.SDP, scid: int = 0x0060):
+    """Connect and return (target_cid, responses)."""
+    responses = engine.handle_l2cap(connection_request(psm=psm, scid=scid))
+    rsp = next(r for r in responses if r.code == CommandCode.CONNECTION_RSP)
+    assert rsp.fields["result"] == ConnectionResult.SUCCESS
+    return rsp.fields["dcid"], responses

@@ -1,0 +1,74 @@
+"""Tests for crash artefacts (paper Fig. 12)."""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ConnectionFailedError,
+    ConnectionResetTargetError,
+    TargetTimeoutError,
+)
+from repro.stack.crash import CrashKind, CrashReport, DumpKind
+
+
+def _report(**overrides):
+    defaults = dict(
+        vulnerability_id="bluedroid-cidp-null-deref",
+        kind=CrashKind.DOS,
+        dump_kind=DumpKind.TOMBSTONE,
+        summary="null pointer dereference",
+        function="l2c_csm_execute(t_l2c_ccb*, unsigned short, void*)",
+        fault_address=0x20,
+        trigger_description="CONFIGURATION_REQ(dcid=0x0040)",
+        sim_time=85.0,
+    )
+    defaults.update(overrides)
+    return CrashReport(**defaults)
+
+
+class TestErrorMapping:
+    def test_dos_maps_to_connection_failed(self):
+        assert _report().transport_error is ConnectionFailedError
+
+    def test_crash_maps_to_connection_reset(self):
+        report = _report(kind=CrashKind.CRASH)
+        assert report.transport_error is ConnectionResetTargetError
+
+    def test_silent_crash_maps_to_timeout(self):
+        report = _report(kind=CrashKind.CRASH, silent=True)
+        assert report.transport_error is TargetTimeoutError
+
+
+class TestDumps:
+    def test_tombstone_mirrors_figure12(self):
+        dump = _report().render_dump(build="google/blueline/blueline:11")
+        assert "signal 11 (SIGSEGV)" in dump
+        assert "fault addr 0x20" in dump
+        assert "null pointer dereference" in dump
+        assert "l2c_csm_execute" in dump
+        assert "com.android.bluetooth" in dump
+        assert "google/blueline/blueline:11" in dump
+
+    def test_tombstone_records_the_trigger(self):
+        dump = _report().render_dump()
+        assert "CONFIGURATION_REQ(dcid=0x0040)" in dump
+
+    def test_kernel_oops_for_bluez(self):
+        report = _report(
+            kind=CrashKind.CRASH,
+            dump_kind=DumpKind.KERNEL_OOPS,
+            summary="general protection fault",
+            function="l2cap_disconnect_req",
+        )
+        dump = report.render_dump(device_name="gram")
+        assert "general protection fault" in dump
+        assert "l2cap_disconnect_req" in dump
+        assert "gram kernel:" in dump
+
+    def test_silent_devices_leave_no_dump(self):
+        report = _report(dump_kind=DumpKind.NONE)
+        assert not report.leaves_dump
+        assert report.render_dump() == ""
+
+    def test_tombstone_and_oops_leave_dumps(self):
+        assert _report().leaves_dump
+        assert _report(dump_kind=DumpKind.KERNEL_OOPS).leaves_dump

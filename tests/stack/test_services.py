@@ -1,0 +1,74 @@
+"""Tests for service records and the SDP-style directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.l2cap.constants import Psm
+from repro.stack.services import ServiceDirectory, ServiceRecord, standard_services
+
+
+class TestServiceRecord:
+    def test_invalid_psm_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceRecord(0x0100, "bogus")
+
+    def test_defaults(self):
+        record = ServiceRecord(Psm.SDP, "SDP")
+        assert not record.requires_pairing
+        assert not record.initiates_config
+
+
+class TestServiceDirectory:
+    def test_register_and_lookup(self):
+        directory = ServiceDirectory([ServiceRecord(Psm.SDP, "SDP")])
+        assert directory.lookup(Psm.SDP).name == "SDP"
+        assert directory.lookup(Psm.RFCOMM) is None
+        assert directory.supports(Psm.SDP)
+
+    def test_duplicate_psm_rejected(self):
+        directory = ServiceDirectory([ServiceRecord(Psm.SDP, "SDP")])
+        with pytest.raises(ServiceError):
+            directory.register(ServiceRecord(Psm.SDP, "SDP again"))
+
+    def test_records_sorted_by_psm(self):
+        directory = ServiceDirectory(
+            [
+                ServiceRecord(Psm.AVDTP, "AVDTP"),
+                ServiceRecord(Psm.SDP, "SDP"),
+            ]
+        )
+        assert [r.psm for r in directory.all_records()] == [Psm.SDP, Psm.AVDTP]
+
+    def test_open_psms_excludes_paired(self):
+        directory = ServiceDirectory(
+            [
+                ServiceRecord(Psm.SDP, "SDP"),
+                ServiceRecord(Psm.RFCOMM, "RFCOMM", requires_pairing=True),
+            ]
+        )
+        assert directory.open_psms() == (Psm.SDP,)
+
+    def test_len(self):
+        assert len(ServiceDirectory()) == 0
+
+
+class TestStandardServices:
+    def test_sdp_is_always_pairing_free(self):
+        directory = standard_services()
+        assert not directory.lookup(Psm.SDP).requires_pairing
+
+    def test_most_services_require_pairing(self):
+        directory = standard_services()
+        assert directory.lookup(Psm.RFCOMM).requires_pairing
+        assert directory.lookup(Psm.AVDTP).requires_pairing
+
+    def test_pairing_free_override(self):
+        directory = standard_services(pairing_free=(Psm.SDP, Psm.AVDTP))
+        assert not directory.lookup(Psm.AVDTP).requires_pairing
+
+    def test_extra_records(self):
+        extra = (ServiceRecord(Psm.BNEP, "BNEP"),)
+        directory = standard_services(extra=extra)
+        assert directory.supports(Psm.BNEP)

@@ -1,0 +1,196 @@
+"""Tests for the injected bug models (the five paper zero-days)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.l2cap.constants import CommandCode
+from repro.l2cap.jobs import Job
+from repro.l2cap.packets import (
+    L2capPacket,
+    configuration_request,
+    connection_request,
+    create_channel_request,
+    disconnection_request,
+)
+from repro.l2cap.states import ChannelState
+from repro.stack.crash import CrashKind
+from repro.stack.vulnerabilities import (
+    BLUEDROID_CIDP_NULL_DEREF,
+    BLUEDROID_CREATE_CHANNEL_DOS,
+    BLUEZ_GPF,
+    KNOWN_VULNERABILITIES,
+    RTKIT_PSM_SHUTDOWN,
+    TriggerContext,
+)
+
+
+def _context(
+    packet,
+    state=ChannelState.WAIT_CONFIG,
+    job=Job.CONFIGURATION,
+    allocated=frozenset(),
+    live_states=frozenset(),
+):
+    return TriggerContext(
+        packet=packet,
+        state=state,
+        job=job,
+        allocated_cids=allocated,
+        live_states=live_states,
+    )
+
+
+class TestCidpNullDeref:
+    """D1/D2: the paper's §IV.E case study."""
+
+    def _trigger_packet(self):
+        packet = configuration_request(dcid=0x0040)
+        packet.garbage = bytes.fromhex("D23A910E")
+        return packet
+
+    def test_fires_in_configuration_job(self):
+        assert BLUEDROID_CIDP_NULL_DEREF.check(_context(self._trigger_packet()))
+
+    def test_fires_in_open_state(self):
+        context = _context(
+            self._trigger_packet(), state=ChannelState.OPEN, job=Job.OPEN
+        )
+        assert BLUEDROID_CIDP_NULL_DEREF.check(context)
+
+    def test_requires_garbage(self):
+        packet = configuration_request(dcid=0x0040)
+        assert not BLUEDROID_CIDP_NULL_DEREF.check(_context(packet))
+
+    def test_requires_unallocated_dcid(self):
+        packet = self._trigger_packet()
+        context = _context(packet, allocated=frozenset({0x0040}))
+        assert not BLUEDROID_CIDP_NULL_DEREF.check(context)
+
+    def test_does_not_fire_outside_config(self):
+        context = _context(
+            self._trigger_packet(), state=ChannelState.CLOSED, job=Job.CLOSED
+        )
+        assert not BLUEDROID_CIDP_NULL_DEREF.check(context)
+
+    def test_wrong_command_does_not_fire(self):
+        packet = connection_request(psm=1, scid=0x40)
+        packet.garbage = b"\x01"
+        assert not BLUEDROID_CIDP_NULL_DEREF.check(_context(packet))
+
+    def test_fire_produces_dos_tombstone(self):
+        context = _context(self._trigger_packet())
+        crash = BLUEDROID_CIDP_NULL_DEREF.fire(context, sim_time=85.0)
+        assert crash.kind is CrashKind.DOS
+        assert crash.fault_address == 0x20
+        assert "l2c_csm_execute" in crash.function
+        assert crash.sim_time == 85.0
+
+
+class TestCreateChannelDos:
+    """D3: Wait-Create DoS via malformed Create Channel Request."""
+
+    def _trigger_packet(self, cont_id=5, scid=0x0040):
+        packet = create_channel_request(psm=1, scid=scid, cont_id=cont_id)
+        packet.garbage = b"\xff\xff"
+        return packet
+
+    def test_fires_during_creation_with_pending_channel(self):
+        context = _context(
+            self._trigger_packet(),
+            state=ChannelState.WAIT_CREATE,
+            job=Job.CREATION,
+            live_states=frozenset({ChannelState.WAIT_CONFIG}),
+        )
+        assert BLUEDROID_CREATE_CHANNEL_DOS.check(context)
+
+    def test_needs_a_half_created_channel(self):
+        context = _context(
+            self._trigger_packet(), state=ChannelState.WAIT_CREATE, job=Job.CREATION
+        )
+        assert not BLUEDROID_CREATE_CHANNEL_DOS.check(context)
+
+    def test_needs_bogus_controller(self):
+        context = _context(
+            self._trigger_packet(cont_id=0),
+            live_states=frozenset({ChannelState.WAIT_CONFIG}),
+        )
+        assert not BLUEDROID_CREATE_CHANNEL_DOS.check(context)
+
+    def test_needs_aligned_scid(self):
+        context = _context(
+            self._trigger_packet(scid=0x0041),
+            live_states=frozenset({ChannelState.WAIT_CONFIG}),
+        )
+        assert not BLUEDROID_CREATE_CHANNEL_DOS.check(context)
+
+
+class TestRtkitPsmShutdown:
+    """D5: abnormal-PSM crash, silent death."""
+
+    def test_fires_on_odd_msb_psm(self):
+        packet = connection_request(psm=0x0300, scid=0x40)
+        assert RTKIT_PSM_SHUTDOWN.check(_context(packet, job=Job.CLOSED))
+
+    def test_even_abnormal_psm_does_not_fire(self):
+        packet = connection_request(psm=0x0044, scid=0x40)
+        assert not RTKIT_PSM_SHUTDOWN.check(_context(packet))
+
+    def test_valid_psm_does_not_fire(self):
+        packet = connection_request(psm=0x0001, scid=0x40)
+        assert not RTKIT_PSM_SHUTDOWN.check(_context(packet))
+
+    def test_create_channel_also_vulnerable(self):
+        packet = create_channel_request(psm=0x0500, scid=0x40)
+        assert RTKIT_PSM_SHUTDOWN.check(_context(packet))
+
+    def test_crash_is_silent(self):
+        packet = connection_request(psm=0x0300, scid=0x40)
+        crash = RTKIT_PSM_SHUTDOWN.fire(_context(packet), sim_time=40.0)
+        assert crash.silent
+        assert not crash.leaves_dump
+
+
+class TestBluezGpf:
+    """D8: rare general protection fault (2h40m-class discovery time)."""
+
+    def _aligned_dcid(self):
+        for dcid in range(0x0040, 0x10000):
+            if (dcid * 0x9E37) % 0xFFFF < 22:
+                return dcid
+        pytest.fail("no aligned dcid found")
+
+    def test_fires_only_in_narrow_window(self):
+        dcid = self._aligned_dcid()
+        packet = disconnection_request(dcid=dcid, scid=0x9999)
+        packet.garbage = b"\x00"
+        assert BLUEZ_GPF.check(_context(packet))
+
+    def test_unaligned_dcid_does_not_fire(self):
+        packet = disconnection_request(dcid=0x0041, scid=0x9999)
+        packet.garbage = b"\x00"
+        if (0x0041 * 0x9E37) % 0xFFFF < 22:
+            pytest.skip("0x41 happens to be aligned")
+        assert not BLUEZ_GPF.check(_context(packet))
+
+    def test_requires_both_cids_unallocated(self):
+        dcid = self._aligned_dcid()
+        packet = disconnection_request(dcid=dcid, scid=0x9999)
+        packet.garbage = b"\x00"
+        context = _context(packet, allocated=frozenset({dcid}))
+        assert not BLUEZ_GPF.check(context)
+
+    def test_window_is_rare(self):
+        hits = sum(
+            1 for dcid in range(0x0040, 0x10000) if (dcid * 0x9E37) % 0xFFFF < 22
+        )
+        assert hits < 0x10000 / 2000  # rarer than 1 in 2000
+
+
+class TestRegistry:
+    def test_four_bug_models_registered(self):
+        assert len(KNOWN_VULNERABILITIES) == 4
+
+    def test_ids_match_keys(self):
+        for key, model in KNOWN_VULNERABILITIES.items():
+            assert key == model.vulnerability_id

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDevices:
+    def test_lists_eight_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for device_id in ("D1", "D2", "D8"):
+            assert device_id in out
+        assert "bluedroid-cidp-null-deref" in out
+
+
+class TestScan:
+    def test_scan_prints_ports(self, capsys):
+        assert main(["scan", "D2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pixel 3" in out
+        assert "0x0001" in out
+        assert "open (no pairing)" in out
+
+    def test_scan_is_case_insensitive(self, capsys):
+        assert main(["scan", "d5"]) == 0
+        assert "Airpods" in capsys.readouterr().out
+
+    def test_unknown_device_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "D99"])
+
+
+class TestFuzz:
+    def test_armed_fuzz_finds_d2_bug(self, capsys):
+        assert main(["fuzz", "D2", "--budget", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "DoS" in out
+        assert "WAIT_CONFIG" in out
+
+    def test_disarmed_fuzz_returns_zero(self, capsys):
+        assert main(["fuzz", "D2", "--budget", "1000", "--disarm"]) == 0
+        out = capsys.readouterr().out
+        assert "No vulnerability detected." in out
+
+    def test_clean_device_returns_one(self, capsys):
+        assert main(["fuzz", "D4", "--budget", "1500"]) == 1
+
+    def test_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "d2.jsonl"
+        assert (
+            main(["fuzz", "D2", "--budget", "800", "--disarm",
+                  "--save-trace", str(path)])
+            == 0
+        )
+        assert path.exists()
+        assert len(path.read_text().splitlines()) > 800
+
+    def test_show_log(self, capsys):
+        main(["fuzz", "D2", "--budget", "300", "--disarm", "--show-log"])
+        out = capsys.readouterr().out
+        assert '"phase": "scan"' in out
+
+
+class TestCompare:
+    def test_compare_prints_table7_shape(self, capsys):
+        assert main(["compare", "--budget", "4000"]) == 0
+        out = capsys.readouterr().out
+        for name in ("L2Fuzz", "Defensics", "BFuzz", "BSS"):
+            assert name in out
+        assert "/19" in out

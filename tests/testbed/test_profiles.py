@@ -1,0 +1,103 @@
+"""Tests for the Table V device profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.l2cap.constants import Psm
+from repro.testbed.profiles import (
+    ALL_PROFILES,
+    D2,
+    D5,
+    D8,
+    PROFILES_BY_ID,
+    table5_rows,
+)
+
+
+class TestTable5:
+    def test_eight_devices(self):
+        assert len(ALL_PROFILES) == 8
+        assert list(PROFILES_BY_ID) == [f"D{i}" for i in range(1, 9)]
+
+    def test_rows_carry_table5_columns(self):
+        rows = table5_rows()
+        assert len(rows) == 8
+        for row in rows:
+            for column in ("no", "type", "vendor", "name", "year", "model",
+                           "chip", "os_or_fw", "bt_stack", "bt_version"):
+                assert column in row
+
+    def test_d2_is_the_reference_pixel3(self):
+        assert D2.name == "Pixel 3"
+        assert D2.bt_stack == "BlueDroid"
+        assert D2.os_or_fw == "Android 11.0.1"
+
+    def test_stack_families_match_paper(self):
+        stacks = {p.device_id: p.bt_stack for p in ALL_PROFILES}
+        assert stacks == {
+            "D1": "BlueDroid",
+            "D2": "BlueDroid",
+            "D3": "BlueDroid",
+            "D4": "iOS stack",
+            "D5": "RTKit stack",
+            "D6": "BTW",
+            "D7": "Windows stack",
+            "D8": "BlueZ",
+        }
+
+    def test_d5_has_six_service_ports(self):
+        """Paper §IV.B: D5 supports six service ports."""
+        assert len(D5.services) == 6
+
+    def test_d8_has_thirteen_service_ports(self):
+        """Paper §IV.B: D8 supports thirteen service ports."""
+        assert len(D8.services) == 13
+
+    def test_every_device_offers_pairing_free_sdp(self):
+        for profile in ALL_PROFILES:
+            sdp = next(s for s in profile.services if s.psm == Psm.SDP)
+            assert not sdp.requires_pairing
+
+    def test_unique_mac_addresses(self):
+        macs = {p.mac_address for p in ALL_PROFILES}
+        assert len(macs) == 8
+
+
+class TestVulnerabilityAssignment:
+    def test_vulnerable_devices_match_table6(self):
+        vulnerable = {
+            p.device_id for p in ALL_PROFILES if p.vulnerabilities
+        }
+        assert vulnerable == {"D1", "D2", "D3", "D5", "D8"}
+
+    def test_hardened_stacks_reject_garbage(self):
+        for device_id in ("D4", "D6", "D7"):
+            profile = PROFILES_BY_ID[device_id]
+            assert profile.personality.rejects_garbage_tail
+
+    def test_vulnerable_stacks_parse_garbage(self):
+        for device_id in ("D1", "D2", "D3", "D5", "D8"):
+            profile = PROFILES_BY_ID[device_id]
+            assert not profile.personality.rejects_garbage_tail
+
+    def test_d3_lacks_the_config_quirk(self):
+        """Samsung's fork closed the D1/D2 path; its bug is elsewhere."""
+        assert not PROFILES_BY_ID["D3"].personality.accepts_unallocated_cidp
+        assert PROFILES_BY_ID["D1"].personality.accepts_unallocated_cidp
+
+
+class TestBuild:
+    def test_build_produces_wired_device(self):
+        device = D2.build()
+        assert device.meta.name == "Pixel 3"
+        assert device.is_alive
+
+    def test_zero_latency_strips_response_latency(self):
+        device = D2.build(zero_latency=True)
+        assert device.personality.response_latency == 0.0
+        assert D2.personality.response_latency > 0.0  # profile untouched
+
+    def test_disarmed_build(self):
+        device = D2.build(armed=False)
+        assert not device.engine.armed

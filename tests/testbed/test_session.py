@@ -1,0 +1,56 @@
+"""Tests for fuzzing sessions against testbed profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import D2, D4
+from repro.testbed.session import FuzzSession, L2FUZZ_PPS, run_campaign
+
+
+class TestFuzzSession:
+    def test_session_wires_everything(self):
+        session = FuzzSession(D2, FuzzConfig(max_packets=200), armed=False)
+        report = session.run()
+        assert report.target_name == "D2 (Pixel 3)"
+        assert report.packets_sent >= 200
+
+    def test_armed_d2_finds_the_dos(self):
+        report = run_campaign(D2, FuzzConfig(max_packets=50_000))
+        assert report.vulnerability_found
+        assert report.as_table6_row()["description"] == "DoS"
+
+    def test_disarmed_d2_runs_to_budget(self):
+        report = run_campaign(D2, FuzzConfig(max_packets=1000), armed=False)
+        assert not report.vulnerability_found
+        assert report.packets_sent >= 1000
+
+    def test_hardened_d4_survives(self):
+        report = run_campaign(D4, FuzzConfig(max_packets=2000))
+        assert not report.vulnerability_found
+
+    def test_zero_latency_throughput_matches_pps_model(self):
+        report = run_campaign(
+            D2, FuzzConfig(max_packets=1000), armed=False, zero_latency=True
+        )
+        assert report.efficiency.packets_per_second == pytest.approx(
+            L2FUZZ_PPS, rel=1e-6
+        )
+
+    def test_device_latency_slows_detection_clock(self):
+        fast = run_campaign(
+            D2, FuzzConfig(max_packets=300), armed=False, zero_latency=True
+        )
+        slow = run_campaign(
+            D2, FuzzConfig(max_packets=300), armed=False, zero_latency=False
+        )
+        assert slow.elapsed_seconds > fast.elapsed_seconds
+
+    def test_auto_reset_session_collects_repeat_findings(self):
+        session = FuzzSession(
+            D2, FuzzConfig(max_packets=2000), armed=True, auto_reset=True
+        )
+        report = session.run()
+        assert len(report.findings) >= 2
+        assert session.device.reset_count >= 2
