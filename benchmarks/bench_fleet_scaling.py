@@ -1,0 +1,82 @@
+"""Fleet scaling: campaigns per second vs. worker-pool size.
+
+A fleet campaign occupies one worker (one fuzzing dongle, in the
+paper's physical setup) for its simulated duration, so fleet throughput
+is governed by the makespan of the campaign schedule over the pool.
+This benchmark runs the same 4-profile × 2-strategy fleet on 1 and on 4
+workers and reports campaigns/sec in simulated time — the wall-clock
+dispatch time is also printed, but the asserted scaling is the
+simulated schedule, which is deterministic and host-independent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import FuzzConfig
+from repro.core.fleet import FleetOrchestrator
+from repro.testbed.profiles import ALL_PROFILES
+
+from benchmarks.bench_helpers import print_table, run_once
+
+BUDGET = 3_000
+FLEET_SEED = 7
+STRATEGIES = ("breadth_first", "targeted")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _run_fleet(workers: int):
+    orchestrator = FleetOrchestrator(
+        profiles=ALL_PROFILES[:4],
+        strategies=STRATEGIES,
+        fleet_seed=FLEET_SEED,
+        workers=workers,
+        base_config=FuzzConfig(max_packets=BUDGET),
+    )
+    started = time.perf_counter()
+    report = orchestrator.run()
+    return report, time.perf_counter() - started
+
+
+def bench_fleet_scaling(benchmark):
+    def measure_all():
+        return {workers: _run_fleet(workers) for workers in WORKER_COUNTS}
+
+    results = run_once(benchmark, measure_all)
+    rows = []
+    for workers, (report, wall) in results.items():
+        rows.append(
+            {
+                "workers": workers,
+                "campaigns": len(report.campaigns),
+                "makespan_sim_s": round(report.simulated_makespan_seconds, 2),
+                "campaigns_per_sim_s": round(
+                    report.campaigns_per_simulated_second, 6
+                ),
+                "dispatch_wall_s": round(wall, 2),
+            }
+        )
+    print_table("Fleet scaling — campaigns/sec vs workers", rows)
+
+    single = results[1][0]
+    quad = results[4][0]
+    # Worker count must not change what the fleet finds or covers —
+    # only the schedule-dependent summary fields may differ.
+    schedule_keys = (
+        "workers",
+        "simulated_makespan_seconds",
+        "campaigns_per_simulated_second",
+    )
+    single_dict = single.to_dict()
+    quad_dict = quad.to_dict()
+    for key in schedule_keys:
+        single_dict.pop(key)
+        quad_dict.pop(key)
+    assert single_dict == quad_dict
+
+    speedup = (
+        quad.campaigns_per_simulated_second
+        / single.campaigns_per_simulated_second
+    )
+    print(f"\n1 -> 4 workers: {speedup:.2f}x campaigns/sec")
+    assert speedup > 1.5

@@ -5,6 +5,7 @@ Commands:
 * ``devices`` — list the Table V testbed profiles.
 * ``scan D2`` — run the target-scanning phase against one profile.
 * ``fuzz D2`` — run a full campaign (``--disarm`` for ratio mode).
+* ``fleet`` — run a profile × strategy fleet and merge the reports.
 * ``compare`` — run the four-fuzzer comparison (Table VII, Fig. 10).
 * ``survey`` — run Table VI across all eight devices.
 """
@@ -18,9 +19,12 @@ from repro.analysis.comparison import figure10_bars, run_comparison, table7_rows
 from repro.analysis.state_coverage import coverage_report
 from repro.analysis.traceio import save_trace
 from repro.core.config import FuzzConfig
+from repro.core.fleet import FleetOrchestrator
 from repro.core.packet_queue import PacketQueue
+from repro.core.strategies import STRATEGY_NAMES, make_strategy
 from repro.core.target_scanning import TargetScanner
 from repro.hci.transport import VirtualLink
+from repro.l2cap.states import ChannelState
 from repro.testbed.profiles import ALL_PROFILES, PROFILES_BY_ID
 from repro.testbed.session import FuzzSession
 
@@ -89,6 +93,58 @@ def cmd_fuzz(args) -> int:
     return 0 if (args.disarm or report.vulnerability_found) else 1
 
 
+def _fleet_profiles(spec: str):
+    """Resolve ``--profiles``: a count ("4") or id list ("D1,D5")."""
+    if spec.isdigit():
+        count = int(spec)
+        if not 1 <= count <= len(ALL_PROFILES):
+            raise SystemExit(
+                f"--profiles count must be 1..{len(ALL_PROFILES)}, got {count}"
+            )
+        return ALL_PROFILES[:count]
+    return tuple(_profile(device_id) for device_id in spec.split(","))
+
+
+def cmd_fleet(args) -> int:
+    """Run a profile × strategy fleet and print the merged report."""
+    profiles = _fleet_profiles(args.profiles)
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.budget < 1:
+        raise SystemExit("--budget must be >= 1")
+    try:
+        target_state = ChannelState(args.target_state.upper())
+    except ValueError:
+        raise SystemExit(f"unknown target state {args.target_state!r}") from None
+    strategies = args.strategies.split(",")
+    try:
+        # Validate eagerly so unknown names and unroutable targets fail
+        # with a clean message instead of mid-campaign. The orchestrator
+        # gets the *names*, keeping the fleet process-pool-safe.
+        for name in strategies:
+            make_strategy(name, target=target_state)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    orchestrator = FleetOrchestrator(
+        profiles=profiles,
+        strategies=strategies,
+        fleet_seed=args.seed,
+        workers=args.workers,
+        base_config=FuzzConfig(max_packets=args.budget),
+        armed=not args.disarm,
+        target_state=target_state,
+    )
+    report = orchestrator.run()
+    rendered = report.to_json() if args.format == "json" else report.to_markdown()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"fleet report written to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Four-fuzzer comparison (Table VII + Fig. 10)."""
     results = run_comparison(max_packets=args.budget)
@@ -150,6 +206,38 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--save-trace", metavar="PATH", help="write the trace as JSONL")
     fuzz.add_argument("--show-log", action="store_true", help="print the campaign log")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    fleet = commands.add_parser(
+        "fleet", help="run a profile × strategy fleet campaign"
+    )
+    fleet.add_argument(
+        "--profiles",
+        default="4",
+        help="profile count (first N of the testbed) or comma-separated ids",
+    )
+    fleet.add_argument(
+        "--strategies",
+        default="sequential",
+        help=f"comma-separated strategies: {', '.join(STRATEGY_NAMES)}",
+    )
+    fleet.add_argument("--workers", type=int, default=1, help="worker-pool size")
+    fleet.add_argument("--seed", type=int, default=7, help="fleet master seed")
+    fleet.add_argument(
+        "--budget", type=int, default=3000, help="packet budget per campaign"
+    )
+    fleet.add_argument(
+        "--disarm", action="store_true", help="disable injected bugs fleet-wide"
+    )
+    fleet.add_argument(
+        "--target-state",
+        default="OPEN",
+        help="focus state for the targeted strategy",
+    )
+    fleet.add_argument(
+        "--format", choices=("markdown", "json"), default="markdown"
+    )
+    fleet.add_argument("--output", metavar="PATH", help="write the report to a file")
+    fleet.set_defaults(func=cmd_fleet)
 
     compare = commands.add_parser("compare", help="four-fuzzer comparison")
     compare.add_argument("--budget", type=int, default=20_000)

@@ -2,20 +2,46 @@
 
 from repro.core.config import FuzzConfig
 from repro.core.detection import Finding, VulnerabilityClass, VulnerabilityDetector
+from repro.core.fleet import (
+    CampaignRun,
+    CampaignSpec,
+    FleetFinding,
+    FleetOrchestrator,
+    FleetReport,
+    derive_campaign_seed,
+    merge_reports,
+)
 from repro.core.fuzz_log import FuzzLog, LogEntry, LogLevel
 from repro.core.fuzzer import L2Fuzz
 from repro.core.mutation import CoreFieldMutator
 from repro.core.packet_queue import PacketQueue
 from repro.core.report import CampaignReport, format_elapsed
 from repro.core.state_guiding import STATE_PLAN, ChannelContext, GuidedState, StateGuide
+from repro.core.strategies import (
+    STRATEGY_NAMES,
+    BreadthFirstStrategy,
+    DepthFirstStrategy,
+    ExplorationStrategy,
+    SequentialStrategy,
+    TargetedStrategy,
+    make_strategy,
+)
 from repro.core.target_scanning import PortProbe, ScanResult, TargetScanner
 from repro.core.triage import ReplayOutcome, minimize_trigger, replay, sent_packets
 
 __all__ = [
+    "BreadthFirstStrategy",
     "CampaignReport",
+    "CampaignRun",
+    "CampaignSpec",
     "ChannelContext",
     "CoreFieldMutator",
+    "DepthFirstStrategy",
+    "ExplorationStrategy",
     "Finding",
+    "FleetFinding",
+    "FleetOrchestrator",
+    "FleetReport",
     "FuzzConfig",
     "FuzzLog",
     "GuidedState",
@@ -26,12 +52,18 @@ __all__ = [
     "PortProbe",
     "ReplayOutcome",
     "STATE_PLAN",
+    "STRATEGY_NAMES",
     "ScanResult",
+    "SequentialStrategy",
     "StateGuide",
     "TargetScanner",
+    "TargetedStrategy",
     "VulnerabilityClass",
     "VulnerabilityDetector",
+    "derive_campaign_seed",
     "format_elapsed",
+    "make_strategy",
+    "merge_reports",
     "minimize_trigger",
     "replay",
     "sent_packets",

@@ -1,0 +1,530 @@
+"""Fleet campaigns: many targets × many strategies, one merged report.
+
+The paper runs one fuzzer against one device at a time (Table VI is
+eight separate sessions). Production fuzzing wants a *fleet*: every
+testbed profile crossed with every exploration strategy, campaigns
+dispatched onto a pool of workers, and the results merged into one
+deduplicated picture of what the sweep found and which states it
+reached.
+
+Determinism is the design anchor. Each campaign's seed is derived from
+the fleet seed and the campaign's index with SHA-256, so
+
+* the same fleet seed always produces the same per-campaign seeds
+  (and therefore byte-identical merged reports), and
+* campaigns never share a seed, no matter how large the fleet.
+
+Campaigns are dispatched with :mod:`concurrent.futures`; because every
+campaign owns its simulated clock, results are independent of worker
+count and completion order. Fleets built from registry profiles and
+strategy names dispatch onto a process pool (real CPU parallelism);
+custom profile or strategy objects fall back to a thread pool, which
+on CPython's GIL only overlaps I/O — fine for real radios, a no-op for
+the simulation. Scaling is therefore *measured* in simulated
+wall-clock: each campaign occupies one worker (one dongle, in the
+paper's setup) for its simulated duration, and the fleet makespan is
+the greedy least-loaded schedule of those durations over the pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.core.config import FuzzConfig
+from repro.core.report import CampaignReport, format_elapsed
+from repro.core.strategies import ExplorationStrategy, make_strategy
+from repro.l2cap.states import ChannelState
+from repro.testbed.profiles import DeviceProfile
+from repro.testbed.session import run_campaign
+
+
+def derive_campaign_seed(fleet_seed: int, index: int) -> int:
+    """Derive campaign *index*'s seed from the fleet seed.
+
+    A 64-bit slice of ``SHA-256(fleet_seed ":" index)``: deterministic,
+    well-mixed, and collision-free across any realistic fleet size.
+    """
+    digest = hashlib.sha256(f"{fleet_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def simulated_makespan(durations: Sequence[float], workers: int) -> float:
+    """Makespan of a greedy least-loaded schedule over *workers* workers.
+
+    Campaigns are assigned in order to the worker with the least
+    accumulated simulated time — the dispatch order a work-stealing pool
+    converges to when every campaign is known up front.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    loads = [0.0] * workers
+    for duration in durations:
+        loads[loads.index(min(loads))] += duration
+    return max(loads) if loads else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """One cell of the fleet matrix.
+
+    :param index: position in the fleet (drives seed derivation).
+    :param device_id: testbed profile to fuzz.
+    :param strategy: exploration strategy registry name.
+    :param seed: the derived campaign seed.
+    """
+
+    index: int
+    device_id: str
+    strategy: str
+    seed: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignRun:
+    """A spec together with the report its campaign produced."""
+
+    spec: CampaignSpec
+    report: CampaignReport
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetFinding:
+    """One deduplicated finding across the fleet.
+
+    Findings are considered the same vulnerability when they share
+    ``(vendor, vulnerability_class, trigger)`` — the same malformed
+    packet knocking over the same vendor stack the same way, regardless
+    of which device or strategy hit it first.
+
+    :param occurrences: how many campaign findings collapsed into this.
+    """
+
+    vendor: str
+    vulnerability_class: str
+    trigger: str
+    device_id: str
+    strategy: str
+    state: str
+    error_message: str
+    sim_time: float
+    occurrences: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetReport:
+    """Merged result of one fleet run.
+
+    :param fleet_seed: the seed every campaign seed derives from.
+    :param workers: worker-pool size the fleet was scheduled onto.
+    :param campaigns: every campaign run, in spec order.
+    :param findings: deduplicated findings, in first-detection order.
+    :param coverage_map: per-state campaign counts — how many campaigns
+        demonstrably drove their target into each state.
+    :param simulated_makespan_seconds: fleet duration in simulated time
+        under the greedy schedule over *workers* workers.
+    """
+
+    fleet_seed: int
+    workers: int
+    campaigns: tuple[CampaignRun, ...]
+    findings: tuple[FleetFinding, ...]
+    coverage_map: tuple[tuple[str, int], ...]
+    simulated_makespan_seconds: float
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def merged_states(self) -> tuple[str, ...]:
+        """Every state some campaign covered, sorted by name."""
+        return tuple(state for state, _ in self.coverage_map)
+
+    @property
+    def merged_state_count(self) -> int:
+        """Distinct states covered by the fleet as a whole."""
+        return len(self.coverage_map)
+
+    @property
+    def best_single_coverage(self) -> int:
+        """Largest per-campaign distinct-state count in the fleet."""
+        if not self.campaigns:
+            return 0
+        return max(len(run.report.covered_states) for run in self.campaigns)
+
+    @property
+    def total_packets(self) -> int:
+        """Packets transmitted by the whole fleet."""
+        return sum(run.report.packets_sent for run in self.campaigns)
+
+    @property
+    def campaigns_per_simulated_second(self) -> float:
+        """Fleet throughput in campaigns per simulated second."""
+        if self.simulated_makespan_seconds <= 0:
+            return 0.0
+        return len(self.campaigns) / self.simulated_makespan_seconds
+
+    def strategy_table(self) -> list[dict]:
+        """Per-strategy efficiency rows, in first-appearance order."""
+        grouped: dict[str, list[CampaignRun]] = {}
+        for run in self.campaigns:
+            grouped.setdefault(run.spec.strategy, []).append(run)
+        rows = []
+        for name, runs in grouped.items():
+            covered: set[str] = set()
+            for run in runs:
+                covered.update(state.value for state in run.report.covered_states)
+            packets = sum(run.report.packets_sent for run in runs)
+            elapsed = sum(run.report.elapsed_seconds for run in runs)
+            findings = sum(len(run.report.findings) for run in runs)
+            efficiency = sum(
+                run.report.efficiency.mutation_efficiency for run in runs
+            ) / len(runs)
+            rows.append(
+                {
+                    "strategy": name,
+                    "campaigns": len(runs),
+                    "packets": packets,
+                    "findings": findings,
+                    "states_covered": len(covered),
+                    "mean_mutation_efficiency": round(100.0 * efficiency, 2),
+                    "simulated_seconds": round(elapsed, 2),
+                }
+            )
+        return rows
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data rendering (stable field order, JSON-safe types)."""
+        return {
+            "fleet_seed": self.fleet_seed,
+            "workers": self.workers,
+            "campaign_count": len(self.campaigns),
+            "total_packets": self.total_packets,
+            "simulated_makespan_seconds": round(
+                self.simulated_makespan_seconds, 6
+            ),
+            "campaigns_per_simulated_second": round(
+                self.campaigns_per_simulated_second, 6
+            ),
+            "merged_state_count": self.merged_state_count,
+            "best_single_coverage": self.best_single_coverage,
+            "coverage_map": [
+                {"state": state, "campaigns": count}
+                for state, count in self.coverage_map
+            ],
+            "findings": [dataclasses.asdict(finding) for finding in self.findings],
+            "strategy_table": self.strategy_table(),
+            "campaigns": [_campaign_dict(run) for run in self.campaigns],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic JSON rendering (safe to diff byte-for-byte)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        """Human-readable fleet summary."""
+        lines = [
+            f"# Fleet report (seed {self.fleet_seed}, {self.workers} worker(s))",
+            "",
+            f"- campaigns: {len(self.campaigns)}",
+            f"- packets sent: {self.total_packets}",
+            f"- simulated makespan: "
+            f"{format_elapsed(self.simulated_makespan_seconds)}"
+            f" ({self.campaigns_per_simulated_second:.4f} campaigns/s simulated)",
+            f"- merged state coverage: {self.merged_state_count}/19"
+            f" (best single campaign: {self.best_single_coverage}/19)",
+            "",
+            "## Campaigns",
+            "",
+            "| # | device | strategy | packets | states | findings | elapsed |",
+            "|---|--------|----------|---------|--------|----------|---------|",
+        ]
+        for run in self.campaigns:
+            report = run.report
+            lines.append(
+                f"| {run.spec.index} | {report.target_name} |"
+                f" {run.spec.strategy} | {report.packets_sent} |"
+                f" {len(report.covered_states)} | {len(report.findings)} |"
+                f" {format_elapsed(report.elapsed_seconds)} |"
+            )
+        lines += [
+            "",
+            "## Merged coverage map",
+            "",
+            "| state | campaigns covering |",
+            "|-------|--------------------|",
+        ]
+        for state, count in self.coverage_map:
+            lines.append(f"| {state} | {count} |")
+        lines += [
+            "",
+            "## Findings (deduplicated)",
+            "",
+        ]
+        if not self.findings:
+            lines.append("No vulnerability detected across the fleet.")
+        else:
+            lines += [
+                "| vendor | class | state | first seen | hits | trigger |",
+                "|--------|-------|-------|------------|------|---------|",
+            ]
+            for finding in self.findings:
+                lines.append(
+                    f"| {finding.vendor} | {finding.vulnerability_class} |"
+                    f" {finding.state} |"
+                    f" {finding.device_id}/{finding.strategy} |"
+                    f" {finding.occurrences} | {finding.trigger} |"
+                )
+        lines += [
+            "",
+            "## Per-strategy efficiency",
+            "",
+            "| strategy | campaigns | packets | findings | states |"
+            " mean eff % | sim s |",
+            "|----------|-----------|---------|----------|--------|"
+            "------------|-------|",
+        ]
+        for row in self.strategy_table():
+            lines.append(
+                f"| {row['strategy']} | {row['campaigns']} | {row['packets']} |"
+                f" {row['findings']} | {row['states_covered']} |"
+                f" {row['mean_mutation_efficiency']} |"
+                f" {row['simulated_seconds']} |"
+            )
+        return "\n".join(lines)
+
+
+def _campaign_dict(run: CampaignRun) -> dict:
+    report = run.report
+    return {
+        "index": run.spec.index,
+        "device_id": run.spec.device_id,
+        "strategy": run.spec.strategy,
+        "seed": run.spec.seed,
+        "target_name": report.target_name,
+        "packets_sent": report.packets_sent,
+        "sweeps_completed": report.sweeps_completed,
+        "elapsed_seconds": round(report.elapsed_seconds, 6),
+        "covered_states": sorted(state.value for state in report.covered_states),
+        "state_visits": [list(pair) for pair in report.state_visits],
+        "transition_visits": [list(triple) for triple in report.transition_visits],
+        "findings": [
+            {
+                "class": finding.vulnerability_class.value,
+                "error": finding.error_message,
+                "state": finding.state,
+                "trigger": finding.trigger,
+                "sim_time": round(finding.sim_time, 6),
+            }
+            for finding in report.findings
+        ],
+        "mutation_efficiency": round(
+            100.0 * report.efficiency.mutation_efficiency, 4
+        ),
+    }
+
+
+def merge_reports(
+    runs: Sequence[CampaignRun],
+    profiles_by_id: dict[str, DeviceProfile],
+    fleet_seed: int,
+    workers: int,
+) -> FleetReport:
+    """Merge campaign runs into one :class:`FleetReport`.
+
+    Findings are deduplicated by ``(vendor, vulnerability_class,
+    trigger)``, keeping the first detection and counting the rest.
+    """
+    coverage_counts: dict[str, int] = {}
+    for run in runs:
+        for state in run.report.covered_states:
+            coverage_counts[state.value] = coverage_counts.get(state.value, 0) + 1
+
+    # Insertion order = first-detection order (dicts preserve it).
+    deduped: dict[tuple[str, str, str], FleetFinding] = {}
+    for run in runs:
+        vendor = profiles_by_id[run.spec.device_id].vendor
+        for finding in run.report.findings:
+            key = (vendor, finding.vulnerability_class.value, finding.trigger)
+            seen = deduped.get(key)
+            if seen is None:
+                deduped[key] = FleetFinding(
+                    vendor=vendor,
+                    vulnerability_class=finding.vulnerability_class.value,
+                    trigger=finding.trigger,
+                    device_id=run.spec.device_id,
+                    strategy=run.spec.strategy,
+                    state=finding.state,
+                    error_message=finding.error_message,
+                    sim_time=finding.sim_time,
+                    occurrences=1,
+                )
+            else:
+                deduped[key] = dataclasses.replace(
+                    seen, occurrences=seen.occurrences + 1
+                )
+
+    return FleetReport(
+        fleet_seed=fleet_seed,
+        workers=workers,
+        campaigns=tuple(runs),
+        findings=tuple(deduped.values()),
+        coverage_map=tuple(sorted(coverage_counts.items())),
+        simulated_makespan_seconds=simulated_makespan(
+            [run.report.elapsed_seconds for run in runs], workers
+        ),
+    )
+
+
+class FleetOrchestrator:
+    """Runs the profile × strategy matrix and merges the results.
+
+    :param profiles: testbed profiles to fuzz.
+    :param strategies: strategy registry names (or instances), applied
+        to every profile.
+    :param fleet_seed: master seed; per-campaign seeds derive from it.
+    :param workers: worker-pool size for dispatch and for the simulated
+        schedule.
+    :param base_config: campaign config template; each campaign gets a
+        copy with its derived seed.
+    :param armed: False disarms the injected bugs fleet-wide.
+    :param target_state: focus state handed to the ``targeted`` strategy.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[DeviceProfile],
+        strategies: Sequence[str | ExplorationStrategy],
+        fleet_seed: int = 7,
+        workers: int = 1,
+        base_config: FuzzConfig | None = None,
+        armed: bool = True,
+        target_state: ChannelState = ChannelState.OPEN,
+    ) -> None:
+        if not profiles:
+            raise ValueError("fleet needs at least one profile")
+        if not strategies:
+            raise ValueError("fleet needs at least one strategy")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.profiles = tuple(profiles)
+        self.strategies = tuple(strategies)
+        self.fleet_seed = fleet_seed
+        self.workers = workers
+        self.base_config = (
+            base_config if base_config is not None else FuzzConfig()
+        )
+        self.armed = armed
+        self.target_state = target_state
+        self._profiles_by_id = {
+            profile.device_id: profile for profile in self.profiles
+        }
+
+    def specs(self) -> tuple[CampaignSpec, ...]:
+        """The fleet matrix in dispatch order (profile-major)."""
+        return tuple(spec for spec, _ in self._matrix())
+
+    def run(self) -> FleetReport:
+        """Run every campaign and merge the results.
+
+        Results are ordered by spec index, so the merged report does not
+        depend on completion order (or on :attr:`workers` at all).
+        """
+        matrix = self._matrix()
+        if self.workers == 1:
+            runs = [
+                self._run_spec(spec, strategy_input)
+                for spec, strategy_input in matrix
+            ]
+        elif self._process_safe():
+            jobs = [
+                (
+                    spec,
+                    strategy_input,
+                    self.base_config,
+                    self.armed,
+                    self.target_state.value,
+                )
+                for spec, strategy_input in matrix
+            ]
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                runs = list(pool.map(_run_spec_job, jobs))
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                runs = [
+                    run
+                    for run in pool.map(
+                        lambda job: self._run_spec(*job), matrix
+                    )
+                ]
+        return merge_reports(
+            runs, self._profiles_by_id, self.fleet_seed, self.workers
+        )
+
+    def _matrix(self) -> tuple[tuple[CampaignSpec, str | ExplorationStrategy], ...]:
+        """Each spec paired with the strategy input that produced it."""
+        matrix = []
+        index = 0
+        for profile in self.profiles:
+            for strategy in self.strategies:
+                name = strategy if isinstance(strategy, str) else strategy.name
+                spec = CampaignSpec(
+                    index=index,
+                    device_id=profile.device_id,
+                    strategy=name,
+                    seed=derive_campaign_seed(self.fleet_seed, index),
+                )
+                matrix.append((spec, strategy))
+                index += 1
+        return tuple(matrix)
+
+    def _process_safe(self) -> bool:
+        """Whether the fleet can ship to worker processes.
+
+        A child process rebuilds each campaign from the testbed
+        registry, so every profile must be a registry profile and every
+        strategy a registry name.
+        """
+        from repro.testbed.profiles import PROFILES_BY_ID
+
+        return all(
+            PROFILES_BY_ID.get(profile.device_id) is profile
+            for profile in self.profiles
+        ) and all(isinstance(strategy, str) for strategy in self.strategies)
+
+    def _run_spec(
+        self, spec: CampaignSpec, strategy_input: str | ExplorationStrategy
+    ) -> CampaignRun:
+        if isinstance(strategy_input, str):
+            strategy = make_strategy(strategy_input, target=self.target_state)
+        else:
+            strategy = strategy_input
+        report = run_campaign(
+            self._profiles_by_id[spec.device_id],
+            config=dataclasses.replace(self.base_config, seed=spec.seed),
+            armed=self.armed,
+            strategy=strategy,
+        )
+        return CampaignRun(spec=spec, report=report)
+
+
+def _run_spec_job(
+    job: tuple[CampaignSpec, str, FuzzConfig, bool, str]
+) -> CampaignRun:
+    """Process-pool entry point: rebuild the campaign from the registry."""
+    from repro.testbed.profiles import PROFILES_BY_ID
+
+    spec, strategy_name, base_config, armed, target_state_value = job
+    report = run_campaign(
+        PROFILES_BY_ID[spec.device_id],
+        config=dataclasses.replace(base_config, seed=spec.seed),
+        armed=armed,
+        strategy=make_strategy(
+            strategy_name, target=ChannelState(target_state_value)
+        ),
+    )
+    return CampaignRun(spec=spec, report=report)

@@ -5,7 +5,8 @@ Wires the four phases together:
 1. :class:`~repro.core.target_scanning.TargetScanner` finds the device
    and a pairing-free port;
 2. :class:`~repro.core.state_guiding.StateGuide` walks the 13
-   master-reachable L2CAP states with valid commands;
+   master-reachable L2CAP states with valid commands, in the order an
+   :class:`~repro.core.strategies.ExplorationStrategy` schedules them;
 3. :class:`~repro.core.mutation.CoreFieldMutator` generates *n* valid
    malformed packets per valid command of the state's job;
 4. :class:`~repro.core.detection.VulnerabilityDetector` watches for
@@ -31,6 +32,7 @@ from repro.core.mutation import CoreFieldMutator
 from repro.core.packet_queue import PacketQueue
 from repro.core.report import CampaignReport
 from repro.core.state_guiding import StateGuide
+from repro.core.strategies import ExplorationStrategy, SequentialStrategy
 from repro.core.target_scanning import ScanResult, TargetScanner
 from repro.errors import TargetTimeoutError, TransportError
 from repro.hci.transport import VirtualLink
@@ -52,6 +54,8 @@ class L2Fuzz:
         paper's §V future-work extension). Only used when
         ``config.stop_on_first_finding`` is False.
     :param target_name: label used in reports.
+    :param strategy: exploration strategy scheduling the state plan;
+        None keeps the seed behaviour (sequential).
     """
 
     def __init__(
@@ -63,6 +67,7 @@ class L2Fuzz:
         dump_probe: Callable[[], list[str]] | None = None,
         reset_hook: Callable[[], None] | None = None,
         target_name: str = "target",
+        strategy: ExplorationStrategy | None = None,
     ) -> None:
         self.config = config if config is not None else FuzzConfig()
         self.link = link
@@ -74,7 +79,11 @@ class L2Fuzz:
         self.log = FuzzLog()
         self.reset_hook = reset_hook
         self.target_name = target_name
+        self.strategy = strategy if strategy is not None else SequentialStrategy()
         self.findings: list[Finding] = []
+        self.state_visits: dict[ChannelState, int] = {}
+        self.transition_visits: dict[tuple[ChannelState, ChannelState], int] = {}
+        self._previous_state: ChannelState | None = None
         self._last_trigger = "(none)"
         self._sweeps = 0
 
@@ -112,9 +121,9 @@ class L2Fuzz:
         return self.sniffer.transmitted_count() >= self.config.max_packets
 
     def _run_sweep(self, guide: StateGuide) -> bool:
-        """One full pass over the state plan. Returns True to stop."""
+        """One strategy-scheduled pass over the plan. Returns True to stop."""
         if self.config.state_guiding:
-            plan = guide.plan()
+            plan = self.strategy.plan(guide.plan(), self.state_visits)
         else:
             # Ablation: stateless fuzzing from the CLOSED posture only.
             plan = (ChannelState.CLOSED,)
@@ -133,6 +142,7 @@ class L2Fuzz:
             guided = guide.enter(state)
         except TransportError as error:
             return self._on_transport_error(error, state_name)
+        self._record_visit(state)
         self.log.info(
             self._now,
             "state-guiding",
@@ -141,11 +151,14 @@ class L2Fuzz:
         )
 
         commands = sorted(JOB_VALID_COMMANDS[guided.job])
+        packets_per_command = self.strategy.packets_per_command(
+            state, self.config.packets_per_command
+        )
         batches_since_ping = 0
         for code in commands:
             if self._budget_exhausted():
                 break
-            for _ in range(self.config.packets_per_command):
+            for _ in range(packets_per_command):
                 packet = self.mutator.mutate(code, self.queue.take_identifier())
                 self._last_trigger = packet.describe()
                 try:
@@ -167,6 +180,14 @@ class L2Fuzz:
         except TransportError as error:
             return self._on_transport_error(error, state_name)
         return False
+
+    def _record_visit(self, state) -> None:
+        """Count one successful entry (and its plan-order transition)."""
+        self.state_visits[state] = self.state_visits.get(state, 0) + 1
+        if self._previous_state is not None:
+            edge = (self._previous_state, state)
+            self.transition_visits[edge] = self.transition_visits.get(edge, 0) + 1
+        self._previous_state = state
 
     def _ping_checkpoint(self, state_name: str) -> bool:
         """Detection-phase ping test. True = stop campaign."""
@@ -202,4 +223,17 @@ class L2Fuzz:
             sweeps_completed=self._sweeps,
             efficiency=measure(self.sniffer, self._now),
             covered_states=state_coverage(self.sniffer),
+            strategy=self.strategy.name,
+            state_visits=tuple(
+                sorted(
+                    (state.value, count)
+                    for state, count in self.state_visits.items()
+                )
+            ),
+            transition_visits=tuple(
+                sorted(
+                    (source.value, destination.value, count)
+                    for (source, destination), count in self.transition_visits.items()
+                )
+            ),
         )

@@ -32,6 +32,12 @@ class CampaignReport:
     :param sweeps_completed: full state-plan sweeps finished.
     :param efficiency: trace-derived Table VII metrics for this run.
     :param covered_states: PRETT-style state coverage of the run.
+    :param strategy: name of the exploration strategy that scheduled
+        the state plan ("sequential" is the seed behaviour).
+    :param state_visits: per-state successful-entry counts, as sorted
+        ``(state_name, count)`` pairs.
+    :param transition_visits: counts of consecutive plan transitions, as
+        sorted ``(from_state, to_state, count)`` triples.
     """
 
     target_name: str
@@ -41,6 +47,9 @@ class CampaignReport:
     sweeps_completed: int
     efficiency: MutationEfficiency
     covered_states: frozenset[ChannelState]
+    strategy: str = "sequential"
+    state_visits: tuple[tuple[str, int], ...] = ()
+    transition_visits: tuple[tuple[str, str, int], ...] = ()
 
     @property
     def vulnerability_found(self) -> bool:

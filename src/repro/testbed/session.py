@@ -13,6 +13,7 @@ import dataclasses
 from repro.core.config import FuzzConfig
 from repro.core.fuzzer import L2Fuzz
 from repro.core.report import CampaignReport
+from repro.core.strategies import ExplorationStrategy, make_strategy
 from repro.hci.transport import SimClock, VirtualLink
 from repro.testbed.profiles import DeviceProfile
 
@@ -32,6 +33,8 @@ class FuzzSession:
     :param pps: fuzzer throughput model (packets per simulated second).
     :param auto_reset: enable the long-term-fuzzing extension — crashed
         devices are reset and the campaign continues.
+    :param strategy: exploration strategy (instance or registry name);
+        None keeps the seed's sequential schedule.
     """
 
     profile: DeviceProfile
@@ -40,6 +43,7 @@ class FuzzSession:
     zero_latency: bool = False
     pps: float = L2FUZZ_PPS
     auto_reset: bool = False
+    strategy: ExplorationStrategy | str | None = None
 
     def __post_init__(self) -> None:
         self.clock = SimClock()
@@ -51,6 +55,9 @@ class FuzzSession:
         config = self.config
         if self.auto_reset and config.stop_on_first_finding:
             config = dataclasses.replace(config, stop_on_first_finding=False)
+        strategy = self.strategy
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy)
         self.fuzzer = L2Fuzz(
             link=self.link,
             inquiry=self.device.inquiry,
@@ -59,6 +66,7 @@ class FuzzSession:
             dump_probe=lambda: self.device.crash_dumps,
             reset_hook=self._reset_target,
             target_name=f"{self.profile.device_id} ({self.profile.name})",
+            strategy=strategy,
         )
 
     def _reset_target(self) -> None:
@@ -76,6 +84,7 @@ def run_campaign(
     zero_latency: bool = False,
     pps: float = L2FUZZ_PPS,
     auto_reset: bool = False,
+    strategy: ExplorationStrategy | str | None = None,
 ) -> CampaignReport:
     """Convenience one-shot: build a session and run it."""
     session = FuzzSession(
@@ -85,5 +94,6 @@ def run_campaign(
         zero_latency=zero_latency,
         pps=pps,
         auto_reset=auto_reset,
+        strategy=strategy,
     )
     return session.run()

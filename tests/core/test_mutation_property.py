@@ -1,18 +1,26 @@
 """Property-based tests for the mutator: Algorithm 1 invariants hold for
-every command and every seed."""
+every command and every seed — plus fleet-seed derivation and campaign
+visit-accounting invariants."""
 
 from __future__ import annotations
 
 import random
+from unittest import mock
 
 from hypothesis import given, settings, strategies as st
 
 from repro.core.config import FuzzConfig
+from repro.core.fleet import derive_campaign_seed
+from repro.core.fuzzer import L2Fuzz
 from repro.core.mutation import CoreFieldMutator
+from repro.core.state_guiding import StateGuide
+from repro.core.strategies import STRATEGY_NAMES, make_strategy
 from repro.l2cap.constants import MIN_SIGNALING_MTU, is_valid_psm
 from repro.l2cap.fields import CIDP_FIELD_NAMES, FieldCategory, categorize_field
 from repro.l2cap.packets import COMMAND_SPECS, L2capPacket
 from repro.l2cap.validation import is_malformed
+
+from tests.conftest import make_rig
 
 
 _codes = st.sampled_from(sorted(COMMAND_SPECS))
@@ -71,3 +79,70 @@ class TestMutatorProperties:
         for name in CIDP_FIELD_NAMES & set(packet.fields):
             if spec.field(name).size == 2:
                 assert 0x0040 <= packet.fields[name] <= 0xFFFF
+
+
+class TestFleetSeedDerivation:
+    """Per-campaign seed derivation invariants for fleet runs."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=2, max_value=1024),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_derived_seeds_never_collide(self, fleet_seed, fleet_size):
+        seeds = [
+            derive_campaign_seed(fleet_seed, index) for index in range(fleet_size)
+        ]
+        assert len(set(seeds)) == fleet_size
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_derivation_is_deterministic(self, fleet_seed):
+        assert derive_campaign_seed(fleet_seed, 7) == derive_campaign_seed(
+            fleet_seed, 7
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=1023),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_derived_seed_in_64bit_range(self, fleet_seed, index):
+        seed = derive_campaign_seed(fleet_seed, index)
+        assert 0 <= seed < 2**64
+
+
+class TestVisitAccounting:
+    """CampaignReport visit counts always equal the guide's enter calls."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=100, max_value=600),
+        st.sampled_from(STRATEGY_NAMES),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_state_visits_sum_to_enter_calls(self, seed, budget, strategy_name):
+        entered = []
+
+        class CountingGuide(StateGuide):
+            def enter(self, state):
+                guided = super().enter(state)
+                entered.append(state)
+                return guided
+
+        device, link, _ = make_rig(armed=False)
+        fuzzer = L2Fuzz(
+            link=link,
+            inquiry=device.inquiry,
+            browse=device.sdp_browse,
+            config=FuzzConfig(max_packets=budget, seed=seed),
+            strategy=make_strategy(strategy_name),
+        )
+        with mock.patch("repro.core.fuzzer.StateGuide", CountingGuide):
+            report = fuzzer.run()
+        assert sum(count for _, count in report.state_visits) == len(entered)
+        # And per-state: the report's counts match the observed entries.
+        observed: dict[str, int] = {}
+        for state in entered:
+            observed[state.value] = observed.get(state.value, 0) + 1
+        assert dict(report.state_visits) == observed

@@ -1,0 +1,200 @@
+"""Unit tests for the exploration strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FuzzConfig
+from repro.core.fuzzer import L2Fuzz
+from repro.core.state_guiding import STATE_PLAN
+from repro.core.strategies import (
+    ROUTE_DEPTH,
+    STRATEGY_NAMES,
+    BreadthFirstStrategy,
+    DepthFirstStrategy,
+    ExplorationStrategy,
+    SequentialStrategy,
+    TargetedStrategy,
+    bfs_route,
+    make_strategy,
+)
+from repro.l2cap.states import ChannelState
+
+from tests.conftest import make_rig
+
+
+def _all_strategies():
+    return [make_strategy(name) for name in STRATEGY_NAMES]
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for strategy in _all_strategies():
+            assert isinstance(strategy, ExplorationStrategy)
+
+    def test_names_round_trip(self):
+        for name in STRATEGY_NAMES:
+            assert make_strategy(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("depth_breadth_first")
+
+    def test_targeted_accepts_custom_target(self):
+        strategy = make_strategy("targeted", target=ChannelState.WAIT_DISCONNECT)
+        assert strategy.target is ChannelState.WAIT_DISCONNECT
+
+
+class TestDeterminism:
+    def test_plans_are_deterministic_across_instances(self):
+        visits = {ChannelState.CLOSED: 2, ChannelState.OPEN: 1}
+        for name in STRATEGY_NAMES:
+            first = make_strategy(name).plan(STATE_PLAN, visits)
+            second = make_strategy(name).plan(STATE_PLAN, dict(visits))
+            assert first == second
+
+    def test_plans_are_permutations_or_subsets_of_base(self):
+        for strategy in _all_strategies():
+            plan = strategy.plan(STATE_PLAN, {})
+            assert set(plan) <= set(STATE_PLAN)
+            assert len(plan) == len(set(plan))
+
+
+class TestSequential:
+    def test_plan_is_base_plan_verbatim(self):
+        strategy = SequentialStrategy()
+        assert strategy.plan(STATE_PLAN, {}) == STATE_PLAN
+        assert (
+            strategy.plan(STATE_PLAN, {state: 9 for state in STATE_PLAN})
+            == STATE_PLAN
+        )
+
+    def test_budget_unweighted(self):
+        strategy = SequentialStrategy()
+        for state in STATE_PLAN:
+            assert strategy.packets_per_command(state, 5) == 5
+
+
+class TestBreadthFirst:
+    def test_unvisited_plan_keeps_base_order(self):
+        assert BreadthFirstStrategy().plan(STATE_PLAN, {}) == STATE_PLAN
+
+    def test_least_visited_states_come_first(self):
+        visits = {state: 1 for state in STATE_PLAN}
+        visits[ChannelState.WAIT_MOVE] = 0
+        visits[ChannelState.OPEN] = 0
+        plan = BreadthFirstStrategy().plan(STATE_PLAN, visits)
+        assert set(plan[:2]) == {ChannelState.OPEN, ChannelState.WAIT_MOVE}
+        # Ties resolve in base-plan order: OPEN precedes WAIT_MOVE.
+        assert plan[0] is ChannelState.OPEN
+
+    def test_every_state_visited_before_any_second_visit(self):
+        """The breadth guarantee survives budget-truncated sweeps."""
+        strategy = BreadthFirstStrategy()
+        visits: dict[ChannelState, int] = {}
+        sequence: list[ChannelState] = []
+        prefix_lengths = (1, 3, 2, 5, 4, 7, 6, 13, 2, 9)
+        for length in prefix_lengths:
+            plan = strategy.plan(STATE_PLAN, visits)
+            for state in plan[:length]:
+                sequence.append(state)
+                visits[state] = visits.get(state, 0) + 1
+        assert len(sequence) >= 2 * len(STATE_PLAN)
+        first_repeat = next(
+            index
+            for index, state in enumerate(sequence)
+            if state in sequence[:index]
+        )
+        assert set(sequence[:first_repeat]) == set(STATE_PLAN)
+
+
+class TestDepthFirst:
+    def test_deepest_routes_first(self):
+        plan = DepthFirstStrategy().plan(STATE_PLAN, {})
+        depths = [ROUTE_DEPTH[state] for state in plan]
+        assert depths == sorted(depths, reverse=True)
+        assert plan[0] in (ChannelState.WAIT_MOVE, ChannelState.WAIT_MOVE_CONFIRM)
+        assert plan[-1] in (ChannelState.CLOSED, ChannelState.WAIT_CONNECT)
+
+    def test_plan_is_full_permutation(self):
+        plan = DepthFirstStrategy().plan(STATE_PLAN, {})
+        assert sorted(plan, key=lambda s: s.value) == sorted(
+            STATE_PLAN, key=lambda s: s.value
+        )
+
+
+class TestTargeted:
+    def test_plan_is_bfs_route_to_target(self):
+        strategy = TargetedStrategy(target=ChannelState.OPEN)
+        plan = strategy.plan(STATE_PLAN, {})
+        assert plan[0] is ChannelState.CLOSED
+        assert plan[-1] is ChannelState.OPEN
+        assert len(plan) < len(STATE_PLAN)
+
+    def test_budget_concentrates_on_target(self):
+        strategy = TargetedStrategy(target=ChannelState.OPEN, focus_factor=4)
+        assert strategy.packets_per_command(ChannelState.OPEN, 5) == 20
+        assert strategy.packets_per_command(ChannelState.CLOSED, 5) == 2
+        assert strategy.packets_per_command(ChannelState.CLOSED, 1) == 1
+
+    def test_focus_factor_validated(self):
+        with pytest.raises(ValueError):
+            TargetedStrategy(focus_factor=0)
+
+    def test_every_plan_state_is_routable(self):
+        for state in STATE_PLAN:
+            route = bfs_route(state)
+            assert route[0] is ChannelState.CLOSED
+            assert route[-1] is state
+
+    def test_initiator_only_state_unroutable(self):
+        with pytest.raises(ValueError, match="no acceptor-side route"):
+            bfs_route(ChannelState.WAIT_CONNECT_RSP)
+
+    def test_bfs_route_is_shortest_deterministic(self):
+        assert bfs_route(ChannelState.CLOSED) == (ChannelState.CLOSED,)
+        assert bfs_route(ChannelState.WAIT_CONFIG) == (
+            ChannelState.CLOSED,
+            ChannelState.WAIT_CONFIG,
+        )
+        assert bfs_route(ChannelState.OPEN) == bfs_route(ChannelState.OPEN)
+
+
+class TestStrategyCampaigns:
+    """Full campaigns under each strategy stay deterministic."""
+
+    def _run(self, name, seed=41, budget=600):
+        device, link, _ = make_rig(armed=False)
+        fuzzer = L2Fuzz(
+            link=link,
+            inquiry=device.inquiry,
+            browse=device.sdp_browse,
+            config=FuzzConfig(max_packets=budget, seed=seed),
+            strategy=make_strategy(name),
+        )
+        return fuzzer.run()
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_campaign_deterministic_under_fixed_seed(self, name):
+        first = self._run(name)
+        second = self._run(name)
+        assert first == second
+        assert first.strategy == name
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_campaign_records_visits(self, name):
+        report = self._run(name)
+        assert report.state_visits
+        assert all(count >= 1 for _, count in report.state_visits)
+        # Visits are recorded per successful entry, transitions between
+        # consecutive entries: one fewer than total visits.
+        total = sum(count for _, count in report.state_visits)
+        transitions = sum(count for _, _, count in report.transition_visits)
+        assert transitions == total - 1
+
+    def test_targeted_campaign_spends_budget_on_target(self):
+        report = self._run("targeted", budget=900)
+        visits = dict(
+            (name, count) for name, count in report.state_visits
+        )
+        assert ChannelState.OPEN.value in visits

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import D2
+from repro.testbed.session import run_campaign
 
 
 class TestDevices:
@@ -71,3 +76,168 @@ class TestCompare:
         for name in ("L2Fuzz", "Defensics", "BFuzz", "BSS"):
             assert name in out
         assert "/19" in out
+
+
+_FLEET_ARGS = [
+    "fleet",
+    "--profiles", "2",
+    "--strategies", "breadth_first,targeted",
+    "--workers", "2",
+    "--seed", "7",
+    "--budget", "800",
+]
+
+
+class TestFleet:
+    def test_markdown_report(self, capsys):
+        assert main(_FLEET_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "# Fleet report (seed 7, 2 worker(s))" in out
+        assert "## Merged coverage map" in out
+        assert "## Per-strategy efficiency" in out
+        assert "breadth_first" in out and "targeted" in out
+
+    def test_json_report_schema(self, capsys):
+        assert main(_FLEET_ARGS + ["--format", "json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert set(decoded) == {
+            "fleet_seed",
+            "workers",
+            "campaign_count",
+            "total_packets",
+            "simulated_makespan_seconds",
+            "campaigns_per_simulated_second",
+            "merged_state_count",
+            "best_single_coverage",
+            "coverage_map",
+            "findings",
+            "strategy_table",
+            "campaigns",
+        }
+        assert decoded["fleet_seed"] == 7
+        assert decoded["campaign_count"] == 4  # 2 profiles x 2 strategies
+        for campaign in decoded["campaigns"]:
+            assert {
+                "index",
+                "device_id",
+                "strategy",
+                "seed",
+                "target_name",
+                "packets_sent",
+                "sweeps_completed",
+                "elapsed_seconds",
+                "covered_states",
+                "state_visits",
+                "transition_visits",
+                "findings",
+                "mutation_efficiency",
+            } == set(campaign)
+
+    def test_two_runs_identical(self, capsys):
+        main(_FLEET_ARGS + ["--format", "json"])
+        first = capsys.readouterr().out
+        main(_FLEET_ARGS + ["--format", "json"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_profiles_by_id(self, capsys):
+        assert main(
+            ["fleet", "--profiles", "D2,D4", "--budget", "600"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "D2 (Pixel 3)" in out
+        assert "D4 (iPhone 6S)" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(
+            _FLEET_ARGS + ["--format", "json", "--output", str(path)]
+        ) == 0
+        assert "written to" in capsys.readouterr().out
+        assert json.loads(path.read_text())["fleet_seed"] == 7
+
+    def test_unknown_strategy_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--strategies", "depth_charge"])
+
+    def test_bad_profile_count_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--profiles", "0"])
+
+    def test_unknown_target_state_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--target-state", "WAIT_FOREVER"])
+
+    def test_unroutable_target_state_exits(self):
+        # WAIT_CONNECT_RSP is a real state, but initiator-only: the
+        # targeted strategy cannot route a slave target into it.
+        with pytest.raises(SystemExit, match="no acceptor-side route"):
+            main(
+                ["fleet", "--strategies", "targeted",
+                 "--target-state", "WAIT_CONNECT_RSP"]
+            )
+
+    def test_zero_workers_exits(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["fleet", "--workers", "0"])
+
+    def test_zero_budget_exits(self):
+        with pytest.raises(SystemExit, match="--budget"):
+            main(["fleet", "--budget", "0"])
+
+
+class TestSequentialRegression:
+    """The default strategy must reproduce the seed campaign exactly.
+
+    Golden values were captured from the pre-strategy seed revision:
+    the strategy refactor must not move a single field.
+    """
+
+    def test_armed_d2_report_field_for_field(self):
+        report = run_campaign(D2, FuzzConfig(max_packets=50_000))
+        assert report.strategy == "sequential"
+        assert report.packets_sent == 226
+        assert report.sweeps_completed == 0
+        assert report.elapsed_seconds == pytest.approx(112.931076, abs=1e-6)
+        assert report.efficiency.transmitted == 226
+        assert report.efficiency.malformed == 151
+        assert report.efficiency.received == 145
+        assert report.efficiency.rejections == 54
+        assert sorted(state.value for state in report.covered_states) == [
+            "CLOSED",
+            "WAIT_CONFIG",
+            "WAIT_CONFIG_REQ_RSP",
+            "WAIT_CONNECT",
+            "WAIT_CREATE",
+        ]
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.error_message == "Connection Failed"
+        assert finding.state == "WAIT_CONFIG"
+        assert finding.trigger == (
+            "CONFIGURATION_REQ(id=225, dcid=0xE6EE, flags=0x0000) "
+            "garbage=1ca550ece866149dd33236408c0f"
+        )
+
+    def test_disarmed_d2_report_field_for_field(self):
+        report = run_campaign(
+            D2, FuzzConfig(max_packets=2_000), armed=False
+        )
+        assert report.strategy == "sequential"
+        assert report.packets_sent == 2002
+        assert report.sweeps_completed == 3
+        assert report.elapsed_seconds == pytest.approx(1004.818643, abs=1e-6)
+        assert report.efficiency.malformed == 1343
+        assert report.efficiency.rejections == 399
+        assert len(report.covered_states) == 13
+        assert not report.findings
+
+    def test_explicit_sequential_equals_default(self):
+        default = run_campaign(D2, FuzzConfig(max_packets=1_000), armed=False)
+        explicit = run_campaign(
+            D2,
+            FuzzConfig(max_packets=1_000),
+            armed=False,
+            strategy="sequential",
+        )
+        assert default == explicit
