@@ -17,13 +17,14 @@ from repro.core.config import FuzzConfig
 from repro.testbed.profiles import D2
 from repro.testbed.session import run_campaign
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 BUDGET = 20_000
+QUICK_BUDGET = 2_000
 
 
-def _run_variant(name: str, armed: bool, **config_kwargs) -> dict:
-    config = FuzzConfig(max_packets=BUDGET, **config_kwargs)
+def _run_variant(name: str, budget: int, armed: bool, **config_kwargs) -> dict:
+    config = FuzzConfig(max_packets=budget, **config_kwargs)
     report = run_campaign(D2, config, armed=armed, zero_latency=True)
     eff = report.efficiency
     return {
@@ -36,23 +37,27 @@ def _run_variant(name: str, armed: bool, **config_kwargs) -> dict:
     }
 
 
-def _run_all() -> list[dict]:
+def _run_all(budget: int) -> list[dict]:
     return [
-        _run_variant("full L2Fuzz (ratios)", armed=False),
-        _run_variant("full L2Fuzz (armed)", armed=True),
-        _run_variant("no state guiding", armed=True, state_guiding=False),
+        _run_variant("full L2Fuzz (ratios)", budget, armed=False),
+        _run_variant("full L2Fuzz (armed)", budget, armed=True),
+        _run_variant("no state guiding", budget, armed=True, state_guiding=False),
         _run_variant(
             "no core-field discipline",
+            budget,
             armed=False,
             mutate_core_fields_only=False,
         ),
-        _run_variant("no garbage tail", armed=True, append_garbage=False),
+        _run_variant("no garbage tail", budget, armed=True, append_garbage=False),
     ]
 
 
-def bench_ablation(benchmark):
-    rows = run_once(benchmark, _run_all)
+def bench_ablation(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    rows = run_once(benchmark, lambda: _run_all(budget))
     print_table("Ablation — each key technique removed in turn", rows)
+    if quick:
+        return
     by_name = {row["variant"]: row for row in rows}
 
     full_ratios = by_name["full L2Fuzz (ratios)"]

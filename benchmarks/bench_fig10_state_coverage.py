@@ -8,16 +8,18 @@ from __future__ import annotations
 
 from repro.analysis.comparison import figure10_bars, run_comparison
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 BUDGET = 25_000
+QUICK_BUDGET = 2_500
 
 #: Paper Fig. 10 bar heights.
 PAPER_FIG10 = {"L2Fuzz": 13, "Defensics": 7, "BFuzz": 6, "BSS": 3}
 
 
-def bench_fig10_state_coverage(benchmark):
-    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+def bench_fig10_state_coverage(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    results = run_once(benchmark, lambda: run_comparison(max_packets=budget))
     bars = figure10_bars(results)
     rows = [
         {
@@ -29,4 +31,6 @@ def bench_fig10_state_coverage(benchmark):
         for name in bars
     ]
     print_table("Fig. 10 — state coverage (of 19 states)", rows)
+    if quick:
+        return
     assert bars == PAPER_FIG10

@@ -12,9 +12,10 @@ from repro.analysis.comparison import figure11_maps, run_comparison
 from repro.l2cap.jobs import STATE_JOB
 from repro.l2cap.states import ALL_STATES, INITIATOR_ONLY_STATES
 
-from benchmarks.bench_helpers import run_once
+from benchmarks.bench_helpers import run_once, scaled
 
 BUDGET = 25_000
+QUICK_BUDGET = 2_500
 
 
 def _print_map(name: str, covered: list[str]) -> None:
@@ -24,12 +25,15 @@ def _print_map(name: str, covered: list[str]) -> None:
         print(f"  [{mark}] {state.value:<22} ({STATE_JOB[state].value})")
 
 
-def bench_fig11_coverage_map(benchmark):
-    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+def bench_fig11_coverage_map(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    results = run_once(benchmark, lambda: run_comparison(max_packets=budget))
     maps = figure11_maps(results)
     for name, covered in maps.items():
         _print_map(name, covered)
 
+    if quick:
+        return
     # Structural claims of §IV.D.
     for state in ("WAIT_CREATE", "WAIT_MOVE", "WAIT_MOVE_CONFIRM"):
         assert state in maps["L2Fuzz"]

@@ -10,14 +10,17 @@ from __future__ import annotations
 from repro.analysis.comparison import run_comparison
 from repro.analysis.metrics import render_ascii_curve
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 BUDGET = 30_000
+QUICK_BUDGET = 2_000
 
 
-def bench_fig8_mp_curve(benchmark):
+def bench_fig8_mp_curve(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
     results = run_once(
-        benchmark, lambda: run_comparison(max_packets=BUDGET, sample_every=2000)
+        benchmark,
+        lambda: run_comparison(max_packets=budget, sample_every=budget // 15),
     )
 
     rows = []
@@ -34,6 +37,8 @@ def bench_fig8_mp_curve(benchmark):
     print_table("Fig. 8 — cumulative malformed packets (final points)", rows)
     print(render_ascii_curve(list(results["L2Fuzz"].mp_points), label="L2Fuzz MP curve"))
 
+    if quick:
+        return
     # Monotone growth for every fuzzer's curve.
     for result in results.values():
         ys = [p.y for p in result.mp_points]

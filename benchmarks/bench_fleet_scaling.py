@@ -17,30 +17,33 @@ from repro.core.config import FuzzConfig
 from repro.core.fleet import FleetOrchestrator
 from repro.testbed.profiles import ALL_PROFILES
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 BUDGET = 3_000
+QUICK_BUDGET = 800
 FLEET_SEED = 7
 STRATEGIES = ("breadth_first", "targeted")
 WORKER_COUNTS = (1, 2, 4)
 
 
-def _run_fleet(workers: int):
+def _run_fleet(workers: int, budget: int = BUDGET):
     orchestrator = FleetOrchestrator(
         profiles=ALL_PROFILES[:4],
         strategies=STRATEGIES,
         fleet_seed=FLEET_SEED,
         workers=workers,
-        base_config=FuzzConfig(max_packets=BUDGET),
+        base_config=FuzzConfig(max_packets=budget),
     )
     started = time.perf_counter()
     report = orchestrator.run()
     return report, time.perf_counter() - started
 
 
-def bench_fleet_scaling(benchmark):
+def bench_fleet_scaling(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+
     def measure_all():
-        return {workers: _run_fleet(workers) for workers in WORKER_COUNTS}
+        return {workers: _run_fleet(workers, budget) for workers in WORKER_COUNTS}
 
     results = run_once(benchmark, measure_all)
     rows = []

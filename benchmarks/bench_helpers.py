@@ -15,6 +15,11 @@ def run_once(benchmark, func):
     return benchmark.pedantic(func, rounds=1, iterations=1)
 
 
+def scaled(quick: bool, full: int, smoke: int) -> int:
+    """Pick the packet budget for the current mode (see ``--quick``)."""
+    return smoke if quick else full
+
+
 def print_table(title: str, rows: list[dict]) -> None:
     """Print a reproduced table in aligned columns."""
     print(f"\n=== {title} ===")

@@ -12,7 +12,7 @@ from repro.core.config import FuzzConfig
 from repro.testbed.profiles import ALL_PROFILES
 from repro.testbed.session import run_campaign
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 #: Paper Table VI ground truth for the shape assertions.
 PAPER_RESULTS = {
@@ -30,12 +30,15 @@ PAPER_RESULTS = {
 #: clean devices and the slow D8 bug need room.
 BUDGETS = {"D8": 250_000}
 DEFAULT_BUDGET = 40_000
+QUICK_BUDGET = 2_500
 
 
-def _run_all() -> list[dict]:
+def _run_all(quick: bool) -> list[dict]:
     rows = []
     for profile in ALL_PROFILES:
-        budget = BUDGETS.get(profile.device_id, DEFAULT_BUDGET)
+        budget = scaled(
+            quick, BUDGETS.get(profile.device_id, DEFAULT_BUDGET), QUICK_BUDGET
+        )
         report = run_campaign(profile, FuzzConfig(max_packets=budget))
         row = report.as_table6_row()
         row["device"] = profile.device_id
@@ -47,9 +50,11 @@ def _run_all() -> list[dict]:
     return rows
 
 
-def bench_table6_detection(benchmark):
-    rows = run_once(benchmark, _run_all)
+def bench_table6_detection(benchmark, quick):
+    rows = run_once(benchmark, lambda: _run_all(quick))
     print_table("Table VI — vulnerability detection results", rows)
+    if quick:
+        return
     by_device = {row["device"]: row for row in rows}
     for device_id, (vuln, vclass, _elapsed) in PAPER_RESULTS.items():
         assert by_device[device_id]["vuln"] == vuln, device_id

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.comparison import run_comparison, table7_rows
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 #: Paper Table VII (percentages).
 PAPER_TABLE7 = {
@@ -20,10 +20,12 @@ PAPER_TABLE7 = {
 }
 
 BUDGET = 60_000
+QUICK_BUDGET = 3_000
 
 
-def bench_table7_efficiency(benchmark):
-    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+def bench_table7_efficiency(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    results = run_once(benchmark, lambda: run_comparison(max_packets=budget))
     rows = table7_rows(results)
     for row in rows:
         paper = PAPER_TABLE7[row["fuzzer"]]
@@ -32,6 +34,8 @@ def bench_table7_efficiency(benchmark):
         row["paper_eff"] = paper[2]
     print_table("Table VII — mutation efficiency (measured vs paper)", rows)
 
+    if quick:
+        return
     eff = {name: r.efficiency for name, r in results.items()}
     # Bands around the paper's values (shape, not absolutes).
     assert 0.60 < eff["L2Fuzz"].mp_ratio < 0.80

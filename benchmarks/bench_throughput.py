@@ -12,15 +12,17 @@ import pytest
 
 from repro.analysis.comparison import run_comparison
 
-from benchmarks.bench_helpers import print_table, run_once
+from benchmarks.bench_helpers import print_table, run_once, scaled
 
 BUDGET = 10_000
+QUICK_BUDGET = 1_500
 
 PAPER_PPS = {"L2Fuzz": 524.27, "Defensics": 3.37, "BFuzz": 454.54, "BSS": 1.95}
 
 
-def bench_throughput(benchmark):
-    results = run_once(benchmark, lambda: run_comparison(max_packets=BUDGET))
+def bench_throughput(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    results = run_once(benchmark, lambda: run_comparison(max_packets=budget))
     rows = []
     for name, result in results.items():
         rows.append(

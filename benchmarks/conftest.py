@@ -1,0 +1,26 @@
+"""Benchmark-harness options.
+
+``--quick`` turns the benchmark suite into a CI smoke run: budgets
+shrink to a fraction of the paper's and the paper-value assertions are
+skipped (tiny budgets cannot reproduce the published numbers — the
+smoke run only proves every benchmark still executes end to end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: tiny budgets, paper-value assertions skipped",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """Whether the run is in ``--quick`` smoke mode."""
+    return request.config.getoption("--quick")

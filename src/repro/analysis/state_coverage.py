@@ -243,6 +243,26 @@ def state_coverage(sniffer: PacketSniffer) -> frozenset[ChannelState]:
     return StateCoverageAnalyzer().analyze(sniffer)
 
 
+def packets_to_coverage(sniffer: PacketSniffer, target_count: int) -> int | None:
+    """Transmitted packets until the trace demonstrates *target_count* states.
+
+    Replays the trace through a fresh analyzer in order and returns the
+    number of fuzzer→target packets on the wire when the wire-inferred
+    coverage first reaches *target_count* — the packets-to-coverage
+    metric the corpus feedback benchmark compares schedulers on. None
+    when the trace never gets there.
+    """
+    analyzer = StateCoverageAnalyzer()
+    sent = 0
+    for entry in sniffer.trace:
+        if entry.direction is Direction.SENT:
+            sent += 1
+        analyzer.feed(entry)
+        if analyzer.coverage_count >= target_count:
+            return sent
+    return None
+
+
 def coverage_report(covered: frozenset[ChannelState]) -> dict:
     """Summarise coverage the way Fig. 10 / Fig. 11 present it."""
     return {

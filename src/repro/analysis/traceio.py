@@ -46,6 +46,25 @@ def dict_to_entry(record: dict) -> TracedPacket:
     )
 
 
+def packets_to_hex(packets: Iterable[L2capPacket]) -> list[str]:
+    """Serialise a packet sequence as raw-frame hex strings.
+
+    The hex frames are the corpus subsystem's canonical packet
+    representation: byte-exact, JSON-safe, and the sole input to corpus
+    content-hash IDs.
+    """
+    return [packet.encode().hex() for packet in packets]
+
+
+def packets_from_hex(frames: Iterable[str]) -> list[L2capPacket]:
+    """Decode a hex-frame sequence back into packets.
+
+    :raises PacketDecodeError: on undecodable frames.
+    :raises ValueError: on non-hex input.
+    """
+    return [L2capPacket.decode(bytes.fromhex(frame)) for frame in frames]
+
+
 def dump_trace(sniffer: PacketSniffer) -> str:
     """Serialise a sniffer's whole trace as JSON Lines."""
     return "\n".join(json.dumps(entry_to_dict(entry)) for entry in sniffer.trace)

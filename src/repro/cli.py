@@ -8,6 +8,8 @@ Commands:
 * ``fleet`` — run a profile × strategy fleet and merge the reports.
 * ``compare`` — run the four-fuzzer comparison (Table VII, Fig. 10).
 * ``survey`` — run Table VI across all eight devices.
+* ``replay`` — replay a saved JSONL trace against a fresh target.
+* ``corpus`` — inspect, minimise, replay or export a shared corpus.
 """
 
 from __future__ import annotations
@@ -72,14 +74,24 @@ def cmd_scan(args) -> int:
 
 def cmd_fuzz(args) -> int:
     """Full campaign against one device."""
+    from repro.core.fleet import load_corpus_seeds
+
     profile = _profile(args.device)
     config = FuzzConfig(max_packets=args.budget, seed=args.seed)
+    prior_visits, dictionary = load_corpus_seeds(args.corpus)
+    try:
+        strategy = make_strategy(args.strategy, prior_visits=prior_visits or None)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     session = FuzzSession(
         profile,
         config,
         armed=not args.disarm,
         zero_latency=args.disarm,
         auto_reset=args.auto_reset,
+        strategy=strategy,
+        corpus_dir=args.corpus,
+        dictionary=dictionary,
     )
     report = session.run()
     print(report.summary())
@@ -133,6 +145,7 @@ def cmd_fleet(args) -> int:
         base_config=FuzzConfig(max_packets=args.budget),
         armed=not args.disarm,
         target_state=target_state,
+        corpus_dir=args.corpus,
     )
     report = orchestrator.run()
     rendered = report.to_json() if args.format == "json" else report.to_markdown()
@@ -157,6 +170,150 @@ def cmd_compare(args) -> int:
     print()
     for name, count in figure10_bars(results).items():
         print(f"{name:<11} {count:>2}/19  {'#' * count}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a saved JSONL trace's sent packets against a fresh target.
+
+    Exit code 0 when the trace crashes the target (the finding
+    reproduces), 1 when the target survives — CI-friendly either way.
+    """
+    from repro.analysis.traceio import load_trace
+    from repro.core.triage import (
+        minimize_trigger,
+        profile_target_factory,
+        replay,
+        sent_packets,
+        triage_report,
+    )
+
+    profile = _profile(args.device)
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            packets = sent_packets(load_trace(handle.read()))
+    except OSError as error:
+        raise SystemExit(f"cannot read trace: {error}") from None
+    if not packets:
+        raise SystemExit(f"no sent packets in trace {args.trace!r}")
+    factory = profile_target_factory(profile, armed=not args.disarm)
+    outcome = replay(packets, factory)
+    if outcome.crashed:
+        print(
+            f"crash reproduced after {outcome.frames_replayed} packet(s): "
+            f"{outcome.error_message}"
+            + (f" [{outcome.crash_id}]" if outcome.crash_id else "")
+        )
+    else:
+        print(f"no crash: target survived all {outcome.frames_replayed} packet(s)")
+    if args.minimize:
+        if not outcome.crashed:
+            print("nothing to minimise (sequence does not crash the target)")
+        else:
+            minimal = minimize_trigger(packets, factory)
+            print(triage_report(minimal, replay(minimal, factory)))
+    return 0 if outcome.crashed else 1
+
+
+def _corpus_handles(args):
+    from repro.corpus import CorpusStore, FindingDatabase
+
+    store = CorpusStore(args.dir)
+    database = FindingDatabase(args.dir)
+    if not store.exists() and not len(database):
+        raise SystemExit(f"no corpus at {args.dir!r}")
+    return store, database
+
+
+def cmd_corpus_stats(args) -> int:
+    """Summarise a corpus directory."""
+    from repro.corpus.store import state_frequencies_of
+
+    store, database = _corpus_handles(args)
+    # One pass over the entry files; coverage and the per-state
+    # frequencies are derived from the list in hand.
+    entries = store.entries()
+    coverage: set[str] = set()
+    for entry in entries:
+        coverage.update(entry.covered)
+    frequencies = state_frequencies_of(entries)
+    states = [token for token in coverage if ">" not in token]
+    transitions = [token for token in coverage if ">" in token]
+    print(f"corpus: {args.dir}")
+    print(
+        f"entries: {len(entries)}"
+        f" ({sum(entry.packet_count for entry in entries)} packets,"
+        f" canonical: {len(store.canonical_entries())})"
+    )
+    print(f"coverage: {len(states)} state(s), {len(transitions)} transition(s)")
+    for token, count in sorted(frequencies.items()):
+        print(f"  {token:<22} {count}")
+    records = database.records()
+    print(f"findings: {len(records)} bucket(s)")
+    for record in records:
+        print(
+            f"  [{record.vulnerability_class}] {record.vendor} {record.state}"
+            f" x{record.occurrences}"
+            + (f" [{record.crash_id}]" if record.crash_id else "")
+            + f" ({len(record.packets)}-packet reproducer)"
+        )
+    return 0
+
+
+def cmd_corpus_minimize(args) -> int:
+    """cmin: write the canonical minimised corpus."""
+    store, _ = _corpus_handles(args)
+    before = len(store)
+    canonical = store.minimize()
+    packets = sum(entry.packet_count for entry in canonical)
+    print(
+        f"minimised {before} entr(ies) to {len(canonical)} canonical"
+        f" ({packets} packets) -> {store.canonical_path}"
+    )
+    return 0
+
+
+def cmd_corpus_replay(args) -> int:
+    """Regression-replay every stored finding (and optionally entries).
+
+    Exit code 0 when everything reproduces exactly as stored, 1 when
+    any bucket regressed.
+    """
+    from repro.corpus import replay_entry, replay_finding
+
+    store, database = _corpus_handles(args)
+    regressions = 0
+    for record in database.records():
+        result = replay_finding(record, PROFILES_BY_ID)
+        status = "ok" if not result.regression else "REGRESSION"
+        print(
+            f"finding {record.bucket_id} [{record.vulnerability_class}]"
+            f" {record.vendor}: {status}"
+            + (
+                ""
+                if result.reproduced
+                else " (no longer crashes)"
+            )
+        )
+        regressions += int(result.regression)
+    if args.entries:
+        for entry in store.canonical_entries() or store.entries():
+            result = replay_entry(entry, PROFILES_BY_ID)
+            print(
+                f"entry {entry.entry_id[:12]} ({entry.device_id}):"
+                f" {result.packets_replayed} packet(s),"
+                f" {len(result.covered_states)} state(s)"
+                + (f", crashed: {result.error_message}" if result.crashed else "")
+            )
+    print(f"{len(database)} finding(s), {regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+def cmd_corpus_export(args) -> int:
+    """Export every corpus entry as a single JSONL document."""
+    store, _ = _corpus_handles(args)
+    count = store.export_jsonl(args.output)
+    print(f"{count} entr(ies) exported to {args.output}")
     return 0
 
 
@@ -205,6 +362,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--save-trace", metavar="PATH", help="write the trace as JSONL")
     fuzz.add_argument("--show-log", action="store_true", help="print the campaign log")
+    fuzz.add_argument(
+        "--strategy",
+        default="sequential",
+        help=f"exploration strategy: {', '.join(STRATEGY_NAMES)}",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="shared corpus directory to seed from and write back to",
+    )
     fuzz.set_defaults(func=cmd_fuzz)
 
     fleet = commands.add_parser(
@@ -237,7 +404,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("markdown", "json"), default="markdown"
     )
     fleet.add_argument("--output", metavar="PATH", help="write the report to a file")
+    fleet.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="shared corpus directory to seed from and write back to",
+    )
     fleet.set_defaults(func=cmd_fleet)
+
+    replay = commands.add_parser(
+        "replay", help="replay a saved JSONL trace against a fresh target"
+    )
+    replay.add_argument("trace", help="trace file written by fuzz --save-trace")
+    replay.add_argument("--device", default="D2", help="device id (D1..D8)")
+    replay.add_argument(
+        "--disarm", action="store_true", help="replay against a disarmed target"
+    )
+    replay.add_argument(
+        "--minimize",
+        action="store_true",
+        help="delta-debug the trace down to a minimal reproducer",
+    )
+    replay.set_defaults(func=cmd_replay)
+
+    corpus = commands.add_parser(
+        "corpus", help="inspect, minimise, replay or export a shared corpus"
+    )
+    corpus_commands = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_stats = corpus_commands.add_parser("stats", help="corpus summary")
+    corpus_stats.add_argument("dir", help="corpus directory")
+    corpus_stats.set_defaults(func=cmd_corpus_stats)
+
+    corpus_minimize = corpus_commands.add_parser(
+        "minimize", help="cmin: write the canonical minimised corpus"
+    )
+    corpus_minimize.add_argument("dir", help="corpus directory")
+    corpus_minimize.set_defaults(func=cmd_corpus_minimize)
+
+    corpus_replay = corpus_commands.add_parser(
+        "replay", help="regression-replay every stored finding"
+    )
+    corpus_replay.add_argument("dir", help="corpus directory")
+    corpus_replay.add_argument(
+        "--entries",
+        action="store_true",
+        help="also replay corpus entries and report their coverage",
+    )
+    corpus_replay.set_defaults(func=cmd_corpus_replay)
+
+    corpus_export = corpus_commands.add_parser(
+        "export", help="export all entries as one JSONL document"
+    )
+    corpus_export.add_argument("dir", help="corpus directory")
+    corpus_export.add_argument(
+        "--output", required=True, metavar="PATH", help="output JSONL path"
+    )
+    corpus_export.set_defaults(func=cmd_corpus_export)
 
     compare = commands.add_parser("compare", help="four-fuzzer comparison")
     compare.add_argument("--budget", type=int, default=20_000)

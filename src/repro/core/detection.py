@@ -39,6 +39,27 @@ def classify_error(error: TransportError) -> VulnerabilityClass:
     return VulnerabilityClass.CRASH
 
 
+def finding_key(
+    vendor: str,
+    vulnerability_class: VulnerabilityClass | str,
+    trigger: str,
+) -> tuple[str, str, str]:
+    """Canonical deduplication key of a finding.
+
+    Two findings are the same vulnerability when they share ``(vendor,
+    vulnerability class, trigger)`` — the same malformed packet knocking
+    over the same vendor stack the same way, regardless of which device,
+    strategy or campaign hit it first. This is the single key used by
+    the fleet merge, the persistent finding database, and any other
+    cross-campaign deduplication; *trigger* may be a human-readable
+    packet rendering or a content hash of a minimised reproducer, as
+    long as callers are consistent about which they bucket by.
+    """
+    if isinstance(vulnerability_class, VulnerabilityClass):
+        vulnerability_class = vulnerability_class.value
+    return (vendor, vulnerability_class, trigger)
+
+
 @dataclasses.dataclass(frozen=True)
 class Finding:
     """One detected vulnerability.
@@ -60,6 +81,10 @@ class Finding:
     sim_time: float
     ping_failed: bool
     crash_dump: str | None = None
+
+    def key(self, vendor: str) -> tuple[str, str, str]:
+        """This finding's :func:`finding_key` under *vendor*'s stack."""
+        return finding_key(vendor, self.vulnerability_class, self.trigger)
 
 
 class VulnerabilityDetector:

@@ -28,6 +28,7 @@ the greedy least-loaded schedule of those durations over the pool.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import hashlib
 import json
@@ -349,7 +350,7 @@ def merge_reports(
     for run in runs:
         vendor = profiles_by_id[run.spec.device_id].vendor
         for finding in run.report.findings:
-            key = (vendor, finding.vulnerability_class.value, finding.trigger)
+            key = finding.key(vendor)
             seen = deduped.get(key)
             if seen is None:
                 deduped[key] = FleetFinding(
@@ -393,6 +394,11 @@ class FleetOrchestrator:
         copy with its derived seed.
     :param armed: False disarms the injected bugs fleet-wide.
     :param target_state: focus state handed to the ``targeted`` strategy.
+    :param corpus_dir: shared corpus directory. When set, every campaign
+        writes its coverage-unlock sequences and minimised findings back
+        (idempotent, parallel-safe), the ``coverage_guided`` strategy is
+        seeded with the corpus's per-state visit prior, and the mutator
+        splices garbage tails harvested from stored reproducers.
     """
 
     def __init__(
@@ -404,6 +410,7 @@ class FleetOrchestrator:
         base_config: FuzzConfig | None = None,
         armed: bool = True,
         target_state: ChannelState = ChannelState.OPEN,
+        corpus_dir: str | None = None,
     ) -> None:
         if not profiles:
             raise ValueError("fleet needs at least one profile")
@@ -420,6 +427,8 @@ class FleetOrchestrator:
         )
         self.armed = armed
         self.target_state = target_state
+        self.corpus_dir = corpus_dir
+        self._prior_visits, self._dictionary = load_corpus_seeds(corpus_dir)
         self._profiles_by_id = {
             profile.device_id: profile for profile in self.profiles
         }
@@ -448,6 +457,9 @@ class FleetOrchestrator:
                     self.base_config,
                     self.armed,
                     self.target_state.value,
+                    self.corpus_dir,
+                    self._prior_visits,
+                    self._dictionary,
                 )
                 for spec, strategy_input in matrix
             ]
@@ -500,31 +512,86 @@ class FleetOrchestrator:
         self, spec: CampaignSpec, strategy_input: str | ExplorationStrategy
     ) -> CampaignRun:
         if isinstance(strategy_input, str):
-            strategy = make_strategy(strategy_input, target=self.target_state)
+            strategy = make_strategy(
+                strategy_input,
+                target=self.target_state,
+                prior_visits=self._prior_visits or None,
+            )
         else:
-            strategy = strategy_input
+            # Object strategies dispatch onto the thread pool, where one
+            # shared instance would leak per-campaign scheduling state
+            # (e.g. EnergyScheduler's live visit view) across concurrent
+            # campaigns; give every campaign its own copy.
+            strategy = copy.copy(strategy_input)
         report = run_campaign(
             self._profiles_by_id[spec.device_id],
             config=dataclasses.replace(self.base_config, seed=spec.seed),
             armed=self.armed,
             strategy=strategy,
+            corpus_dir=self.corpus_dir,
+            dictionary=self._dictionary,
         )
         return CampaignRun(spec=spec, report=report)
 
 
+def load_corpus_seeds(
+    corpus_dir: str | None,
+) -> tuple[dict[str, int], tuple[bytes, ...]]:
+    """Visit prior + splice dictionary from an existing shared corpus.
+
+    Both come back empty for a cold corpus (or none at all), which
+    leaves every campaign exactly as seeded: the corpus only *adds*
+    guidance once previous runs have fed it.
+    """
+    if corpus_dir is None:
+        return {}, ()
+    from repro.corpus.findings import FindingDatabase
+    from repro.corpus.store import CorpusStore
+
+    # Both handles tolerate missing directories, so a cold, partial
+    # (findings-only) or pruned corpus degrades gracefully to an empty
+    # prior/dictionary instead of being skipped wholesale.
+    return (
+        CorpusStore(corpus_dir).state_frequencies(),
+        FindingDatabase(corpus_dir).garbage_dictionary(),
+    )
+
+
 def _run_spec_job(
-    job: tuple[CampaignSpec, str, FuzzConfig, bool, str]
+    job: tuple[
+        CampaignSpec,
+        str,
+        FuzzConfig,
+        bool,
+        str,
+        str | None,
+        dict[str, int],
+        tuple[bytes, ...],
+    ]
 ) -> CampaignRun:
     """Process-pool entry point: rebuild the campaign from the registry."""
     from repro.testbed.profiles import PROFILES_BY_ID
 
-    spec, strategy_name, base_config, armed, target_state_value = job
+    (
+        spec,
+        strategy_name,
+        base_config,
+        armed,
+        target_state_value,
+        corpus_dir,
+        prior_visits,
+        dictionary,
+    ) = job
     report = run_campaign(
         PROFILES_BY_ID[spec.device_id],
         config=dataclasses.replace(base_config, seed=spec.seed),
         armed=armed,
         strategy=make_strategy(
-            strategy_name, target=ChannelState(target_state_value)
+            strategy_name,
+            target=ChannelState(target_state_value),
+            prior_visits=prior_visits or None,
         ),
+        corpus_dir=corpus_dir,
+        dictionary=dictionary,
     )
     return CampaignRun(spec=spec, report=report)

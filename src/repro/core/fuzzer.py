@@ -56,6 +56,9 @@ class L2Fuzz:
     :param target_name: label used in reports.
     :param strategy: exploration strategy scheduling the state plan;
         None keeps the seed behaviour (sequential).
+    :param dictionary: corpus-harvested garbage tails handed to the
+        mutator for cross-campaign splicing; empty keeps the seed
+        mutation stream byte-identical.
     """
 
     def __init__(
@@ -68,6 +71,7 @@ class L2Fuzz:
         reset_hook: Callable[[], None] | None = None,
         target_name: str = "target",
         strategy: ExplorationStrategy | None = None,
+        dictionary: Sequence[bytes] = (),
     ) -> None:
         self.config = config if config is not None else FuzzConfig()
         self.link = link
@@ -75,7 +79,9 @@ class L2Fuzz:
         self.queue = PacketQueue(link, self.sniffer)
         self.scanner = TargetScanner(self.queue, inquiry, browse)
         self.detector = VulnerabilityDetector(self.queue, dump_probe)
-        self.mutator = CoreFieldMutator(self.config, random.Random(self.config.seed))
+        self.mutator = CoreFieldMutator(
+            self.config, random.Random(self.config.seed), dictionary=dictionary
+        )
         self.log = FuzzLog()
         self.reset_hook = reset_hook
         self.target_name = target_name
@@ -83,6 +89,10 @@ class L2Fuzz:
         self.findings: list[Finding] = []
         self.state_visits: dict[ChannelState, int] = {}
         self.transition_visits: dict[tuple[ChannelState, ChannelState], int] = {}
+        #: Coverage-unlock log for the corpus subsystem: each time a
+        #: state or plan transition is seen for the first time, the new
+        #: tokens plus the sent-packet prefix length that got there.
+        self.coverage_log: list[tuple[tuple[str, ...], int]] = []
         self._previous_state: ChannelState | None = None
         self._last_trigger = "(none)"
         self._sweeps = 0
@@ -183,11 +193,22 @@ class L2Fuzz:
 
     def _record_visit(self, state) -> None:
         """Count one successful entry (and its plan-order transition)."""
+        unlocked: list[str] = []
         self.state_visits[state] = self.state_visits.get(state, 0) + 1
+        if self.state_visits[state] == 1:
+            unlocked.append(state.value)
         if self._previous_state is not None:
             edge = (self._previous_state, state)
             self.transition_visits[edge] = self.transition_visits.get(edge, 0) + 1
+            if self.transition_visits[edge] == 1:
+                unlocked.append(f"{edge[0].value}>{edge[1].value}")
         self._previous_state = state
+        if unlocked:
+            # The routing packets that reached *state* are already on the
+            # wire, so this prefix is a replayable witness of the unlock.
+            self.coverage_log.append(
+                (tuple(unlocked), self.sniffer.transmitted_count())
+            )
 
     def _ping_checkpoint(self, state_name: str) -> bool:
         """Detection-phase ping test. True = stop campaign."""

@@ -40,17 +40,28 @@ class CoreFieldMutator:
     :param rng: seeded random source (determinism for replay).
     :param signaling_mtu: the target's signaling MTU; garbage tails are
         clamped so ``wire length <= MTU`` always holds.
+    :param dictionary: garbage tails harvested from a shared corpus
+        (known-crashing reproducer tails); when non-empty, a quarter of
+        the generated tails splice a dictionary token instead of fresh
+        random bytes — cross-campaign seed sharing at the mutation
+        level. Empty (the default) leaves the RNG stream untouched, so
+        seeded campaigns without a corpus stay byte-identical.
     """
+
+    #: Probability that a garbage tail is spliced from the dictionary.
+    SPLICE_RATE = 0.25
 
     def __init__(
         self,
         config: FuzzConfig,
         rng: random.Random,
         signaling_mtu: int = MIN_SIGNALING_MTU,
+        dictionary: Iterable[bytes] = (),
     ) -> None:
         self.config = config
         self.rng = rng
         self.signaling_mtu = signaling_mtu
+        self.dictionary = tuple(tail for tail in dictionary if tail)
 
     def mutate(self, code: CommandCode, identifier: int) -> L2capPacket:
         """Build one malformed packet for *code* (Algorithm 1 lines 5-21).
@@ -80,6 +91,9 @@ class CoreFieldMutator:
         headroom = self.signaling_mtu - packet.wire_length
         if headroom <= 0:
             return b""
+        if self.dictionary and self.rng.random() < self.SPLICE_RATE:
+            token = self.dictionary[self.rng.randrange(len(self.dictionary))]
+            return token[: min(headroom, self.config.max_garbage)]
         length = self.rng.randint(1, min(self.config.max_garbage, headroom))
         return bytes(self.rng.getrandbits(8) for _ in range(length))
 

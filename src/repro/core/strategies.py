@@ -274,17 +274,22 @@ STRATEGY_NAMES: tuple[str, ...] = (
     "breadth_first",
     "depth_first",
     "targeted",
+    "coverage_guided",
 )
 
 
 def make_strategy(
-    name: str, target: ChannelState | None = None
+    name: str,
+    target: ChannelState | None = None,
+    prior_visits: Mapping[str, int] | None = None,
 ) -> ExplorationStrategy:
     """Build a strategy from its registry name.
 
     :param name: one of :data:`STRATEGY_NAMES`.
     :param target: target state for ``targeted`` (default OPEN); ignored
         by the other strategies.
+    :param prior_visits: cross-campaign visit prior (state name →
+        count) for ``coverage_guided``; ignored by the other strategies.
     :raises ValueError: for an unknown name.
     """
     if name == "sequential":
@@ -297,6 +302,12 @@ def make_strategy(
         if target is None:
             return TargetedStrategy()
         return TargetedStrategy(target=target)
+    if name == "coverage_guided":
+        # Imported lazily: the scheduler lives with the corpus subsystem
+        # it feeds from, and core stays import-light without it.
+        from repro.corpus.scheduler import EnergyScheduler
+
+        return EnergyScheduler(prior_visits=prior_visits)
     raise ValueError(
         f"unknown strategy {name!r}; choose from {', '.join(STRATEGY_NAMES)}"
     )

@@ -27,6 +27,24 @@ from repro.l2cap.packets import L2capPacket
 TargetFactory = Callable[[], tuple[object, object]]
 
 
+def profile_target_factory(profile, armed: bool = True) -> TargetFactory:
+    """Target factory for a testbed profile.
+
+    Each call builds a fresh virtual device from *profile* and wires a
+    zero-latency link to it — replay only cares whether the target
+    survives the stimulus, so response latency is stripped for speed.
+    """
+    from repro.hci.transport import VirtualLink
+
+    def factory() -> tuple[object, object]:
+        device = profile.build(armed=armed, zero_latency=True)
+        link = VirtualLink(clock=device.clock)
+        device.attach_to(link)
+        return device, link
+
+    return factory
+
+
 @dataclasses.dataclass(frozen=True)
 class ReplayOutcome:
     """Result of replaying a packet sequence."""

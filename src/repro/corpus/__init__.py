@@ -1,0 +1,35 @@
+"""Coverage-guided corpus: persistent findings + cross-campaign seeds.
+
+The corpus subsystem makes campaigns stateful *across* runs:
+
+* :class:`~repro.corpus.store.CorpusStore` persists the packet
+  sequences that unlocked state/transition coverage, content-addressed
+  and ``cmin``-minimisable into a canonical seed set;
+* :class:`~repro.corpus.findings.FindingDatabase` buckets crashes by
+  ``(vendor, class, minimised-trigger hash)`` and deduplicates them
+  across runs;
+* :class:`~repro.corpus.scheduler.EnergyScheduler` feeds visit counts
+  (campaign-local plus corpus prior) back into mutation scheduling;
+* :mod:`~repro.corpus.replay` re-fires stored entries and findings
+  against fresh targets, deterministically.
+"""
+
+from repro.corpus.entry import CorpusEntry, content_id, transition_token
+from repro.corpus.findings import FindingDatabase, FindingRecord
+from repro.corpus.replay import replay_entry, replay_finding
+from repro.corpus.scheduler import EnergyScheduler, prior_from_corpus
+from repro.corpus.store import CorpusStore, record_campaign
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusStore",
+    "EnergyScheduler",
+    "FindingDatabase",
+    "FindingRecord",
+    "content_id",
+    "prior_from_corpus",
+    "record_campaign",
+    "replay_entry",
+    "replay_finding",
+    "transition_token",
+]

@@ -1,0 +1,238 @@
+"""The persistent finding database: crash buckets that survive runs.
+
+Findings are bucketed by :func:`repro.core.detection.finding_key` over
+``(vendor, vulnerability class, minimised-trigger hash)`` — the same key
+the fleet merge deduplicates with, except that here the trigger is the
+content hash of the *minimised* reproducer rather than a human-readable
+rendering, so cosmetic differences between campaigns (identifiers,
+garbage-tail noise that minimisation strips) collapse into one bucket.
+
+Each bucket is one JSON file under ``findings/`` in the corpus
+directory, carrying the minimised packet sequence that reproduces the
+crash. Recording an already-known bucket increments its occurrence
+count — that is the cross-run duplicate detection — and
+:func:`repro.corpus.replay.replay_finding` re-fires stored reproducers
+against a fresh target, which is the regression half: a bucket that no
+longer reproduces (or reproduces differently) is flagged instead of
+silently trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.traceio import packets_from_hex, packets_to_hex
+from repro.core.detection import Finding, finding_key
+from repro.core.triage import minimize_trigger, profile_target_factory, replay
+from repro.corpus.store import _atomic_write
+from repro.l2cap.packets import L2capPacket
+
+FINDINGS_DIR = "findings"
+
+
+def trigger_hash(packets: Sequence[L2capPacket]) -> str:
+    """Bucketing hash of a minimised reproducer.
+
+    Hashes the reproducer's *shape* — the command sequence — rather
+    than its raw bytes: two campaigns that hit the same bug with
+    different seeds minimise to the same command skeleton but different
+    identifiers, CIDs and garbage, and must land in the same bucket.
+    This is the crash-bucketing analogue of stack-hash dedup; distinct
+    vulnerabilities on one stack minimise to distinct command shapes.
+    """
+    shape = ",".join(
+        f"DATA_0x{packet.header_cid:04X}" if packet.is_data_frame
+        else packet.command_name
+        for packet in packets
+    )
+    return hashlib.sha256(shape.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class FindingRecord:
+    """One persistent crash bucket.
+
+    :param vendor: vendor stack the trigger knocked over.
+    :param vulnerability_class: "DoS" or "Crash" (Table VI labels).
+    :param trigger: human-readable rendering of the trigger packet.
+    :param trigger_hash: content hash of the minimised reproducer.
+    :param device_id: profile the finding was first recorded against.
+    :param state: state-plan entry under test at detection.
+    :param error_message: canonical socket error observed.
+    :param packets: the minimised reproducer, hex frames in send order.
+    :param crash_id: vulnerability ID confirmed by replay, if any.
+    :param sim_time: simulated first-detection time.
+    :param occurrences: campaign findings collapsed into this bucket.
+    """
+
+    vendor: str
+    vulnerability_class: str
+    trigger: str
+    trigger_hash: str
+    device_id: str
+    state: str
+    error_message: str
+    packets: tuple[str, ...]
+    crash_id: str | None
+    sim_time: float
+    occurrences: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The shared dedup key (trigger slot carries the hash)."""
+        return finding_key(self.vendor, self.vulnerability_class, self.trigger_hash)
+
+    @property
+    def bucket_id(self) -> str:
+        """Filesystem-safe bucket name derived from :attr:`key`."""
+        payload = json.dumps(list(self.key), separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def decode_packets(self) -> list[L2capPacket]:
+        """Materialise the reproducer for replay."""
+        return packets_from_hex(self.packets)
+
+
+def record_to_dict(record: FindingRecord) -> dict:
+    """Render a record as a JSON-ready dict."""
+    return {
+        "vendor": record.vendor,
+        "class": record.vulnerability_class,
+        "trigger": record.trigger,
+        "trigger_hash": record.trigger_hash,
+        "device_id": record.device_id,
+        "state": record.state,
+        "error": record.error_message,
+        "packets": list(record.packets),
+        "crash_id": record.crash_id,
+        "sim_time": round(record.sim_time, 6),
+        "occurrences": record.occurrences,
+    }
+
+
+def dict_to_record(data: dict) -> FindingRecord:
+    """Rebuild a record from its dict form."""
+    return FindingRecord(
+        vendor=data["vendor"],
+        vulnerability_class=data["class"],
+        trigger=data["trigger"],
+        trigger_hash=data["trigger_hash"],
+        device_id=data["device_id"],
+        state=data["state"],
+        error_message=data["error"],
+        packets=tuple(data["packets"]),
+        crash_id=data.get("crash_id"),
+        sim_time=float(data["sim_time"]),
+        occurrences=int(data.get("occurrences", 1)),
+    )
+
+
+class FindingDatabase:
+    """Bucketed, persistent crash database inside a corpus directory.
+
+    :param root: the corpus directory (buckets live in ``findings/``).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    @property
+    def findings_dir(self) -> Path:
+        return self.root / FINDINGS_DIR
+
+    def _bucket_path(self, record: FindingRecord) -> Path:
+        return self.findings_dir / f"{record.bucket_id}.json"
+
+    def record(self, record: FindingRecord) -> str:
+        """Store *record*; returns ``"new"`` or ``"duplicate"``.
+
+        A duplicate (same bucket key, possibly from an earlier run)
+        keeps the first-seen record and bumps its occurrence count —
+        that is the cross-run deduplication. The read-modify-write is
+        not transactional, so occurrence counts may undercount under
+        heavily parallel ingestion; bucket membership never does.
+        """
+        self.findings_dir.mkdir(parents=True, exist_ok=True)
+        path = self._bucket_path(record)
+        if path.exists():
+            seen = dict_to_record(json.loads(path.read_text(encoding="utf-8")))
+            updated = dataclasses.replace(
+                seen, occurrences=seen.occurrences + record.occurrences
+            )
+            _atomic_write(path, json.dumps(record_to_dict(updated), sort_keys=True) + "\n")
+            return "duplicate"
+        _atomic_write(path, json.dumps(record_to_dict(record), sort_keys=True) + "\n")
+        return "new"
+
+    def records(self) -> list[FindingRecord]:
+        """Every bucket, sorted by bucket ID (deterministic order)."""
+        if not self.findings_dir.is_dir():
+            return []
+        return [
+            dict_to_record(json.loads(path.read_text(encoding="utf-8")))
+            for path in sorted(self.findings_dir.glob("*.json"))
+        ]
+
+    def __len__(self) -> int:
+        if not self.findings_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.findings_dir.glob("*.json"))
+
+    def garbage_dictionary(self) -> tuple[bytes, ...]:
+        """Known-crashing garbage tails, for cross-campaign splicing.
+
+        Collects the garbage tail of every stored reproducer's trigger
+        packet (deduplicated, sorted — deterministic), which the
+        mutator can splice into fresh campaigns against other vendors.
+        """
+        tails: set[bytes] = set()
+        for record in self.records():
+            for packet in record.decode_packets():
+                if packet.garbage:
+                    tails.add(bytes(packet.garbage))
+        return tuple(sorted(tails))
+
+
+def record_from_campaign(
+    database: FindingDatabase,
+    finding: Finding,
+    profile,
+    packets: Sequence[L2capPacket],
+    minimize: bool = True,
+) -> str:
+    """Minimise a campaign finding and store it in *database*.
+
+    *packets* is the fuzzer→target prefix up to the detection; it is
+    delta-debugged down to the essential trigger (unless *minimize* is
+    off), replayed once to confirm and to harvest the crash ID, and
+    bucketed under the minimised-trigger hash. Reproducers always
+    minimise to the *earliest* trigger in the prefix, so auto-reset
+    campaigns that re-hit the same bug collapse into one bucket.
+
+    Returns the database status, or ``"not-reproducible"`` when the
+    prefix does not crash a fresh target (nothing is stored).
+    """
+    factory = profile_target_factory(profile, armed=True)
+    sequence = list(packets)
+    if not replay(sequence, factory).crashed:
+        return "not-reproducible"
+    if minimize:
+        sequence = minimize_trigger(sequence, factory)
+    outcome = replay(sequence, factory)
+    record = FindingRecord(
+        vendor=profile.vendor,
+        vulnerability_class=finding.vulnerability_class.value,
+        trigger=finding.trigger,
+        trigger_hash=trigger_hash(sequence),
+        device_id=profile.device_id,
+        state=finding.state,
+        error_message=finding.error_message,
+        packets=tuple(packets_to_hex(sequence)),
+        crash_id=outcome.crash_id,
+        sim_time=finding.sim_time,
+    )
+    return database.record(record)

@@ -1,0 +1,246 @@
+"""The persistent, shareable corpus store.
+
+Layout of a corpus directory::
+
+    corpus/
+    ├── entries/<content-hash>.json   one JSONL-style line per entry
+    ├── findings/<bucket>.json        persistent finding database
+    └── corpus.jsonl                  canonical minimised corpus (cmin)
+
+Entries are written write-once under their content-hash ID with an
+atomic rename, which makes the store safe to share between fleet
+workers (process or thread pools) without locking: two workers that
+record the same sequence race to publish byte-identical files, and
+whoever loses the race simply finds the entry already present. The same
+property makes ingestion idempotent across repeated runs.
+
+:func:`CorpusStore.minimize` is the ``afl-cmin`` equivalent: for every
+coverage token pick the cheapest entry (fewest packets, then lowest ID)
+that exercises it, and the canonical corpus is the union of winners —
+a minimal-ish seed set that still reaches everything the fleet reached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.corpus.entry import (
+    CorpusEntry,
+    dict_to_entry,
+    entry_from_packets,
+    entry_to_dict,
+    transition_token,
+)
+
+ENTRIES_DIR = "entries"
+CANONICAL_FILE = "corpus.jsonl"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Publish *text* at *path* atomically (same-directory rename).
+
+    The temp name carries both pid and thread id: fleet workers may be
+    threads of one process, and two writers racing on one bucket must
+    never share a temp file (the loser's rename would raise).
+    """
+    tmp = path.with_name(
+        f".tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
+    )
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def state_frequencies_of(entries: list[CorpusEntry]) -> dict[str, int]:
+    """Per-state coverage counts over an entry list (transitions —
+    tokens carrying ``>`` — never count towards the state prior)."""
+    counts: dict[str, int] = {}
+    for entry in entries:
+        for token in entry.covered:
+            if ">" not in token:
+                counts[token] = counts.get(token, 0) + 1
+    return counts
+
+
+class CorpusStore:
+    """Directory-backed corpus of interesting packet sequences.
+
+    :param root: corpus directory (created lazily on first write).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- paths --------------------------------------------------------------------
+
+    @property
+    def entries_dir(self) -> Path:
+        return self.root / ENTRIES_DIR
+
+    @property
+    def canonical_path(self) -> Path:
+        return self.root / CANONICAL_FILE
+
+    def exists(self) -> bool:
+        """Whether anything has ever been written to this corpus."""
+        return self.entries_dir.is_dir() or self.canonical_path.is_file()
+
+    # -- writing ------------------------------------------------------------------
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Persist *entry*; returns False when it was already stored.
+
+        Content-addressed and atomic: concurrent adders of the same
+        sequence converge on one byte-identical file.
+        """
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        path = self.entries_dir / f"{entry.entry_id}.json"
+        if path.exists():
+            return False
+        _atomic_write(path, json.dumps(entry_to_dict(entry), sort_keys=True) + "\n")
+        return True
+
+    # -- reading ------------------------------------------------------------------
+
+    def entries(self) -> list[CorpusEntry]:
+        """Every stored entry, sorted by ID (deterministic order)."""
+        if not self.entries_dir.is_dir():
+            return []
+        entries = []
+        for path in sorted(self.entries_dir.glob("*.json")):
+            entries.append(dict_to_entry(json.loads(path.read_text(encoding="utf-8"))))
+        return entries
+
+    def __len__(self) -> int:
+        if not self.entries_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.entries_dir.glob("*.json"))
+
+    def coverage(self) -> frozenset[str]:
+        """Union of every entry's coverage tokens."""
+        covered: set[str] = set()
+        for entry in self.entries():
+            covered.update(entry.covered)
+        return frozenset(covered)
+
+    def state_frequencies(self) -> dict[str, int]:
+        """Per-state entry counts — the cross-campaign visit prior.
+
+        How many stored entries exercise each state token; rare states
+        score low, which is exactly what the
+        :class:`~repro.corpus.scheduler.EnergyScheduler` boosts.
+        """
+        return state_frequencies_of(self.entries())
+
+    # -- minimisation -------------------------------------------------------------
+
+    def minimize(self, write: bool = True) -> list[CorpusEntry]:
+        """``cmin``: reduce the corpus to a canonical covering seed set.
+
+        For every coverage token keep the cheapest entry covering it
+        (fewest packets, ties by entry ID); the canonical corpus is the
+        deduplicated union, sorted by ID. When *write* is set the result
+        is persisted to ``corpus.jsonl``.
+        """
+        best: dict[str, CorpusEntry] = {}
+        for entry in self.entries():
+            cost = (entry.packet_count, entry.entry_id)
+            for token in entry.covered:
+                seen = best.get(token)
+                if seen is None or cost < (seen.packet_count, seen.entry_id):
+                    best[token] = entry
+        canonical = sorted(
+            {entry.entry_id: entry for entry in best.values()}.values(),
+            key=lambda entry: entry.entry_id,
+        )
+        if write:
+            self.root.mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                self.canonical_path,
+                "".join(
+                    json.dumps(entry_to_dict(entry), sort_keys=True) + "\n"
+                    for entry in canonical
+                ),
+            )
+        return canonical
+
+    def canonical_entries(self) -> list[CorpusEntry]:
+        """The minimised corpus, if one has been written."""
+        if not self.canonical_path.is_file():
+            return []
+        return [
+            dict_to_entry(json.loads(line))
+            for line in self.canonical_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def export_jsonl(self, path) -> int:
+        """Write the whole corpus (all entries) as one JSONL document."""
+        entries = self.entries()
+        Path(path).write_text(
+            "".join(
+                json.dumps(entry_to_dict(entry), sort_keys=True) + "\n"
+                for entry in entries
+            ),
+            encoding="utf-8",
+        )
+        return len(entries)
+
+
+def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
+    """Write one finished campaign back into the shared corpus.
+
+    Persists every coverage-unlock prefix the fuzzer logged as a corpus
+    entry, and every finding into the finding database (minimised to its
+    essential trigger). Returns a small summary dict
+    ``{"entries_added", "findings_new", "findings_duplicate"}``.
+    """
+    from repro.corpus.findings import FindingDatabase, record_from_campaign
+
+    store = CorpusStore(root)
+    sent_entries = fuzzer.sniffer.sent()
+    cumulative: set[str] = set()
+    added = 0
+    for tokens, prefix_len in fuzzer.coverage_log:
+        cumulative.update(tokens)
+        if prefix_len == 0:
+            # Coverage unlocked before anything was sent (the plan's
+            # entry posture): nothing to replay, nothing worth storing.
+            continue
+        entry = entry_from_packets(
+            packets=[traced.packet for traced in sent_entries[:prefix_len]],
+            unlocked=tokens,
+            covered=cumulative,
+            device_id=profile.device_id,
+            strategy=report.strategy,
+            seed=fuzzer.config.seed,
+            armed=armed,
+        )
+        if store.add(entry):
+            added += 1
+
+    database = FindingDatabase(root)
+    statuses = {"new": 0, "duplicate": 0}
+    for finding in report.findings:
+        prefix = [
+            traced.packet
+            for traced in sent_entries
+            if traced.sim_time <= finding.sim_time
+        ]
+        status = record_from_campaign(database, finding, profile, prefix)
+        if status in statuses:
+            statuses[status] += 1
+    return {
+        "entries_added": added,
+        "findings_new": statuses["new"],
+        "findings_duplicate": statuses["duplicate"],
+    }
+
+
+__all__ = [
+    "CorpusStore",
+    "record_campaign",
+    "transition_token",
+]

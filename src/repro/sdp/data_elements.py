@@ -134,6 +134,8 @@ class DataElement:
         if kind is ElementType.SIGNED_INT:
             return cls(kind, int.from_bytes(body, "big", signed=True), length), end
         if kind is ElementType.BOOL:
+            if length != 1:
+                raise PacketDecodeError(f"bool element of {length} bytes")
             return cls(kind, bool(body[0]), 1), end
         if kind in (ElementType.TEXT, ElementType.URL):
             return cls(kind, body.decode("utf-8", errors="replace"), len(body)), end

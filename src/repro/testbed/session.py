@@ -35,6 +35,11 @@ class FuzzSession:
         devices are reset and the campaign continues.
     :param strategy: exploration strategy (instance or registry name);
         None keeps the seed's sequential schedule.
+    :param corpus_dir: shared corpus directory; when set, the campaign's
+        coverage-unlock sequences and minimised findings are written
+        back after the run (safe under parallel fleet workers).
+    :param dictionary: corpus-harvested garbage tails spliced into the
+        mutation stream; empty keeps the seed behaviour byte-identical.
     """
 
     profile: DeviceProfile
@@ -44,6 +49,8 @@ class FuzzSession:
     pps: float = L2FUZZ_PPS
     auto_reset: bool = False
     strategy: ExplorationStrategy | str | None = None
+    corpus_dir: str | None = None
+    dictionary: tuple[bytes, ...] = ()
 
     def __post_init__(self) -> None:
         self.clock = SimClock()
@@ -67,14 +74,30 @@ class FuzzSession:
             reset_hook=self._reset_target,
             target_name=f"{self.profile.device_id} ({self.profile.name})",
             strategy=strategy,
+            dictionary=self.dictionary,
         )
 
     def _reset_target(self) -> None:
         self.device.reset(self.link)
 
     def run(self) -> CampaignReport:
-        """Run the campaign to completion and return the report."""
-        return self.fuzzer.run()
+        """Run the campaign to completion and return the report.
+
+        With :attr:`corpus_dir` set, the finished campaign is written
+        back into the shared corpus before the report is returned.
+        """
+        report = self.fuzzer.run()
+        if self.corpus_dir is not None:
+            from repro.corpus.store import record_campaign
+
+            record_campaign(
+                self.corpus_dir,
+                self.profile,
+                self.fuzzer,
+                report,
+                armed=self.armed,
+            )
+        return report
 
 
 def run_campaign(
@@ -85,6 +108,8 @@ def run_campaign(
     pps: float = L2FUZZ_PPS,
     auto_reset: bool = False,
     strategy: ExplorationStrategy | str | None = None,
+    corpus_dir: str | None = None,
+    dictionary: tuple[bytes, ...] = (),
 ) -> CampaignReport:
     """Convenience one-shot: build a session and run it."""
     session = FuzzSession(
@@ -95,5 +120,7 @@ def run_campaign(
         pps=pps,
         auto_reset=auto_reset,
         strategy=strategy,
+        corpus_dir=corpus_dir,
+        dictionary=dictionary,
     )
     return session.run()

@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.detection import (
+    Finding,
     VulnerabilityClass,
     VulnerabilityDetector,
     classify_error,
+    finding_key,
 )
 from repro.errors import (
     ConnectionAbortedTargetError,
@@ -98,3 +100,34 @@ class TestDiagnose:
         finding = detector.diagnose(ConnectionFailedError(), "OPEN", "pkt")
         assert finding.sim_time >= 0.5
         assert finding.state == "OPEN"
+
+
+class TestFindingKey:
+    """The one shared dedup key for fleet merge and the finding DB."""
+
+    def test_enum_and_string_classes_agree(self):
+        assert finding_key("Google", VulnerabilityClass.DOS, "pkt") == (
+            "Google",
+            "DoS",
+            "pkt",
+        )
+        assert finding_key("Google", "DoS", "pkt") == ("Google", "DoS", "pkt")
+
+    def test_key_discriminates_each_component(self):
+        base = finding_key("Google", "DoS", "pkt")
+        assert finding_key("Apple", "DoS", "pkt") != base
+        assert finding_key("Google", "Crash", "pkt") != base
+        assert finding_key("Google", "DoS", "other") != base
+
+    def test_finding_method_matches_helper(self):
+        finding = Finding(
+            vulnerability_class=VulnerabilityClass.DOS,
+            error_message="Connection Failed",
+            state="WAIT_CONFIG",
+            trigger="CONFIGURATION_REQ(...)",
+            sim_time=1.0,
+            ping_failed=True,
+        )
+        assert finding.key("Google") == finding_key(
+            "Google", VulnerabilityClass.DOS, "CONFIGURATION_REQ(...)"
+        )

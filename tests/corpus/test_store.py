@@ -1,0 +1,124 @@
+"""Tests for the directory-backed corpus store and cmin minimisation."""
+
+from __future__ import annotations
+
+from repro.corpus.entry import entry_from_packets
+from repro.corpus.store import CorpusStore
+from repro.l2cap.packets import connection_request, echo_request
+
+
+def _entry(tokens, packet_count=1, device_id="D2", armed=False, seed=7, ident=1):
+    # *ident* varies the packet bytes, so entries with equal lengths can
+    # still carry distinct content-hash IDs.
+    packets = [
+        echo_request(b"x", identifier=ident + i) for i in range(packet_count)
+    ]
+    return entry_from_packets(
+        packets=packets,
+        unlocked=tokens,
+        covered=tokens,
+        device_id=device_id,
+        strategy="sequential",
+        seed=seed,
+        armed=armed,
+    )
+
+
+class TestStore:
+    def test_empty_store(self, tmp_path):
+        store = CorpusStore(tmp_path / "corpus")
+        assert not store.exists()
+        assert len(store) == 0
+        assert store.entries() == []
+        assert store.coverage() == frozenset()
+
+    def test_add_and_reload(self, tmp_path):
+        store = CorpusStore(tmp_path / "corpus")
+        entry = _entry(["CLOSED"], packet_count=2)
+        assert store.add(entry)
+        assert store.exists()
+        reloaded = CorpusStore(tmp_path / "corpus")
+        assert reloaded.entries() == [entry]
+
+    def test_add_is_idempotent(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        entry = _entry(["CLOSED"])
+        assert store.add(entry)
+        assert not store.add(entry)
+        assert len(store) == 1
+
+    def test_entries_sorted_by_id(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        for count in (3, 1, 2):
+            store.add(_entry(["CLOSED"], packet_count=count))
+        ids = [entry.entry_id for entry in store.entries()]
+        assert ids == sorted(ids)
+
+    def test_coverage_union_and_frequencies(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        store.add(_entry(["CLOSED", "CLOSED>OPEN"], packet_count=1))
+        store.add(_entry(["CLOSED", "OPEN"], packet_count=2))
+        assert store.coverage() == {"CLOSED", "OPEN", "CLOSED>OPEN"}
+        # Transition tokens never count towards the state prior.
+        assert store.state_frequencies() == {"CLOSED": 2, "OPEN": 1}
+
+
+class TestMinimize:
+    def test_cmin_prefers_cheapest_covering_entry(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        store.add(_entry(["CLOSED", "OPEN", "WAIT_CONFIG"], packet_count=9))
+        store.add(_entry(["CLOSED"], packet_count=1, ident=20))
+        store.add(_entry(["OPEN"], packet_count=1, ident=30))
+        canonical = store.minimize()
+        # The 9-packet entry is still the only witness of WAIT_CONFIG,
+        # but CLOSED and OPEN pick their 1-packet entries.
+        covered = set()
+        for entry in canonical:
+            covered.update(entry.covered)
+        assert covered == store.coverage()
+        assert len(canonical) == 3
+        one_packet = [e for e in canonical if e.packet_count == 1]
+        assert len(one_packet) == 2
+
+    def test_cmin_drops_redundant_entries(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        store.add(_entry(["CLOSED"], packet_count=1))
+        store.add(_entry(["CLOSED"], packet_count=5))
+        store.add(_entry(["CLOSED"], packet_count=7))
+        canonical = store.minimize()
+        assert len(canonical) == 1
+        assert canonical[0].packet_count == 1
+
+    def test_canonical_file_round_trips(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        store.add(_entry(["CLOSED"], packet_count=1))
+        store.add(_entry(["OPEN"], packet_count=2))
+        canonical = store.minimize()
+        assert store.canonical_path.is_file()
+        assert CorpusStore(tmp_path).canonical_entries() == canonical
+
+    def test_minimize_without_write(self, tmp_path):
+        store = CorpusStore(tmp_path)
+        store.add(_entry(["CLOSED"]))
+        store.minimize(write=False)
+        assert not store.canonical_path.is_file()
+
+
+class TestExport:
+    def test_export_jsonl(self, tmp_path):
+        store = CorpusStore(tmp_path / "corpus")
+        store.add(_entry(["CLOSED"]))
+        store.add(
+            entry_from_packets(
+                [connection_request(psm=0x0001, scid=0x40, identifier=1)],
+                ["WAIT_CONNECT"],
+                ["WAIT_CONNECT"],
+                "D5",
+                "targeted",
+                9,
+                True,
+            )
+        )
+        out = tmp_path / "all.jsonl"
+        assert store.export_jsonl(out) == 2
+        assert len(out.read_text().splitlines()) == 2

@@ -186,6 +186,104 @@ class TestFleet:
             main(["fleet", "--budget", "0"])
 
 
+class TestReplayCommand:
+    def _saved_trace(self, tmp_path, disarm=False):
+        path = tmp_path / "trace.jsonl"
+        argv = ["fuzz", "D2", "--budget", "5000", "--save-trace", str(path)]
+        if disarm:
+            argv[3] = "800"
+            argv.insert(2, "--disarm")
+        main(argv)
+        return path
+
+    def test_crashing_trace_reproduces(self, tmp_path, capsys):
+        path = self._saved_trace(tmp_path)
+        assert main(["replay", str(path), "--device", "D2"]) == 0
+        out = capsys.readouterr().out
+        assert "crash reproduced" in out
+        assert "bluedroid-cidp-null-deref" in out
+
+    def test_minimize_prints_triage_report(self, tmp_path, capsys):
+        path = self._saved_trace(tmp_path)
+        assert main(["replay", str(path), "--device", "D2", "--minimize"]) == 0
+        out = capsys.readouterr().out
+        assert "Minimal reproducer" in out
+        assert "<== trigger" in out
+
+    def test_benign_trace_returns_one(self, tmp_path, capsys):
+        path = self._saved_trace(tmp_path, disarm=True)
+        assert main(["replay", str(path), "--device", "D2", "--disarm"]) == 1
+        assert "no crash" in capsys.readouterr().out
+
+    def test_missing_trace_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["replay", str(tmp_path / "nope.jsonl")])
+
+
+class TestCorpusCommands:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path, capsys):
+        root = tmp_path / "corpus"
+        main(["fuzz", "D2", "--budget", "5000", "--corpus", str(root)])
+        capsys.readouterr()  # drop the fuzz output
+        return root
+
+    def test_fuzz_strategy_flag(self, capsys):
+        assert (
+            main(
+                ["fuzz", "D2", "--budget", "800", "--disarm",
+                 "--strategy", "coverage_guided"]
+            )
+            == 0
+        )
+        assert "State coverage" in capsys.readouterr().out
+
+    def test_fuzz_unknown_strategy_exits(self):
+        with pytest.raises(SystemExit, match="unknown strategy"):
+            main(["fuzz", "D2", "--strategy", "depth_charge"])
+
+    def test_stats(self, corpus_dir, capsys):
+        assert main(["corpus", "stats", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out
+        assert "findings: 1 bucket(s)" in out
+        assert "bluedroid-cidp-null-deref" in out
+
+    def test_minimize(self, corpus_dir, capsys):
+        assert main(["corpus", "minimize", str(corpus_dir)]) == 0
+        assert "canonical" in capsys.readouterr().out
+        assert (corpus_dir / "corpus.jsonl").is_file()
+
+    def test_replay_reports_no_regressions(self, corpus_dir, capsys):
+        assert main(["corpus", "replay", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        assert "REGRESSION" not in out
+
+    def test_replay_entries_flag(self, corpus_dir, capsys):
+        assert main(["corpus", "replay", str(corpus_dir), "--entries"]) == 0
+        assert "entry " in capsys.readouterr().out
+
+    def test_export(self, corpus_dir, tmp_path, capsys):
+        out_path = tmp_path / "all.jsonl"
+        assert main(
+            ["corpus", "export", str(corpus_dir), "--output", str(out_path)]
+        ) == 0
+        assert out_path.is_file()
+        assert json.loads(out_path.read_text().splitlines()[0])["device_id"] == "D2"
+
+    def test_missing_corpus_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no corpus"):
+            main(["corpus", "stats", str(tmp_path / "empty")])
+
+    def test_fleet_corpus_flag(self, tmp_path, capsys):
+        root = tmp_path / "fleet-corpus"
+        assert main(_FLEET_ARGS + ["--corpus", str(root)]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "stats", str(root)]) == 0
+        assert "coverage:" in capsys.readouterr().out
+
+
 class TestSequentialRegression:
     """The default strategy must reproduce the seed campaign exactly.
 
