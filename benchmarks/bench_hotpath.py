@@ -1,0 +1,130 @@
+"""Wall-clock hot-path benchmark: campaign throughput and peak memory.
+
+Unlike the paper-reproduction benchmarks (which read the *simulated*
+clock), this one measures what the ROADMAP's "as fast as the hardware
+allows" goal needs: wall-clock packets per second and peak RSS for a
+large streaming campaign (``retain_trace=False``).
+
+Every run appends to ``benchmarks/BENCH_hotpath.json`` so the perf
+trajectory accumulates across PRs. The first recorded run per mode
+becomes the committed baseline; later runs fail when wall-clock
+throughput regresses by more than :data:`REGRESSION_TOLERANCE` against
+it — the CI smoke job runs the ``--quick`` mode as a regression gate.
+
+The simulated metrics must stay exact regardless of machine speed: the
+campaign still reads 524.27 pps off the simulated clock (paper §IV.C).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import D1
+from repro.testbed.session import FuzzSession
+
+from benchmarks.bench_helpers import print_table, run_once, scaled
+
+BUDGET = 100_000
+QUICK_BUDGET = 8_000
+
+#: Fail when wall-clock pps drops more than this fraction below baseline.
+REGRESSION_TOLERANCE = 0.30
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_hotpath.json"
+
+#: The paper's L2Fuzz transmission throughput — the simulated-clock
+#: number that must not move however fast the wall clock gets.
+PAPER_SIM_PPS = 524.27
+
+
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    return {"baseline": {}, "runs": []}
+
+
+def _rss_kb() -> int:
+    """Resident set size right now, in kB.
+
+    Read from ``/proc/self/statm`` so the figure reflects the campaign
+    just run, not the process-lifetime high-water mark (``ru_maxrss``
+    would report whichever earlier test in the pytest process was
+    hungriest). Falls back to ``ru_maxrss`` off Linux.
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (resource.getpagesize() // 1024)
+    except (OSError, ValueError, IndexError):
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":
+            peak //= 1024  # macOS reports ru_maxrss in bytes, not kB
+        return peak
+
+
+def _run_campaign(budget: int):
+    session = FuzzSession(
+        profile=D1,
+        config=FuzzConfig(seed=7, max_packets=budget),
+        armed=False,
+        zero_latency=True,
+        retain_trace=False,
+    )
+    start = time.perf_counter()
+    report = session.run()
+    wall = time.perf_counter() - start
+    return report, wall
+
+
+def bench_hotpath(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    report, wall = run_once(benchmark, lambda: _run_campaign(budget))
+    wall_pps = report.packets_sent / wall
+    mode = "quick" if quick else "full"
+    entry = {
+        "mode": mode,
+        "budget": budget,
+        "packets": report.packets_sent,
+        "wall_seconds": round(wall, 4),
+        "wall_pps": round(wall_pps, 1),
+        "campaign_rss_kb": _rss_kb(),
+        "process_peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "sim_pps": round(report.efficiency.packets_per_second, 2),
+        "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+    data = _load_results()
+    data.setdefault("runs", []).append(entry)
+    data["runs"] = data["runs"][-50:]
+    baseline = data.setdefault("baseline", {}).get(mode)
+    if baseline is None:
+        data["baseline"][mode] = entry
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    rows = [entry]
+    if baseline is not None:
+        rows.append({**baseline, "mode": f"{mode} (baseline)"})
+    print_table("hot path — wall-clock throughput and memory", rows)
+
+    # Simulated metrics are machine-independent and must stay exact.
+    assert report.efficiency.packets_per_second == pytest.approx(
+        PAPER_SIM_PPS, rel=1e-6
+    )
+    if baseline is not None:
+        floor = baseline["wall_pps"] * (1.0 - REGRESSION_TOLERANCE)
+        assert wall_pps >= floor, (
+            f"hot-path regression: {wall_pps:.0f} wall pps is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the committed baseline "
+            f"{baseline['wall_pps']:.0f} pps (floor {floor:.0f}); if this "
+            "slowdown is intended, refresh benchmarks/BENCH_hotpath.json"
+        )

@@ -23,6 +23,7 @@ from repro.analysis.metrics import (
     mp_curve,
     pr_curve,
 )
+from repro.analysis.sniffer import PacketSniffer
 from repro.analysis.state_coverage import state_coverage
 from repro.baselines.base import BaselineFuzzer
 from repro.baselines.bfuzz import BfuzzFuzzer
@@ -58,13 +59,20 @@ def run_l2fuzz_trial(
     seed: int = 0x1202,
     sample_every: int = 1000,
 ) -> FuzzerRunResult:
-    """Run L2Fuzz under the comparison conditions."""
+    """Run L2Fuzz under the comparison conditions.
+
+    The trial consumes only streamed analysis (counters, sampled curves,
+    incremental coverage), so the campaign runs without retaining the
+    per-packet trace — same metrics, a fraction of the allocation.
+    """
     session = FuzzSession(
         profile=profile,
         config=FuzzConfig(seed=seed, max_packets=max_packets),
         armed=False,
         zero_latency=True,
         pps=L2FUZZ_PPS,
+        retain_trace=False,
+        sample_every=sample_every,
     )
     session.run()
     sniffer = session.fuzzer.sniffer
@@ -84,12 +92,14 @@ def run_baseline_trial(
     seed: int = 0x1202,
     sample_every: int = 1000,
 ) -> FuzzerRunResult:
-    """Run one baseline fuzzer under the comparison conditions."""
+    """Run one baseline fuzzer under the comparison conditions (streaming)."""
     clock = SimClock()
     device = profile.build(clock=clock, armed=False, zero_latency=True)
     link = VirtualLink(clock=clock, tx_cost=1.0 / fuzzer_cls.pps)
     device.attach_to(link)
-    queue = PacketQueue(link)
+    queue = PacketQueue(
+        link, PacketSniffer(retain_trace=False, sample_every=sample_every)
+    )
     fuzzer = fuzzer_cls(queue, seed=seed)
     fuzzer.run(max_packets)
     sniffer = queue.sniffer

@@ -11,6 +11,12 @@ every frame in both directions and classifies
   target actually handed out, exactly as a Wireshark analyst would), and
 * received packets as **rejections** — Command Reject responses plus
   refusal results in response commands.
+
+Analysis is **streaming**: every observation is fed incrementally into a
+state-coverage analyzer and into cumulative MP/PR sample series, so the
+paper's metrics never require replaying the whole trace. Retention of
+the per-packet trace itself is opt-in (``retain_trace``) — fleet workers
+turn it off and a million-packet campaign runs in bounded memory.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ class Direction(enum.Enum):
     RECEIVED = "received"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TracedPacket:
     """One classified trace entry."""
 
@@ -80,105 +86,250 @@ _MOVE_REFUSALS = frozenset(
 )
 
 
+#: Response commands judged by membership of their result in a refusal
+#: set, keyed by command-code value (one dict hit per received packet).
+_RESULT_REFUSALS: dict[int, frozenset] = {
+    int(CommandCode.CONNECTION_RSP): _CONNECTION_REFUSALS,
+    int(CommandCode.CREATE_CHANNEL_RSP): _CONNECTION_REFUSALS,
+    int(CommandCode.CONFIGURATION_RSP): _CONFIG_REFUSALS,
+    int(CommandCode.MOVE_CHANNEL_RSP): _MOVE_REFUSALS,
+}
+
+#: Credit-based responses: any non-zero result refuses the operation.
+_NONZERO_RESULT_REJECTS = frozenset(
+    {
+        int(CommandCode.LE_CREDIT_BASED_CONNECTION_RSP),
+        int(CommandCode.CREDIT_BASED_CONNECTION_RSP),
+        int(CommandCode.CREDIT_BASED_RECONFIGURE_RSP),
+    }
+)
+
+
 def is_rejection(packet: L2capPacket) -> bool:
     """Classify a received packet as a rejection (PR-Ratio numerator)."""
     code = packet.code
-    result = packet.fields.get("result")
     if code == CommandCode.COMMAND_REJECT:
         return True
-    if code in (CommandCode.CONNECTION_RSP, CommandCode.CREATE_CHANNEL_RSP):
-        return result in _CONNECTION_REFUSALS
-    if code == CommandCode.CONFIGURATION_RSP:
-        return result in _CONFIG_REFUSALS
-    if code == CommandCode.MOVE_CHANNEL_RSP:
-        return result in _MOVE_REFUSALS
+    refusals = _RESULT_REFUSALS.get(code)
+    if refusals is not None:
+        return packet.fields.get("result") in refusals
     if code == CommandCode.INFORMATION_RSP:
-        return result == InfoResult.NOT_SUPPORTED
-    if code in (
-        CommandCode.LE_CREDIT_BASED_CONNECTION_RSP,
-        CommandCode.CREDIT_BASED_CONNECTION_RSP,
-        CommandCode.CREDIT_BASED_RECONFIGURE_RSP,
-    ):
-        return bool(result)
+        return packet.fields.get("result") == InfoResult.NOT_SUPPORTED
+    if code in _NONZERO_RESULT_REJECTS:
+        return bool(packet.fields.get("result"))
     return False
 
 
+_StateCoverageAnalyzer = None
+
+
+def _analyzer_cls():
+    """Resolve the streaming coverage analyzer lazily.
+
+    ``state_coverage`` imports this module for :class:`Direction`, so the
+    reverse import happens at first sniffer construction instead of at
+    module load to keep the import graph acyclic.
+    """
+    global _StateCoverageAnalyzer
+    if _StateCoverageAnalyzer is None:
+        from repro.analysis.state_coverage import StateCoverageAnalyzer
+
+        _StateCoverageAnalyzer = StateCoverageAnalyzer
+    return _StateCoverageAnalyzer
+
+
 class PacketSniffer:
-    """Observes both directions of a fuzzing session and keeps the trace.
+    """Observes both directions of a fuzzing session, streaming analysis.
 
     The sniffer maintains the set of dynamic CIDs the *target* has handed
     out, learned from successful Connection / Create-Channel responses
     and pruned on disconnections — the wire-visible ground truth against
     which "ignores dynamic allocation" is judged.
+
+    Every observation is additionally pushed through a streaming
+    :class:`~repro.analysis.state_coverage.StateCoverageAnalyzer` and
+    into cumulative MP/PR sample series, so coverage and the Fig. 8/9
+    curves are available without replaying the trace.
+
+    :param retain_trace: keep every :class:`TracedPacket` in
+        :attr:`trace`. True (the default) preserves the Wireshark-style
+        capture for offline analysis and corpus write-back; False bounds
+        memory for fleet-scale campaigns — only running counters, the
+        streaming analyzer and the sampled curves are kept.
+    :param sample_every: granularity of the streamed Fig. 8/9 series
+        (one point per this many packets in the matching direction).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, retain_trace: bool = True, sample_every: int = 1000) -> None:
+        self.retain_trace = retain_trace
+        self.sample_every = sample_every
         self.trace: list[TracedPacket] = []
         self._target_cids: set[int] = set()
+        self._target_cids_view = frozenset()
         self._sent = 0
         self._malformed = 0
         self._received = 0
         self._rejections = 0
+        self._coverage = _analyzer_cls()()
+        self._coverage_unlocks: list[tuple[int, int]] = []
+        self._last_coverage_count = self._coverage.coverage_count
+        self._first_observation_sent: int | None = None
+        self._mp_samples: list[tuple[int, int]] = []
+        self._pr_samples: list[tuple[int, int]] = []
 
     # -- observation -------------------------------------------------------------
 
-    def observe_sent(self, packet: L2capPacket, sim_time: float) -> TracedPacket:
-        """Record one fuzzer→target packet."""
-        malformed = is_malformed(packet, allocated_cids=frozenset(self._target_cids))
-        entry = TracedPacket(sim_time, Direction.SENT, packet, malformed, False)
-        self.trace.append(entry)
+    def observe_sent(self, packet: L2capPacket, sim_time: float) -> TracedPacket | None:
+        """Record one fuzzer→target packet.
+
+        Returns the trace entry, or None when the trace is not retained
+        (a streaming sniffer has no per-packet object to keep).
+        """
+        malformed = is_malformed(packet, allocated_cids=self._target_cids_view)
+        entry = None
+        if self.retain_trace:
+            entry = TracedPacket(sim_time, Direction.SENT, packet, malformed, False)
+            self.trace.append(entry)
         self._sent += 1
         if malformed:
             self._malformed += 1
-        self._learn_from_sent(packet)
+        if self._sent % self.sample_every == 0:
+            self._mp_samples.append((self._sent, self._malformed))
+        self._coverage.observe_sent(packet)
+        self._record_coverage()
         return entry
 
-    def observe_received(self, packet: L2capPacket, sim_time: float) -> TracedPacket:
-        """Record one target→fuzzer packet."""
+    def observe_received(
+        self, packet: L2capPacket, sim_time: float
+    ) -> TracedPacket | None:
+        """Record one target→fuzzer packet (entry None when streaming)."""
         rejection = is_rejection(packet)
-        entry = TracedPacket(sim_time, Direction.RECEIVED, packet, False, rejection)
-        self.trace.append(entry)
+        entry = None
+        if self.retain_trace:
+            entry = TracedPacket(sim_time, Direction.RECEIVED, packet, False, rejection)
+            self.trace.append(entry)
         self._received += 1
         if rejection:
             self._rejections += 1
+        if self._received % self.sample_every == 0:
+            self._pr_samples.append((self._received, self._rejections))
         self._learn_from_received(packet)
+        self._coverage.observe_received(packet)
+        self._record_coverage()
         return entry
+
+    def _record_coverage(self) -> None:
+        """Track coverage unlocks as (state count, sent packets so far)."""
+        if self._first_observation_sent is None:
+            self._first_observation_sent = self._sent
+        count = len(self._coverage.visited)
+        if count > self._last_coverage_count:
+            self._last_coverage_count = count
+            self._coverage_unlocks.append((count, self._sent))
 
     def _learn_from_received(self, packet: L2capPacket) -> None:
         code = packet.code
         result = packet.fields.get("result")
+        cids = self._target_cids
         if code in (CommandCode.CONNECTION_RSP, CommandCode.CREATE_CHANNEL_RSP):
             if result == ConnectionResult.SUCCESS:
                 dcid = packet.fields.get("dcid", 0)
-                if dcid:
-                    self._target_cids.add(dcid)
+                if dcid and dcid not in cids:
+                    cids.add(dcid)
+                    self._target_cids_view = frozenset(cids)
         elif code == CommandCode.DISCONNECTION_RSP:
             dcid = packet.fields.get("dcid", 0)
-            self._target_cids.discard(dcid)
+            if dcid in cids:
+                cids.discard(dcid)
+                self._target_cids_view = frozenset(cids)
         elif code == CommandCode.DISCONNECTION_REQ:
             scid = packet.fields.get("scid", 0)
-            self._target_cids.discard(scid)
+            if scid in cids:
+                cids.discard(scid)
+                self._target_cids_view = frozenset(cids)
 
-    def _learn_from_sent(self, packet: L2capPacket) -> None:
-        if packet.code == CommandCode.DISCONNECTION_REQ:
-            # If the target answers, its CID will be dropped on the RSP;
-            # nothing to learn from the request itself.
-            return
+    # Nothing is learned from sent packets: even a sent Disconnection
+    # Request only drops the target's CID once the response confirms it.
 
     # -- views ------------------------------------------------------------------
 
     @property
     def observed_target_cids(self) -> frozenset[int]:
         """Dynamic CIDs the target currently has allocated (wire view)."""
-        return frozenset(self._target_cids)
+        return self._target_cids_view
+
+    def require_trace(self, consumer: str) -> None:
+        """Fail fast when a full-trace consumer meets a streaming sniffer.
+
+        :raises ValueError: if the trace was not retained.
+        """
+        if not self.retain_trace:
+            raise ValueError(
+                f"{consumer} needs the retained packet trace, but this "
+                "sniffer was created with retain_trace=False; re-run with "
+                "trace retention enabled"
+            )
 
     def sent(self) -> list[TracedPacket]:
-        """All fuzzer→target entries."""
+        """All fuzzer→target entries (requires a retained trace)."""
+        self.require_trace("PacketSniffer.sent()")
         return [entry for entry in self.trace if entry.direction is Direction.SENT]
 
     def received(self) -> list[TracedPacket]:
-        """All target→fuzzer entries."""
+        """All target→fuzzer entries (requires a retained trace)."""
+        self.require_trace("PacketSniffer.received()")
         return [entry for entry in self.trace if entry.direction is Direction.RECEIVED]
+
+    # -- streaming views ---------------------------------------------------------
+
+    def coverage(self):
+        """Wire-inferred target state coverage, maintained incrementally."""
+        return self._coverage.coverage()
+
+    @property
+    def coverage_count(self) -> int:
+        """Number of states the streaming analyzer has inferred so far."""
+        return self._coverage.coverage_count
+
+    @property
+    def coverage_unlocks(self) -> tuple[tuple[int, int], ...]:
+        """(coverage count, sent packets) at each new coverage high-water."""
+        return tuple(self._coverage_unlocks)
+
+    @property
+    def first_observation_sent(self) -> int | None:
+        """Sent-count after the very first observation (None if none yet)."""
+        return self._first_observation_sent
+
+    def _streamed_curve(
+        self,
+        samples: list[tuple[int, int]],
+        total: int,
+        positive: int,
+        sample_every: int,
+    ) -> list[tuple[int, int]]:
+        if sample_every != self.sample_every:
+            raise ValueError(
+                f"streamed curves were sampled every {self.sample_every} "
+                f"packets; cannot resample at {sample_every} without the "
+                "retained trace"
+            )
+        points = list(samples)
+        if not points or points[-1][0] != total:
+            points.append((total, positive))
+        return points
+
+    def streamed_mp_curve(self, sample_every: int = 1000) -> list[tuple[int, int]]:
+        """Fig. 8 series from the streaming counters (no trace replay)."""
+        return self._streamed_curve(
+            self._mp_samples, self._sent, self._malformed, sample_every
+        )
+
+    def streamed_pr_curve(self, sample_every: int = 1000) -> list[tuple[int, int]]:
+        """Fig. 9 series from the streaming counters (no trace replay)."""
+        return self._streamed_curve(
+            self._pr_samples, self._received, self._rejections, sample_every
+        )
 
     def transmitted_count(self) -> int:
         """Total packets the fuzzer transmitted."""
@@ -197,10 +348,17 @@ class PacketSniffer:
         return self._rejections
 
     def clear(self) -> None:
-        """Drop the trace, the counters and the learned CID set."""
+        """Drop the trace, counters, CID set and streaming analysis."""
         self.trace.clear()
         self._target_cids.clear()
+        self._target_cids_view = frozenset()
         self._sent = 0
         self._malformed = 0
         self._received = 0
         self._rejections = 0
+        self._coverage = _analyzer_cls()()
+        self._coverage_unlocks.clear()
+        self._last_coverage_count = self._coverage.coverage_count
+        self._first_observation_sent = None
+        self._mp_samples.clear()
+        self._pr_samples.clear()

@@ -15,14 +15,18 @@ cross-check it against the device's ground-truth state history.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
-from repro.analysis.sniffer import Direction, PacketSniffer, TracedPacket
+from repro.analysis.sniffer import Direction
 from repro.l2cap.constants import (
     CommandCode,
     ConfigResult,
     ConnectionResult,
 )
 from repro.l2cap.states import ChannelState
+
+if TYPE_CHECKING:
+    from repro.analysis.sniffer import PacketSniffer, TracedPacket
 
 
 @dataclasses.dataclass
@@ -57,8 +61,17 @@ class StateCoverageAnalyzer:
         else:
             self._on_received(entry.packet)
 
+    def observe_sent(self, packet) -> None:
+        """Streaming entry point: one fuzzer→target packet, in order."""
+        self._on_sent(packet)
+
+    def observe_received(self, packet) -> None:
+        """Streaming entry point: one target→fuzzer packet, in order."""
+        self._on_received(packet)
+
     def analyze(self, sniffer: PacketSniffer) -> frozenset[ChannelState]:
         """Replay a whole sniffer trace and return the states covered."""
+        sniffer.require_trace("StateCoverageAnalyzer.analyze()")
         for entry in sniffer.trace:
             self.feed(entry)
         return self.coverage()
@@ -75,42 +88,44 @@ class StateCoverageAnalyzer:
     # -- sent-side inference -------------------------------------------------------
 
     def _on_sent(self, packet) -> None:
-        code = packet.code
-        if code == CommandCode.CONNECTION_REQ:
-            self._pending_connects[packet.identifier] = (
-                packet.fields.get("scid", 0),
-                False,
-            )
-        elif code == CommandCode.CREATE_CHANNEL_REQ:
-            self._pending_connects[packet.identifier] = (
-                packet.fields.get("scid", 0),
-                True,
-            )
-        elif code == CommandCode.CONFIGURATION_REQ:
-            channel = self._channels.get(packet.fields.get("dcid", 0))
-            if channel is not None and channel.state in (
-                ChannelState.WAIT_CONFIG,
-                ChannelState.WAIT_CONFIG_REQ_RSP,
-            ):
-                if not channel.target_config_requested:
-                    # Target received our config req before sending its own:
-                    # it must pass through WAIT_SEND_CONFIG to emit it.
-                    self.visited.add(ChannelState.WAIT_SEND_CONFIG)
-        elif code == CommandCode.CONFIGURATION_RSP:
-            self._on_sent_config_rsp(packet)
-        elif code == CommandCode.MOVE_CHANNEL_REQ:
-            self._pending_moves[packet.identifier] = packet.fields.get("icid", 0)
-        elif code == CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ:
-            icid = packet.fields.get("icid", 0)
-            channel = self._channels.get(icid)
-            if channel is not None and channel.state is ChannelState.WAIT_MOVE_CONFIRM:
-                pass  # completion is confirmed by the response
-        elif code == CommandCode.DISCONNECTION_RSP:
-            scid = packet.fields.get("dcid", 0)
-            if scid in self._target_disconnect_scids:
-                self._target_disconnect_scids.discard(scid)
-                self._drop_by_target_cid(scid)
-                self.visited.add(ChannelState.CLOSED)
+        # Dispatch through a value-keyed table: most fuzz packets touch
+        # no inference rule, and one dict miss beats seven comparisons.
+        handler = self._SENT_HANDLERS.get(packet.code)
+        if handler is not None:
+            handler(self, packet)
+
+    def _sent_connection_req(self, packet) -> None:
+        self._pending_connects[packet.identifier] = (
+            packet.fields.get("scid", 0),
+            False,
+        )
+
+    def _sent_create_channel_req(self, packet) -> None:
+        self._pending_connects[packet.identifier] = (
+            packet.fields.get("scid", 0),
+            True,
+        )
+
+    def _sent_config_req(self, packet) -> None:
+        channel = self._channels.get(packet.fields.get("dcid", 0))
+        if channel is not None and channel.state in (
+            ChannelState.WAIT_CONFIG,
+            ChannelState.WAIT_CONFIG_REQ_RSP,
+        ):
+            if not channel.target_config_requested:
+                # Target received our config req before sending its own:
+                # it must pass through WAIT_SEND_CONFIG to emit it.
+                self.visited.add(ChannelState.WAIT_SEND_CONFIG)
+
+    def _sent_move_req(self, packet) -> None:
+        self._pending_moves[packet.identifier] = packet.fields.get("icid", 0)
+
+    def _sent_disconnection_rsp(self, packet) -> None:
+        scid = packet.fields.get("dcid", 0)
+        if scid in self._target_disconnect_scids:
+            self._target_disconnect_scids.discard(scid)
+            self._drop_by_target_cid(scid)
+            self.visited.add(ChannelState.CLOSED)
 
     def _on_sent_config_rsp(self, packet) -> None:
         """Our response to the target's own Configuration Request."""
@@ -139,27 +154,24 @@ class StateCoverageAnalyzer:
     # -- received-side inference -----------------------------------------------------
 
     def _on_received(self, packet) -> None:
-        code = packet.code
-        if code in (CommandCode.CONNECTION_RSP, CommandCode.CREATE_CHANNEL_RSP):
-            self._on_received_connection_rsp(packet)
-        elif code == CommandCode.CONFIGURATION_REQ:
-            self._on_received_config_req(packet)
-        elif code == CommandCode.CONFIGURATION_RSP:
-            self._on_received_config_rsp(packet)
-        elif code == CommandCode.DISCONNECTION_REQ:
-            # Target-initiated disconnect: it is now in WAIT_DISCONNECT.
-            self.visited.add(ChannelState.WAIT_DISCONNECT)
-            self._target_disconnect_scids.add(packet.fields.get("scid", 0))
-        elif code == CommandCode.DISCONNECTION_RSP:
-            self._drop_by_target_cid(packet.fields.get("dcid", 0))
-            self.visited.add(ChannelState.CLOSED)
-        elif code == CommandCode.MOVE_CHANNEL_RSP:
-            self._on_received_move_rsp(packet)
-        elif code == CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP:
-            channel = self._channels.get(packet.fields.get("icid", 0))
-            if channel is not None and channel.state is ChannelState.WAIT_MOVE_CONFIRM:
-                channel.state = ChannelState.OPEN
-                self.visited.add(ChannelState.OPEN)
+        handler = self._RECEIVED_HANDLERS.get(packet.code)
+        if handler is not None:
+            handler(self, packet)
+
+    def _received_disconnection_req(self, packet) -> None:
+        # Target-initiated disconnect: it is now in WAIT_DISCONNECT.
+        self.visited.add(ChannelState.WAIT_DISCONNECT)
+        self._target_disconnect_scids.add(packet.fields.get("scid", 0))
+
+    def _received_disconnection_rsp(self, packet) -> None:
+        self._drop_by_target_cid(packet.fields.get("dcid", 0))
+        self.visited.add(ChannelState.CLOSED)
+
+    def _received_move_confirmation_rsp(self, packet) -> None:
+        channel = self._channels.get(packet.fields.get("icid", 0))
+        if channel is not None and channel.state is ChannelState.WAIT_MOVE_CONFIRM:
+            channel.state = ChannelState.OPEN
+            self.visited.add(ChannelState.OPEN)
 
     def _on_received_connection_rsp(self, packet) -> None:
         pending = self._pending_connects.pop(packet.identifier, None)
@@ -238,27 +250,65 @@ class StateCoverageAnalyzer:
             self._our_cid_index.pop(channel.our_cid, None)
 
 
+#: Inference rules keyed by command-code value, resolved once.
+StateCoverageAnalyzer._SENT_HANDLERS = {
+    int(CommandCode.CONNECTION_REQ): StateCoverageAnalyzer._sent_connection_req,
+    int(CommandCode.CREATE_CHANNEL_REQ): StateCoverageAnalyzer._sent_create_channel_req,
+    int(CommandCode.CONFIGURATION_REQ): StateCoverageAnalyzer._sent_config_req,
+    int(CommandCode.CONFIGURATION_RSP): StateCoverageAnalyzer._on_sent_config_rsp,
+    int(CommandCode.MOVE_CHANNEL_REQ): StateCoverageAnalyzer._sent_move_req,
+    int(CommandCode.DISCONNECTION_RSP): StateCoverageAnalyzer._sent_disconnection_rsp,
+}
+
+StateCoverageAnalyzer._RECEIVED_HANDLERS = {
+    int(CommandCode.CONNECTION_RSP): StateCoverageAnalyzer._on_received_connection_rsp,
+    int(CommandCode.CREATE_CHANNEL_RSP): (
+        StateCoverageAnalyzer._on_received_connection_rsp
+    ),
+    int(CommandCode.CONFIGURATION_REQ): StateCoverageAnalyzer._on_received_config_req,
+    int(CommandCode.CONFIGURATION_RSP): StateCoverageAnalyzer._on_received_config_rsp,
+    int(CommandCode.DISCONNECTION_REQ): (
+        StateCoverageAnalyzer._received_disconnection_req
+    ),
+    int(CommandCode.DISCONNECTION_RSP): (
+        StateCoverageAnalyzer._received_disconnection_rsp
+    ),
+    int(CommandCode.MOVE_CHANNEL_RSP): StateCoverageAnalyzer._on_received_move_rsp,
+    int(CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP): (
+        StateCoverageAnalyzer._received_move_confirmation_rsp
+    ),
+}
+
+
 def state_coverage(sniffer: PacketSniffer) -> frozenset[ChannelState]:
-    """One-shot helper: infer the covered states from a sniffer trace."""
-    return StateCoverageAnalyzer().analyze(sniffer)
+    """One-shot helper: the covered states inferred from a sniffer.
+
+    Reads the sniffer's streaming analyzer (fed at observe time), so it
+    is O(1) at report time and works whether or not the per-packet trace
+    was retained. Identical to replaying the trace: the stream sees the
+    same packets in the same order.
+    """
+    return sniffer.coverage()
 
 
 def packets_to_coverage(sniffer: PacketSniffer, target_count: int) -> int | None:
-    """Transmitted packets until the trace demonstrates *target_count* states.
+    """Transmitted packets until the stream demonstrates *target_count* states.
 
-    Replays the trace through a fresh analyzer in order and returns the
-    number of fuzzer→target packets on the wire when the wire-inferred
-    coverage first reaches *target_count* — the packets-to-coverage
-    metric the corpus feedback benchmark compares schedulers on. None
-    when the trace never gets there.
+    Returns the number of fuzzer→target packets on the wire when the
+    wire-inferred coverage first reached *target_count* — the
+    packets-to-coverage metric the corpus feedback benchmark compares
+    schedulers on. None when the campaign never got there. Served from
+    the sniffer's streamed coverage-unlock log, so it needs no retained
+    trace.
     """
-    analyzer = StateCoverageAnalyzer()
-    sent = 0
-    for entry in sniffer.trace:
-        if entry.direction is Direction.SENT:
-            sent += 1
-        analyzer.feed(entry)
-        if analyzer.coverage_count >= target_count:
+    if target_count <= 1:
+        # The analyzer starts with CLOSED covered, so the first
+        # observation of any direction already demonstrates the target —
+        # mirroring the historical replay, which returned the sent-count
+        # after the first trace entry.
+        return sniffer.first_observation_sent
+    for count, sent in sniffer.coverage_unlocks:
+        if count >= target_count:
             return sent
     return None
 

@@ -66,7 +66,11 @@ def packets_from_hex(frames: Iterable[str]) -> list[L2capPacket]:
 
 
 def dump_trace(sniffer: PacketSniffer) -> str:
-    """Serialise a sniffer's whole trace as JSON Lines."""
+    """Serialise a sniffer's whole trace as JSON Lines.
+
+    :raises ValueError: if the sniffer did not retain its trace.
+    """
+    sniffer.require_trace("dump_trace()")
     return "\n".join(json.dumps(entry_to_dict(entry)) for entry in sniffer.trace)
 
 

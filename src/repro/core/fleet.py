@@ -399,6 +399,10 @@ class FleetOrchestrator:
         (idempotent, parallel-safe), the ``coverage_guided`` strategy is
         seeded with the corpus's per-state visit prior, and the mutator
         splices garbage tails harvested from stored reproducers.
+    :param retain_trace: keep each campaign's full packet trace. None
+        (the default) auto-selects: fleet workers stream — bounded
+        memory per campaign — unless a corpus write-back needs the
+        trace. The merged report's metrics are identical either way.
     """
 
     def __init__(
@@ -411,6 +415,7 @@ class FleetOrchestrator:
         armed: bool = True,
         target_state: ChannelState = ChannelState.OPEN,
         corpus_dir: str | None = None,
+        retain_trace: bool | None = None,
     ) -> None:
         if not profiles:
             raise ValueError("fleet needs at least one profile")
@@ -428,6 +433,14 @@ class FleetOrchestrator:
         self.armed = armed
         self.target_state = target_state
         self.corpus_dir = corpus_dir
+        self.retain_trace = (
+            retain_trace if retain_trace is not None else corpus_dir is not None
+        )
+        if corpus_dir is not None and not self.retain_trace:
+            raise ValueError(
+                "corpus write-back replays campaign traces; use "
+                "retain_trace=True (or drop corpus_dir)"
+            )
         self._prior_visits, self._dictionary = load_corpus_seeds(corpus_dir)
         self._profiles_by_id = {
             profile.device_id: profile for profile in self.profiles
@@ -460,6 +473,7 @@ class FleetOrchestrator:
                     self.corpus_dir,
                     self._prior_visits,
                     self._dictionary,
+                    self.retain_trace,
                 )
                 for spec, strategy_input in matrix
             ]
@@ -530,6 +544,7 @@ class FleetOrchestrator:
             strategy=strategy,
             corpus_dir=self.corpus_dir,
             dictionary=self._dictionary,
+            retain_trace=self.retain_trace,
         )
         return CampaignRun(spec=spec, report=report)
 
@@ -567,6 +582,7 @@ def _run_spec_job(
         str | None,
         dict[str, int],
         tuple[bytes, ...],
+        bool,
     ]
 ) -> CampaignRun:
     """Process-pool entry point: rebuild the campaign from the registry."""
@@ -581,6 +597,7 @@ def _run_spec_job(
         corpus_dir,
         prior_visits,
         dictionary,
+        retain_trace,
     ) = job
     report = run_campaign(
         PROFILES_BY_ID[spec.device_id],
@@ -593,5 +610,6 @@ def _run_spec_job(
         ),
         corpus_dir=corpus_dir,
         dictionary=dictionary,
+        retain_trace=retain_trace,
     )
     return CampaignRun(spec=spec, report=report)

@@ -59,6 +59,14 @@ class L2Fuzz:
     :param dictionary: corpus-harvested garbage tails handed to the
         mutator for cross-campaign splicing; empty keeps the seed
         mutation stream byte-identical.
+    :param retain_trace: keep the full per-packet trace on the sniffer.
+        True preserves the capture for trace export, triage and corpus
+        write-back; False runs the campaign on streaming analysis alone,
+        in memory bounded by the number of L2CAP states instead of the
+        packet budget (the fleet-worker default).
+    :param sample_every: granularity of the sniffer's streamed Fig. 8/9
+        series (must match the grain later asked of ``mp_curve`` /
+        ``pr_curve`` when the trace is not retained).
     """
 
     def __init__(
@@ -72,10 +80,14 @@ class L2Fuzz:
         target_name: str = "target",
         strategy: ExplorationStrategy | None = None,
         dictionary: Sequence[bytes] = (),
+        retain_trace: bool = True,
+        sample_every: int = 1000,
     ) -> None:
         self.config = config if config is not None else FuzzConfig()
         self.link = link
-        self.sniffer = PacketSniffer()
+        self.sniffer = PacketSniffer(
+            retain_trace=retain_trace, sample_every=sample_every
+        )
         self.queue = PacketQueue(link, self.sniffer)
         self.scanner = TargetScanner(self.queue, inquiry, browse)
         self.detector = VulnerabilityDetector(self.queue, dump_probe)
@@ -94,7 +106,7 @@ class L2Fuzz:
         #: tokens plus the sent-packet prefix length that got there.
         self.coverage_log: list[tuple[tuple[str, ...], int]] = []
         self._previous_state: ChannelState | None = None
-        self._last_trigger = "(none)"
+        self._last_packet = None
         self._sweeps = 0
 
     # -- public -------------------------------------------------------------------
@@ -170,7 +182,9 @@ class L2Fuzz:
                 break
             for _ in range(packets_per_command):
                 packet = self.mutator.mutate(code, self.queue.take_identifier())
-                self._last_trigger = packet.describe()
+                # Remember the packet itself; its one-line description is
+                # rendered lazily when (and only when) a finding needs it.
+                self._last_packet = packet
                 try:
                     self.queue.send(packet)
                     self.queue.drain()
@@ -216,6 +230,13 @@ class L2Fuzz:
             return False
         error_cls = self.link.down_error or TargetTimeoutError
         return self._on_transport_error(error_cls(), state_name)
+
+    @property
+    def _last_trigger(self) -> str:
+        """Description of the most recent fuzz packet (lazy)."""
+        if self._last_packet is None:
+            return "(none)"
+        return self._last_packet.describe()
 
     def _on_transport_error(self, error: TransportError, state_name: str) -> bool:
         """Record a finding; decide whether the campaign stops."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.sniffer import PacketSniffer
 from repro.errors import PacketDecodeError
 from repro.hci.fragmentation import Reassembler, fragment
-from repro.hci.packets import AclPacket
+from repro.hci.packets import AclPacket, encode_acl
 from repro.hci.transport import VirtualLink
 from repro.l2cap.packets import L2capPacket
 
@@ -39,13 +39,11 @@ class PacketQueue:
         self.sniffer = sniffer if sniffer is not None else PacketSniffer()
         self.handle = handle
         self.acl_mtu = acl_mtu
+        #: The campaign's simulated clock (the link's; cached here because
+        #: the send/drain path reads it per packet).
+        self.clock = link.clock
         self._next_identifier = 0
         self._reassembler = Reassembler()
-
-    @property
-    def clock(self):
-        """The campaign's simulated clock."""
-        return self.link.clock
 
     def take_identifier(self) -> int:
         """Allocate the next request identifier (1..255, wrapping)."""
@@ -56,7 +54,11 @@ class PacketQueue:
         """Transmit one L2CAP packet.
 
         The packet is recorded in the trace *before* transmission so a
-        send that kills the target still counts as transmitted.
+        send that kills the target still counts as transmitted. The
+        single :meth:`~repro.l2cap.packets.L2capPacket.encode` here is
+        the only serialisation of the packet on the whole wire path —
+        the sniffer works from the cached bytes and the virtual device
+        receives the decoded object when it round-trips cleanly.
 
         :raises TransportError: when the link is (or goes) down.
         """
@@ -66,23 +68,33 @@ class PacketQueue:
             for fragment_pkt in fragment(payload, self.handle, self.acl_mtu):
                 self.link.send_frame(fragment_pkt.encode())
             return
-        self.link.send_frame(AclPacket(handle=self.handle, payload=payload).encode())
+        self.link.send_frame(
+            encode_acl(self.handle, payload),
+            l2cap=packet.loopback_view(),
+        )
 
     def drain(self) -> list[L2capPacket]:
-        """Collect and trace every response currently queued."""
+        """Collect and trace every response currently queued.
+
+        Frames tagged by the virtual device with their decoded packet
+        (see :class:`~repro.hci.transport.TaggedFrame`) skip the parse;
+        plain frames take the full decode path.
+        """
         responses: list[L2capPacket] = []
         for frame in self.link.drain():
-            try:
-                acl = AclPacket.decode(frame)
-            except PacketDecodeError:
-                continue
-            payload = self._reassembler.feed(acl)
-            if payload is None:
-                continue
-            try:
-                packet = L2capPacket.decode(payload)
-            except PacketDecodeError:
-                continue
+            packet = getattr(frame, "l2cap", None)
+            if packet is None:
+                try:
+                    acl = AclPacket.decode(frame)
+                except PacketDecodeError:
+                    continue
+                payload = self._reassembler.feed(acl)
+                if payload is None:
+                    continue
+                try:
+                    packet = L2capPacket.decode(payload)
+                except PacketDecodeError:
+                    continue
             self.sniffer.observe_received(packet, self.clock.now)
             responses.append(packet)
         return responses

@@ -54,21 +54,7 @@ class AclPacket:
 
         :raises PacketEncodeError: for out-of-range handle or flags.
         """
-        if not 0 <= self.handle <= MAX_CONNECTION_HANDLE:
-            raise PacketEncodeError(f"connection handle {self.handle:#x} out of range")
-        if not 0 <= self.pb_flag <= 0b11 or not 0 <= self.bc_flag <= 0b11:
-            raise PacketEncodeError("PB/BC flags are 2-bit values")
-        if len(self.payload) > 0xFFFF:
-            raise PacketEncodeError("ACL payload exceeds 65535 bytes")
-        handle_and_flags = (
-            (self.handle & 0x0FFF)
-            | ((self.pb_flag & 0b11) << 12)
-            | ((self.bc_flag & 0b11) << 14)
-        )
-        return (
-            struct.pack("<BHH", HCI_ACL_DATA_PKT, handle_and_flags, len(self.payload))
-            + self.payload
-        )
+        return encode_acl(self.handle, self.payload, self.pb_flag, self.bc_flag)
 
     @classmethod
     def decode(cls, raw: bytes) -> "AclPacket":
@@ -92,3 +78,36 @@ class AclPacket:
             pb_flag=(handle_and_flags >> 12) & 0b11,
             bc_flag=(handle_and_flags >> 14) & 0b11,
         )
+
+
+def encode_acl(
+    handle: int,
+    payload: bytes,
+    pb_flag: int = PB_FIRST_FLUSHABLE,
+    bc_flag: int = 0,
+) -> bytes:
+    """Encode one ACL frame without the dataclass round trip.
+
+    This is the single ACL serialiser — :meth:`AclPacket.encode`
+    delegates here, so the function-call fast path the wire layer uses
+    (one frame per L2CAP packet, no object construction per hop) can
+    never diverge from the dataclass API.
+
+    :raises PacketEncodeError: for out-of-range handle or flags, or an
+        oversized payload.
+    """
+    if not 0 <= handle <= MAX_CONNECTION_HANDLE:
+        raise PacketEncodeError(f"connection handle {handle:#x} out of range")
+    if not 0 <= pb_flag <= 0b11 or not 0 <= bc_flag <= 0b11:
+        raise PacketEncodeError("PB/BC flags are 2-bit values")
+    if len(payload) > 0xFFFF:
+        raise PacketEncodeError("ACL payload exceeds 65535 bytes")
+    return (
+        struct.pack(
+            "<BHH",
+            HCI_ACL_DATA_PKT,
+            (handle & 0x0FFF) | (pb_flag << 12) | (bc_flag << 14),
+            len(payload),
+        )
+        + payload
+    )

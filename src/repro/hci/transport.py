@@ -32,15 +32,16 @@ from repro.hci.packets import AclPacket
 
 
 class SimClock:
-    """Deterministic simulated clock, in seconds."""
+    """Deterministic simulated clock, in seconds.
+
+    :attr:`now` is a plain attribute (not a property): it is read two to
+    three times per transmitted packet on the hot path, and callers are
+    expected to move time only through :meth:`advance`.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        #: Current simulated time in seconds.
+        self.now = float(start)
 
     def advance(self, seconds: float) -> None:
         """Move the clock forward.
@@ -49,7 +50,7 @@ class SimClock:
         """
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now += seconds
+        self.now += seconds
 
 
 @dataclasses.dataclass
@@ -59,6 +60,27 @@ class LinkStats:
     frames_sent: int = 0
     frames_received: int = 0
     frames_dropped: int = 0
+
+
+class TaggedFrame(bytes):
+    """ACL frame bytes carrying their already-decoded L2CAP packet.
+
+    The in-process link is both wire and dongle: when the sending side
+    already holds the decoded packet object — and the packet survives a
+    decode round trip unchanged — the tag lets the receiving side skip
+    re-parsing the bytes it just produced. The frame still *is* the wire
+    bytes; anything that ignores the tag behaves exactly as before.
+    """
+
+    # bytes subclasses cannot carry __slots__; the implicit instance
+    # __dict__ holds the single ``l2cap`` attribute.
+
+    @classmethod
+    def tag(cls, frame: bytes, l2cap) -> "TaggedFrame":
+        """Wrap *frame* with its decoded L2CAP payload *l2cap*."""
+        tagged = cls(frame)
+        tagged.l2cap = l2cap
+        return tagged
 
 
 class VirtualLink:
@@ -87,20 +109,29 @@ class VirtualLink:
         self.tx_cost = tx_cost
         self.loss_rate = loss_rate
         self._rng = rng
-        self._remote: Callable[[bytes], list[bytes]] | None = None
+        self._remote: Callable[..., list[bytes]] | None = None
+        self._remote_accepts_l2cap = False
         self._inbound: deque[bytes] = deque()
         self._down_error: type[TransportError] | None = None
         self.stats = LinkStats()
 
     # -- wiring ---------------------------------------------------------------
 
-    def attach(self, handler: Callable[[bytes], list[bytes]]) -> None:
+    def attach(
+        self,
+        handler: Callable[..., list[bytes]],
+        accepts_l2cap: bool = False,
+    ) -> None:
         """Register the remote endpoint's frame handler.
 
         The handler takes raw ACL bytes and returns the list of raw ACL
-        response frames the remote produces.
+        response frames the remote produces. With *accepts_l2cap* the
+        handler is called as ``handler(frame, l2cap)`` where *l2cap* is
+        the sender's already-decoded packet (or None) — the loopback fast
+        path that spares the virtual device a re-parse.
         """
         self._remote = handler
+        self._remote_accepts_l2cap = accepts_l2cap
 
     @property
     def is_up(self) -> bool:
@@ -123,11 +154,15 @@ class VirtualLink:
 
     # -- data path ------------------------------------------------------------
 
-    def send_frame(self, frame: bytes) -> None:
+    def send_frame(self, frame: bytes, l2cap=None) -> None:
         """Transmit one raw ACL frame to the remote endpoint.
 
         Charges :attr:`tx_cost` on the clock, then delivers synchronously.
         Responses the remote produces are queued for :meth:`receive_frame`.
+
+        :param l2cap: the sender's already-decoded L2CAP packet, passed
+            through to a handler attached with ``accepts_l2cap=True`` so
+            the remote can skip re-parsing (loopback fast path).
 
         :raises TransportError: (a subclass) once the link is down.
         """
@@ -142,7 +177,10 @@ class VirtualLink:
                 return
         self.stats.frames_sent += 1
         try:
-            responses = self._remote(frame)
+            if self._remote_accepts_l2cap:
+                responses = self._remote(frame, l2cap)
+            else:
+                responses = self._remote(frame)
         except TargetCrashedError as crash_exc:
             self._down_error = crash_exc.crash.transport_error
             raise self._down_error() from crash_exc

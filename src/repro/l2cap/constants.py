@@ -86,6 +86,19 @@ class CommandCode(enum.IntEnum):
     CREDIT_BASED_RECONFIGURE_RSP = 0x1A
 
 
+#: Hot-path lookup tables: value → member / name. ``enum.EnumType.__call__``
+#: is a surprisingly expensive constructor (a 20k-packet campaign performs
+#: ~600k of them); decode, dispatch and sniffer classification resolve
+#: codes through these dict hits instead.
+COMMAND_CODE_BY_VALUE: dict[int, CommandCode] = {
+    member.value: member for member in CommandCode
+}
+
+COMMAND_NAME_BY_VALUE: dict[int, str] = {
+    member.value: member.name for member in CommandCode
+}
+
+
 #: Commands that initiate an exchange (the fuzzer can originate these).
 REQUEST_CODES = frozenset(
     {
@@ -214,6 +227,13 @@ class ConfigOptionType(enum.IntEnum):
     FCS = 0x05
     EXTENDED_FLOW_SPEC = 0x06
     EXTENDED_WINDOW_SIZE = 0x07
+
+
+#: Value sets for per-packet membership tests (avoids rebuilding the set
+#: from the enum inside the stack engine's option/info handlers).
+CONFIG_OPTION_TYPE_VALUES = frozenset(member.value for member in ConfigOptionType)
+
+INFO_TYPE_BY_VALUE: dict[int, InfoType] = {member.value: member for member in InfoType}
 
 
 # ---------------------------------------------------------------------------

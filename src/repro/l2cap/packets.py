@@ -20,18 +20,23 @@ exact situation that triggered the Pixel 3 null-pointer dereference.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import struct
 from collections.abc import Iterator, Mapping
 
 from repro.errors import PacketDecodeError, PacketEncodeError
 from repro.l2cap.constants import (
     COMMAND_HEADER_LEN,
+    COMMAND_NAME_BY_VALUE,
     L2CAP_HEADER_LEN,
     MAX_L2CAP_PAYLOAD,
     SIGNALING_CID,
     CommandCode,
     ConfigOptionType,
 )
+
+#: Sentinel distinguishing "spec not yet resolved" from "no spec".
+_UNSET = object()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,10 +74,33 @@ class CommandSpec:
     fields: tuple[FieldSpec, ...]
     tail_name: str | None = None
 
-    @property
+    @functools.cached_property
     def fixed_size(self) -> int:
-        """Total bytes occupied by the fixed-width fields."""
+        """Total bytes occupied by the fixed-width fields.
+
+        Cached: specs are immutable module-level constants, and the hot
+        path asks for this on every length computation.
+        """
         return sum(field.size for field in self.fields)
+
+    @functools.cached_property
+    def defaults(self) -> dict[str, int]:
+        """Field-name → default-value map (precomputed for construction)."""
+        return {field.name: field.default for field in self.fields}
+
+    @functools.cached_property
+    def pack_format(self) -> str:
+        """``struct`` format encoding all fixed fields in one call."""
+        return "<" + "".join("B" if field.size == 1 else "H" for field in self.fields)
+
+    @functools.cached_property
+    def frame_format(self) -> str:
+        """``struct`` format for both L2CAP headers plus the fixed fields.
+
+        Lets the encoder emit ``Payload Length | CID | Code | Identifier
+        | Data Length | fields...`` in a single pack call.
+        """
+        return "<HHBBH" + self.pack_format[1:]
 
     def field(self, name: str) -> FieldSpec:
         """Return the spec for field *name*.
@@ -239,6 +267,91 @@ COMMAND_SPECS: dict[CommandCode, CommandSpec] = {
 
 assert len(COMMAND_SPECS) == 26, "Bluetooth 5.2 defines 26 L2CAP commands"
 
+#: Hot-path spec lookup keyed by plain int code — a dict hit instead of a
+#: ``CommandCode(...)`` enum construction per packet.
+SPEC_BY_CODE: dict[int, CommandSpec] = {
+    int(code): spec for code, spec in COMMAND_SPECS.items()
+}
+
+
+#: Attributes whose mutation changes the wire encoding (and therefore
+#: invalidates the packet's cached bytes and derived validation facts).
+#: ``code`` and ``fields`` are handled separately in ``__setattr__``.
+_WIRE_ATTRS = frozenset(
+    {
+        "identifier",
+        "tail",
+        "garbage",
+        "header_cid",
+        "declared_payload_len",
+        "declared_data_len",
+    }
+)
+
+
+class _FieldMap(dict):
+    """Field dict that invalidates its packet's codec caches on mutation.
+
+    Packets stay mutable by design (the mutation engine pokes fields in
+    place), so the encode cache is guarded by a dirty flag: every mutating
+    dict operation drops the owning packet's cached wire bytes and
+    validation facts.
+
+    ``_owner`` is a deliberate strong back-reference: a weakref would
+    avoid the packet↔fields reference cycle, but weakrefs neither pickle
+    (fleet process-pool jobs) nor deepcopy to the copied owner — both
+    would silently detach invalidation. The cycle is collected by the
+    generational GC; the million-packet bounded-memory test pins that
+    this keeps up at campaign rates.
+    """
+
+    _owner = None
+
+    def _touch(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            cache = owner.__dict__
+            cache["_wire"] = None
+            cache["_intrinsic"] = None
+
+    def __setitem__(self, key, value) -> None:
+        dict.__setitem__(self, key, value)
+        self._touch()
+
+    def __delitem__(self, key) -> None:
+        dict.__delitem__(self, key)
+        self._touch()
+
+    def __ior__(self, other):
+        dict.update(self, other)
+        self._touch()
+        return self
+
+    def clear(self) -> None:
+        dict.clear(self)
+        self._touch()
+
+    def pop(self, *args):
+        value = dict.pop(self, *args)
+        self._touch()
+        return value
+
+    def popitem(self):
+        item = dict.popitem(self)
+        self._touch()
+        return item
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return dict.__getitem__(self, key)
+        dict.__setitem__(self, key, default)
+        self._touch()
+        return default
+
+    def update(self, *args, **kwargs) -> None:
+        dict.update(self, *args, **kwargs)
+        self._touch()
+
 
 @dataclasses.dataclass
 class L2capPacket:
@@ -262,6 +375,12 @@ class L2capPacket:
     :param fill_defaults: fill absent fields with spec defaults at
         construction. The decoder turns this off so that truncated
         packets stay truncated.
+
+    Encoding is cached: the first :meth:`encode` stores the wire bytes on
+    the instance and every later call (and :attr:`wire_length`, and the
+    validator's structural pass) reuses them. Packets stay mutable — any
+    assignment to a wire-relevant attribute or mutation of :attr:`fields`
+    drops the cache, so a re-encode always reflects the change.
     """
 
     code: int
@@ -274,11 +393,70 @@ class L2capPacket:
     declared_data_len: int | None = None
     fill_defaults: dataclasses.InitVar[bool] = True
 
-    def __post_init__(self, fill_defaults: bool) -> None:
-        spec = self.spec
+    # Cache slots — deliberately unannotated so the dataclass machinery
+    # does not treat them as fields; the class-level defaults double as
+    # the "empty" state read safely during __init__.
+    _wire = None
+    _spec_cache = _UNSET
+    # Structural validation facts memoized by repro.l2cap.validation.
+    _intrinsic = None
+
+    def __init__(
+        self,
+        code: int,
+        identifier: int = 1,
+        fields: dict[str, int] | None = None,
+        tail: bytes = b"",
+        garbage: bytes = b"",
+        header_cid: int = SIGNALING_CID,
+        declared_payload_len: int | None = None,
+        declared_data_len: int | None = None,
+        fill_defaults: bool = True,
+    ) -> None:
+        # Hand-written constructor for the hot path: a campaign builds
+        # tens of thousands of packets, so attribute writes go straight
+        # into the instance dict (there is no cache to invalidate during
+        # construction) and spec defaults come from a precomputed map.
+        field_map = _FieldMap() if fields is None else _FieldMap(fields)
+        field_map._owner = self
+        spec = SPEC_BY_CODE.get(code)
         if spec is not None and fill_defaults:
-            for field in spec.fields:
-                self.fields.setdefault(field.name, field.default)
+            if field_map:
+                for name, default in spec.defaults.items():
+                    if name not in field_map:
+                        dict.__setitem__(field_map, name, default)
+            else:
+                dict.update(field_map, spec.defaults)
+        instance = self.__dict__
+        instance["code"] = code
+        instance["identifier"] = identifier
+        instance["fields"] = field_map
+        instance["tail"] = tail
+        instance["garbage"] = garbage
+        instance["header_cid"] = header_cid
+        instance["declared_payload_len"] = declared_payload_len
+        instance["declared_data_len"] = declared_data_len
+        instance["_spec_cache"] = spec
+
+    def __setattr__(self, name: str, value) -> None:
+        cache = self.__dict__
+        if name in _WIRE_ATTRS:
+            cache[name] = value
+            cache["_wire"] = None
+            cache["_intrinsic"] = None
+        elif name == "code":
+            cache[name] = value
+            cache["_wire"] = None
+            cache["_intrinsic"] = None
+            cache["_spec_cache"] = _UNSET
+        elif name == "fields":
+            fields = _FieldMap(value)
+            fields._owner = self
+            cache["fields"] = fields
+            cache["_wire"] = None
+            cache["_intrinsic"] = None
+        else:
+            cache[name] = value
 
     # -- reflection --------------------------------------------------------
 
@@ -294,18 +472,19 @@ class L2capPacket:
     @property
     def spec(self) -> CommandSpec | None:
         """The command layout, or None for unknown/invalid codes."""
-        try:
-            return COMMAND_SPECS[CommandCode(self.code)]
-        except ValueError:
-            return None
+        spec = self._spec_cache
+        if spec is _UNSET:
+            spec = SPEC_BY_CODE.get(self.code)
+            self.__dict__["_spec_cache"] = spec
+        return spec
 
     @property
     def command_name(self) -> str:
         """Human-readable command name (``"UNKNOWN_0xNN"`` if invalid)."""
-        try:
-            return CommandCode(self.code).name
-        except ValueError:
+        name = COMMAND_NAME_BY_VALUE.get(self.code)
+        if name is None:
             return f"UNKNOWN_0x{self.code:02X}"
+        return name
 
     def field_names(self) -> tuple[str, ...]:
         """Names of the fixed-width data fields this command carries."""
@@ -342,53 +521,131 @@ class L2capPacket:
 
     @property
     def wire_length(self) -> int:
-        """Actual bytes on the wire, including the garbage tail."""
-        return len(self.encode())
+        """Actual bytes on the wire, including the garbage tail.
+
+        Computed arithmetically in O(1) — the body length never depends
+        on the declared-length overrides (those only lie in the headers),
+        so no encoding pass is needed.
+        """
+        wire = self._wire
+        if wire is not None:
+            return len(wire)
+        if self.header_cid != SIGNALING_CID:
+            return L2CAP_HEADER_LEN + len(self.tail) + len(self.garbage)
+        spec = self.spec
+        fixed = spec.fixed_size if spec is not None else 2 * len(self.fields)
+        return (
+            L2CAP_HEADER_LEN
+            + COMMAND_HEADER_LEN
+            + fixed
+            + len(self.tail)
+            + len(self.garbage)
+        )
 
     # -- codec ---------------------------------------------------------------
 
     def encode(self) -> bytes:
         """Serialise to wire bytes (paper Fig. 3 framing).
 
+        The result is cached on the instance; any mutation of a
+        wire-relevant attribute (or of :attr:`fields`) invalidates it.
+
         :raises PacketEncodeError: if a field value does not fit its width
             or the payload would exceed the 65,535-byte L2CAP maximum.
         """
-        payload_len = self.payload_length
+        wire = self._wire
+        if wire is None:
+            wire = self._encode_wire()
+            self.__dict__["_wire"] = wire
+        return wire
+
+    def _encode_wire(self) -> bytes:
+        declared_payload = self.declared_payload_len
+        if self.header_cid != SIGNALING_CID:
+            # B-frame: the payload is the upper-layer bytes verbatim.
+            payload_len = (
+                len(self.tail) if declared_payload is None else declared_payload
+            )
+            if payload_len > MAX_L2CAP_PAYLOAD:
+                raise PacketEncodeError(
+                    f"payload length {payload_len} exceeds L2CAP maximum"
+                )
+            return (
+                struct.pack("<HH", payload_len, self.header_cid)
+                + self.tail
+                + self.garbage
+            )
+        spec = self.spec
+        fields = self.fields
+        fixed = spec.fixed_size if spec is not None else 2 * len(fields)
+        natural = fixed + len(self.tail)
+        payload_len = (
+            COMMAND_HEADER_LEN + natural if declared_payload is None else declared_payload
+        )
         if payload_len > MAX_L2CAP_PAYLOAD:
             raise PacketEncodeError(
                 f"payload length {payload_len} exceeds L2CAP maximum"
             )
-        header = struct.pack("<HH", payload_len, self.header_cid)
-        if self.is_data_frame:
-            # B-frame: the payload is the upper-layer bytes verbatim.
-            return header + self.tail + self.garbage
-        body = self._encode_fields() + self.tail
-        cmd_header = struct.pack(
-            "<BBH", self.code & 0xFF, self.identifier & 0xFF, self.data_length
+        data_len = (
+            natural if self.declared_data_len is None else self.declared_data_len
         )
-        return header + cmd_header + body + self.garbage
+        if spec is not None:
+            try:
+                # Headers and fixed fields in a single pack call.
+                head = struct.pack(
+                    spec.frame_format,
+                    payload_len,
+                    self.header_cid,
+                    self.code & 0xFF,
+                    self.identifier & 0xFF,
+                    data_len,
+                    *[fields.get(field.name, field.default) for field in spec.fields],
+                )
+                return head + self.tail + self.garbage
+            except struct.error:
+                # A field value does not fit its width (or a non-int
+                # header slipped in): fall through to the field-by-field
+                # path, which names the offender.
+                pass
+        return (
+            struct.pack(
+                "<HHBBH",
+                payload_len,
+                self.header_cid,
+                self.code & 0xFF,
+                self.identifier & 0xFF,
+                data_len,
+            )
+            + self._encode_fields()
+            + self.tail
+            + self.garbage
+        )
 
     def _encode_fields(self) -> bytes:
         spec = self.spec
-        parts = []
+        fields = self.fields
         if spec is None:
             # Unknown command: encode whatever fields exist as u16 in
             # insertion order so deliberately-invalid codes still fuzz.
-            for value in self.fields.values():
-                parts.append(struct.pack("<H", value & 0xFFFF))
-            return b"".join(parts)
-        for field in spec.fields:
-            value = self.fields.get(field.name, field.default)
-            if not 0 <= value <= field.max_value:
-                raise PacketEncodeError(
-                    f"{self.command_name}.{field.name}={value:#x} does not "
-                    f"fit in {field.size} byte(s)"
-                )
-            if field.size == 1:
-                parts.append(struct.pack("<B", value))
-            else:
-                parts.append(struct.pack("<H", value))
-        return b"".join(parts)
+            return b"".join(
+                struct.pack("<H", value & 0xFFFF) for value in fields.values()
+            )
+        try:
+            return struct.pack(
+                spec.pack_format,
+                *[fields.get(field.name, field.default) for field in spec.fields],
+            )
+        except struct.error:
+            # Some value does not fit its width: redo field by field to
+            # name the offender in the error.
+            for field in spec.fields:
+                value = fields.get(field.name, field.default)
+                if not 0 <= value <= field.max_value:
+                    raise PacketEncodeError(
+                        f"{self.command_name}.{field.name}={value:#x} does not "
+                        f"fit in {field.size} byte(s)"
+                    ) from None
+            raise  # pragma: no cover - struct failure without a bad field
 
     @classmethod
     def decode(cls, raw: bytes) -> "L2capPacket":
@@ -423,10 +680,7 @@ class L2capPacket:
 
         fields: dict[str, int] = {}
         tail = b""
-        try:
-            spec = COMMAND_SPECS[CommandCode(code)]
-        except ValueError:
-            spec = None
+        spec = SPEC_BY_CODE.get(code)
         if spec is None:
             tail = declared
         else:
@@ -460,6 +714,11 @@ class L2capPacket:
             packet.declared_payload_len = payload_len
         if data_len != packet._natural_data_length():
             packet.declared_data_len = data_len
+        # Prime the codec caches with the bytes just parsed: a decoded
+        # packet re-encodes to its exact wire image without a second
+        # serialisation pass (until it is mutated).
+        packet.__dict__["_wire"] = bytes(raw)
+        packet.__dict__["_spec_cache"] = spec
         return packet
 
     @classmethod
@@ -481,6 +740,8 @@ class L2capPacket:
             header_cid=header_cid,
             fill_defaults=False,
         )
+        packet.__dict__["_wire"] = bytes(raw)
+        packet.__dict__["_spec_cache"] = None
         return packet
 
     # -- convenience ---------------------------------------------------------
@@ -490,6 +751,53 @@ class L2capPacket:
         return dataclasses.replace(
             self, fields=dict(self.fields), fill_defaults=False
         )
+
+    def __copy__(self) -> "L2capPacket":
+        # A shallow copy must not share the _FieldMap (its owner back-ref
+        # would invalidate the wrong packet's caches); reuse copy().
+        return self.copy()
+
+    def __getstate__(self) -> dict:
+        # Strip the codec caches from pickled/deepcopied state: they are
+        # cheap to rebuild, and the _UNSET sentinel in _spec_cache is
+        # identity-compared, so a serialised copy of it would no longer
+        # be recognised as "unresolved". Missing keys fall back to the
+        # class-level empty-cache defaults on restore.
+        state = dict(self.__dict__)
+        state.pop("_wire", None)
+        state.pop("_intrinsic", None)
+        state.pop("_spec_cache", None)
+        return state
+
+    def loopback_view(self) -> "L2capPacket | None":
+        """Return self when ``decode(encode(self))`` is logically identical.
+
+        The in-process virtual link uses this to hand the receiving stack
+        the already-decoded packet object instead of re-parsing the wire
+        bytes it just serialised. None means the packet does not survive
+        a decode round trip unchanged (length lies, missing or extra
+        fields, unknown codes, out-of-range identifiers) and the receiver
+        must parse the real bytes to see what a conformant stack sees.
+        """
+        if self.declared_payload_len is not None or self.declared_data_len is not None:
+            return None
+        if self.header_cid != SIGNALING_CID:
+            # B-frame: decode yields code=0, identifier=0, empty fields.
+            if self.code == 0 and self.identifier == 0 and not self.fields:
+                return self
+            return None
+        spec = self.spec
+        if spec is None:
+            return None
+        if not 0 <= self.identifier <= 0xFF:
+            return None
+        fields = self.fields
+        if len(fields) != len(spec.fields):
+            return None
+        for field in spec.fields:
+            if field.name not in fields:
+                return None
+        return self
 
     def describe(self) -> str:
         """One-line human-readable rendering for logs."""
@@ -708,10 +1016,7 @@ def iter_command_codes() -> Iterator[CommandCode]:
 
 def spec_for(code: int) -> CommandSpec | None:
     """Look up the :class:`CommandSpec` for *code* (None if unknown)."""
-    try:
-        return COMMAND_SPECS[CommandCode(code)]
-    except ValueError:
-        return None
+    return SPEC_BY_CODE.get(code)
 
 
 def fields_defaults(code: CommandCode) -> Mapping[str, int]:

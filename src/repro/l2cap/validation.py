@@ -23,7 +23,7 @@ from repro.l2cap.constants import (
     is_valid_psm,
 )
 from repro.l2cap.fields import is_normal_cidp
-from repro.l2cap.packets import COMMAND_SPECS, L2capPacket
+from repro.l2cap.packets import L2capPacket
 
 
 class Violation(enum.Enum):
@@ -68,6 +68,43 @@ class ValidationReport:
         return violation in self.violations
 
 
+#: Shared empty report: the clean-packet fast path allocates nothing.
+_CLEAN_REPORT = ValidationReport(())
+
+
+def _structural_facts(packet: L2capPacket) -> tuple[tuple[Violation, ...], bool]:
+    """Packet-intrinsic validation facts, memoized on the packet.
+
+    Returns ``(structural_violations, invalid_psm)`` — everything about a
+    signaling frame that does not depend on the receiver's MTU or CID
+    allocation. The result is cached in the packet's codec-cache slot and
+    dropped on any mutation, so the sniffer's malformedness call and the
+    stack engine's rejection call share one structural pass per packet.
+    """
+    facts = packet._intrinsic
+    if facts is None:
+        structural: list[Violation] = []
+        spec = packet.spec
+        if spec is None:
+            structural.append(Violation.UNKNOWN_CODE)
+        if (
+            packet.declared_payload_len is not None
+            or packet.declared_data_len is not None
+        ):
+            structural.append(Violation.LENGTH_MISMATCH)
+        if spec is not None:
+            fields = packet.fields
+            if any(field.name not in fields for field in spec.fields):
+                structural.append(Violation.TRUNCATED_FIELDS)
+        if packet.garbage:
+            structural.append(Violation.GARBAGE_TAIL)
+        psm = packet.fields.get("psm")
+        invalid_psm = psm is not None and not is_valid_psm(psm)
+        facts = (tuple(structural), invalid_psm)
+        packet.__dict__["_intrinsic"] = facts
+    return facts
+
+
 def frame_violations(
     packet: L2capPacket,
     signaling_mtu: int,
@@ -85,24 +122,14 @@ def frame_violations(
     if packet.header_cid != SIGNALING_CID:
         return _data_frame_violations(packet, allocated_cids)
 
-    violations: list[Violation] = []
+    structural, invalid_psm = _structural_facts(packet)
+    violations: list[Violation] = list(structural)
 
-    if packet.spec is None:
-        violations.append(Violation.UNKNOWN_CODE)
-    if packet.declared_payload_len is not None or packet.declared_data_len is not None:
-        violations.append(Violation.LENGTH_MISMATCH)
-    if packet.spec is not None:
-        present = set(packet.fields)
-        expected = {field.name for field in packet.spec.fields}
-        if not expected <= present:
-            violations.append(Violation.TRUNCATED_FIELDS)
-    if packet.garbage:
-        violations.append(Violation.GARBAGE_TAIL)
     if packet.wire_length > signaling_mtu:
+        # Keep the report's violation order identical to the historical
+        # single-pass implementation: MTU before PSM and CID findings.
         violations.append(Violation.MTU_EXCEEDED)
-
-    psm = packet.fields.get("psm")
-    if psm is not None and not is_valid_psm(psm):
+    if invalid_psm:
         violations.append(Violation.INVALID_PSM)
 
     for name in RECEIVER_CID_FIELDS.get(packet.code, ()):
@@ -113,6 +140,8 @@ def frame_violations(
             violations.append(Violation.UNALLOCATED_CID)
             break
 
+    if not violations:
+        return _CLEAN_REPORT
     return ValidationReport(tuple(violations))
 
 
@@ -126,6 +155,29 @@ def _data_frame_violations(
     if packet.header_cid not in fixed_channels and packet.header_cid not in allocated_cids:
         violations.append(Violation.BAD_HEADER_CID)
     return ValidationReport(tuple(violations))
+
+
+def structural_reject_reason(
+    packet: L2capPacket, signaling_mtu: int
+) -> RejectReason | None:
+    """Rejection decidable before command dispatch, straight from the facts.
+
+    Equivalent to running :func:`frame_violations` and mapping the
+    ``F``/``D`` violations the way the stack engine does — MTU first,
+    then unknown code, then length/truncation — but served from the
+    memoized structural pass without building a report. One call per
+    accepted signaling frame on the stack engine's hot path.
+    """
+    if packet.wire_length > signaling_mtu:
+        return RejectReason.SIGNALING_MTU_EXCEEDED
+    structural, _ = _structural_facts(packet)
+    if structural and (
+        Violation.UNKNOWN_CODE in structural
+        or Violation.LENGTH_MISMATCH in structural
+        or Violation.TRUNCATED_FIELDS in structural
+    ):
+        return RejectReason.COMMAND_NOT_UNDERSTOOD
+    return None
 
 
 def reject_reason_for(report: ValidationReport) -> RejectReason | None:
@@ -160,14 +212,32 @@ def is_malformed(packet: L2capPacket, allocated_cids: frozenset[int] = frozenset
     invalid PSMs, or channel endpoints that ignore the peer's allocation.
     This is the packet-trace-level judgement a Wireshark analyst makes in
     the paper's §IV.C measurement.
+
+    Equivalent to ``not frame_violations(packet, 1 << 30,
+    allocated_cids).clean`` but skips building the report — this runs
+    once per transmitted packet, and a boolean needs no violation list.
     """
-    report = frame_violations(packet, signaling_mtu=1 << 30, allocated_cids=allocated_cids)
-    return not report.clean
+    if packet.header_cid != SIGNALING_CID:
+        return (
+            packet.header_cid not in (SIGNALING_CID, CONNECTIONLESS_CID)
+            and packet.header_cid not in allocated_cids
+        )
+    structural, invalid_psm = _structural_facts(packet)
+    if structural or invalid_psm:
+        return True
+    for name in RECEIVER_CID_FIELDS.get(packet.code, ()):
+        value = packet.fields.get(name)
+        if value is None:
+            continue
+        if is_normal_cidp(value) and value not in allocated_cids:
+            return True
+    return False
 
 
 def spec_layout_ok(packet: L2capPacket) -> bool:
     """True if the packet's code and field layout match a 5.2 command."""
-    if packet.spec is None:
+    spec = packet.spec
+    if spec is None:
         return False
-    expected = {field.name for field in COMMAND_SPECS[CommandCode(packet.code)].fields}
-    return expected <= set(packet.fields)
+    fields = packet.fields
+    return all(field.name in fields for field in spec.fields)

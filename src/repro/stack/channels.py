@@ -126,6 +126,10 @@ class ChannelManager:
         """All current control blocks."""
         return tuple(self._channels.values())
 
+    def blocks(self):
+        """Live view of the control blocks (insertion order, no copy)."""
+        return self._channels.values()
+
     def clear(self) -> None:
         """Release every channel (stack restart)."""
         self._channels.clear()

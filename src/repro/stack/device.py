@@ -19,8 +19,8 @@ import re
 
 from repro.errors import PacketDecodeError, TargetCrashedError
 from repro.hci.fragmentation import Reassembler
-from repro.hci.packets import AclPacket
-from repro.hci.transport import SimClock, VirtualLink
+from repro.hci.packets import ACL_HEADER_LEN, AclPacket, HCI_ACL_DATA_PKT, encode_acl
+from repro.hci.transport import SimClock, TaggedFrame, VirtualLink
 from repro.l2cap.constants import Psm
 from repro.l2cap.packets import L2capPacket
 from repro.stack.crash import CrashReport
@@ -142,37 +142,63 @@ class VirtualDevice:
 
     def attach_to(self, link: VirtualLink) -> None:
         """Register this device as the remote endpoint of *link*."""
-        link.attach(self.handle_acl_frame)
+        link.attach(self.handle_acl_frame, accepts_l2cap=True)
 
-    def handle_acl_frame(self, frame: bytes) -> list[bytes]:
+    def handle_acl_frame(
+        self, frame: bytes, l2cap: L2capPacket | None = None
+    ) -> list[bytes]:
         """Process one raw ACL frame; return raw ACL responses.
 
         Continuation fragments are recombined per connection handle; an
         incomplete frame produces no response yet.
 
+        :param l2cap: the sender's already-decoded packet (loopback fast
+            path). It is trusted only when its cached encoding matches
+            the reassembled payload byte-for-byte, so the stack always
+            behaves exactly as if it had parsed the wire bytes.
+
         :raises TargetCrashedError: when an injected bug fires (after the
             crash dump has been recorded on-device).
         """
+        if (
+            l2cap is not None
+            and len(frame) - ACL_HEADER_LEN == len(wire := l2cap.encode())
+            and frame[0] == HCI_ACL_DATA_PKT
+            and frame.endswith(wire)
+        ):
+            # Loopback fast path: a complete, unfragmented frame whose
+            # payload is byte-identical to the sender's decoded packet —
+            # skip the ACL parse and reassembly entirely. Hinted frames
+            # are never fragments, so the reassembler state is untouched.
+            handle = int.from_bytes(frame[1:3], "little") & 0x0FFF
+            packet = l2cap
+        else:
+            try:
+                acl = AclPacket.decode(frame)
+            except PacketDecodeError:
+                return []  # undecodable radio noise is dropped silently
+            payload = self._reassembler.feed(acl)
+            if payload is None:
+                return []  # waiting for more fragments
+            handle = acl.handle
+            if l2cap is not None and payload == l2cap.encode():
+                packet = l2cap
+            else:
+                try:
+                    packet = L2capPacket.decode(payload)
+                except PacketDecodeError:
+                    return []
         try:
-            acl = AclPacket.decode(frame)
-        except PacketDecodeError:
-            return []  # undecodable radio noise is dropped silently
-        payload = self._reassembler.feed(acl)
-        if payload is None:
-            return []  # waiting for more fragments
-        try:
-            l2cap = L2capPacket.decode(payload)
-        except PacketDecodeError:
-            return []
-        try:
-            responses = self.engine.handle_l2cap(l2cap)
+            responses = self.engine.handle_l2cap(packet)
         except TargetCrashedError as crash_exc:
             self._record_crash(crash_exc.crash)
             raise
-        return [
-            AclPacket(handle=acl.handle, payload=response.encode()).encode()
-            for response in responses
-        ]
+        frames: list[bytes] = []
+        for response in responses:
+            raw = encode_acl(handle, response.encode())
+            view = response.loopback_view()
+            frames.append(TaggedFrame.tag(raw, view) if view is not None else raw)
+        return frames
 
     def _record_crash(self, crash: CrashReport) -> None:
         # Upper-layer handlers (SDP/RFCOMM) raise crashes past the

@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
+from collections.abc import Callable
 
 from repro.errors import ChannelError, PacketDecodeError, TargetCrashedError
 from repro.hci.transport import SimClock
 from repro.l2cap.constants import (
+    COMMAND_NAME_BY_VALUE,
+    CONFIG_OPTION_TYPE_VALUES,
     CommandCode,
     ConfigOptionType,
     ConfigResult,
@@ -41,7 +44,7 @@ from repro.l2cap.packets import (
     disconnection_request,
 )
 from repro.l2cap.states import ChannelState, CONFIGURATION_STATES
-from repro.l2cap.validation import frame_violations, reject_reason_for, Violation
+from repro.l2cap.validation import structural_reject_reason
 from repro.stack.channels import ChannelManager
 from repro.stack.crash import CrashReport
 from repro.stack.services import ServiceDirectory
@@ -93,6 +96,11 @@ class HostStackEngine:
         self.state_history: list[StateVisit] = []
         self.crash: CrashReport | None = None
         self._next_identifier = 0x70
+        # Per-packet personality reads, hoisted out of the hot loop
+        # (personalities are frozen).
+        self._response_latency = personality.response_latency
+        self._signaling_mtu = personality.signaling_mtu
+        self._rejects_garbage_tail = personality.rejects_garbage_tail
         #: Transition-coverage counters: (command, state, outcome) →
         #: hits. A black-box stand-in for the code coverage the paper
         #: cannot measure (§V cites Frankenstein's firmware-emulation
@@ -109,21 +117,19 @@ class HostStackEngine:
         """
         if self.crash is not None:
             return []
-        self.clock.advance(self.personality.response_latency)
+        self.clock.advance(self._response_latency)
 
         if packet.header_cid != SIGNALING_CID:
             return self._handle_data_frame(packet)
 
-        report = frame_violations(
-            packet,
-            signaling_mtu=self.personality.signaling_mtu,
-            allocated_cids=frozenset(),  # CID checks are done per-command
-        )
-        structural_reason = self._structural_reject(report)
+        # CID checks are done per-command; only the F/D (framing) part of
+        # the validation verdict gates dispatch, served from the
+        # structural pass the sniffer already memoized on the packet.
+        structural_reason = structural_reject_reason(packet, self._signaling_mtu)
         if structural_reason is not None:
             self._record_transition(packet, "structural-reject")
             return [command_reject(structural_reason, packet.identifier)]
-        if self.personality.rejects_garbage_tail and packet.garbage:
+        if self._rejects_garbage_tail and packet.garbage:
             # Hardened parsers discard anything beyond the declared length.
             self._record_transition(packet, "structural-reject")
             return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
@@ -145,10 +151,7 @@ class HostStackEngine:
         return frozenset(self.transition_hits)
 
     def _record_transition(self, packet: L2capPacket, outcome: str) -> None:
-        try:
-            command = CommandCode(packet.code).name
-        except ValueError:
-            command = "UNKNOWN"
+        command = COMMAND_NAME_BY_VALUE.get(packet.code, "UNKNOWN")
         state = self._ambient_state()
         self.transition_hits[(command, state.value, outcome)] += 1
 
@@ -161,16 +164,6 @@ class HostStackEngine:
         return "handled"
 
     # -- helpers ---------------------------------------------------------------
-
-    def _structural_reject(self, report) -> RejectReason | None:
-        """Rejections decidable before command dispatch (F/D violations)."""
-        if report.has(Violation.MTU_EXCEEDED):
-            return RejectReason.SIGNALING_MTU_EXCEEDED
-        if report.has(Violation.UNKNOWN_CODE):
-            return RejectReason.COMMAND_NOT_UNDERSTOOD
-        if report.has(Violation.LENGTH_MISMATCH) or report.has(Violation.TRUNCATED_FIELDS):
-            return RejectReason.COMMAND_NOT_UNDERSTOOD
-        return None
 
     def _handle_data_frame(self, packet: L2capPacket) -> list[L2capPacket]:
         """Non-signaling traffic: deliver to a live channel or drop.
@@ -218,13 +211,16 @@ class HostStackEngine:
         recently progressed live channel, preferring mid-configuration
         ones, falling back to CLOSED.
         """
-        live = self.channels.live_channels()
-        for block in reversed(live):
+        channels = self.channels
+        if not len(channels):
+            return ChannelState.CLOSED
+        newest = None
+        for block in reversed(channels.blocks()):
+            if newest is None:
+                newest = block
             if block.state in CONFIGURATION_STATES:
                 return block.state
-        if live:
-            return live[-1].state
-        return ChannelState.CLOSED
+        return newest.state
 
     def _check_bugs(self, packet: L2capPacket, state: ChannelState | None) -> None:
         """Evaluate injected bug predicates on an accepted packet.
@@ -257,29 +253,15 @@ class HostStackEngine:
 
     # -- dispatch ----------------------------------------------------------------
 
+    #: Command dispatch table, populated once after the class body: the
+    #: per-packet construction of this dict (and the ``CommandCode``
+    #: call) was a measurable slice of the 20k-packet hot path.
+    _HANDLERS: dict[int, Callable] = {}
+
     def _dispatch(self, packet: L2capPacket) -> list[L2capPacket]:
-        code = CommandCode(packet.code)
-        handler = {
-            CommandCode.COMMAND_REJECT: self._on_command_reject,
-            CommandCode.CONNECTION_REQ: self._on_connection_req,
-            CommandCode.CONNECTION_RSP: self._unsolicited_response,
-            CommandCode.CONFIGURATION_REQ: self._on_configuration_req,
-            CommandCode.CONFIGURATION_RSP: self._on_configuration_rsp,
-            CommandCode.DISCONNECTION_REQ: self._on_disconnection_req,
-            CommandCode.DISCONNECTION_RSP: self._on_disconnection_rsp,
-            CommandCode.ECHO_REQ: self._on_echo_req,
-            CommandCode.ECHO_RSP: self._unsolicited_response,
-            CommandCode.INFORMATION_REQ: self._on_information_req,
-            CommandCode.INFORMATION_RSP: self._unsolicited_response,
-            CommandCode.CREATE_CHANNEL_REQ: self._on_create_channel_req,
-            CommandCode.CREATE_CHANNEL_RSP: self._unsolicited_response,
-            CommandCode.MOVE_CHANNEL_REQ: self._on_move_channel_req,
-            CommandCode.MOVE_CHANNEL_RSP: self._unsolicited_response,
-            CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ: self._on_move_confirmation_req,
-            CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP: self._unsolicited_response,
-        }.get(code)
+        handler = self._HANDLERS.get(packet.code)
         if handler is not None:
-            return handler(packet)
+            return handler(self, packet)
         return self._on_le_family(packet)
 
     # -- command handlers ----------------------------------------------------------
@@ -408,10 +390,9 @@ class HostStackEngine:
             options = decode_options(packet.tail)
         except PacketDecodeError:
             return ConfigResult.REJECTED
-        known = {option.value for option in ConfigOptionType}
         for option in options:
             base_type = option.option_type & 0x7F
-            if base_type not in known:
+            if base_type not in CONFIG_OPTION_TYPE_VALUES:
                 if option.option_type & 0x80:
                     continue  # hint options may be ignored
                 return ConfigResult.UNKNOWN_OPTIONS
@@ -556,8 +537,8 @@ class HostStackEngine:
     def _on_information_req(self, packet: L2capPacket) -> list[L2capPacket]:
         self._check_bugs(packet, None)
         info_type = packet.fields.get("info_type", 0)
-        known = {item.value for item in InfoType}
-        if info_type not in known:
+        payload = _INFO_PAYLOADS.get(info_type)
+        if payload is None:
             return [
                 L2capPacket(
                     CommandCode.INFORMATION_RSP,
@@ -565,11 +546,6 @@ class HostStackEngine:
                     {"info_type": info_type, "result": InfoResult.NOT_SUPPORTED},
                 )
             ]
-        payload = {
-            InfoType.CONNECTIONLESS_MTU: (672).to_bytes(2, "little"),
-            InfoType.EXTENDED_FEATURES: (0x000002B8).to_bytes(4, "little"),
-            InfoType.FIXED_CHANNELS: (0x00000006).to_bytes(8, "little"),
-        }[InfoType(info_type)]
         return [
             L2capPacket(
                 CommandCode.INFORMATION_RSP,
@@ -631,8 +607,8 @@ class HostStackEngine:
         if not self.personality.supports_le_signaling:
             return [command_reject(RejectReason.COMMAND_NOT_UNDERSTOOD, packet.identifier)]
         self._check_bugs(packet, None)
-        code = CommandCode(packet.code)
-        if code is CommandCode.CONNECTION_PARAMETER_UPDATE_REQ:
+        code = packet.code
+        if code == CommandCode.CONNECTION_PARAMETER_UPDATE_REQ:
             return [
                 L2capPacket(
                     CommandCode.CONNECTION_PARAMETER_UPDATE_RSP,
@@ -640,7 +616,7 @@ class HostStackEngine:
                     {"result": 0},
                 )
             ]
-        if code is CommandCode.LE_CREDIT_BASED_CONNECTION_REQ:
+        if code == CommandCode.LE_CREDIT_BASED_CONNECTION_REQ:
             return [
                 L2capPacket(
                     CommandCode.LE_CREDIT_BASED_CONNECTION_RSP,
@@ -648,7 +624,7 @@ class HostStackEngine:
                     {"dcid": 0, "mtu": 0, "mps": 0, "credit": 0, "result": 0x0002},
                 )
             ]
-        if code is CommandCode.CREDIT_BASED_CONNECTION_REQ:
+        if code == CommandCode.CREDIT_BASED_CONNECTION_REQ:
             return [
                 L2capPacket(
                     CommandCode.CREDIT_BASED_CONNECTION_RSP,
@@ -656,7 +632,7 @@ class HostStackEngine:
                     {"mtu": 0, "mps": 0, "credit": 0, "result": 0x0002},
                 )
             ]
-        if code is CommandCode.CREDIT_BASED_RECONFIGURE_REQ:
+        if code == CommandCode.CREDIT_BASED_RECONFIGURE_REQ:
             return [
                 L2capPacket(
                     CommandCode.CREDIT_BASED_RECONFIGURE_RSP,
@@ -664,6 +640,41 @@ class HostStackEngine:
                     {"result": 0x0001},
                 )
             ]
-        if code is CommandCode.FLOW_CONTROL_CREDIT_IND:
+        if code == CommandCode.FLOW_CONTROL_CREDIT_IND:
             return []  # credits for an unknown channel are silently dropped
         return []  # stray LE responses are ignored
+
+
+#: Information Response payloads keyed by InfoType value (Core 5.2
+#: Vol 3 Part A §4.10); a miss means NOT_SUPPORTED.
+_INFO_PAYLOADS: dict[int, bytes] = {
+    InfoType.CONNECTIONLESS_MTU.value: (672).to_bytes(2, "little"),
+    InfoType.EXTENDED_FEATURES.value: (0x000002B8).to_bytes(4, "little"),
+    InfoType.FIXED_CHANNELS.value: (0x00000006).to_bytes(8, "little"),
+}
+
+#: BR/EDR command dispatch, resolved once. Codes outside this table fall
+#: through to the LE / credit-based family handler.
+HostStackEngine._HANDLERS = {
+    int(CommandCode.COMMAND_REJECT): HostStackEngine._on_command_reject,
+    int(CommandCode.CONNECTION_REQ): HostStackEngine._on_connection_req,
+    int(CommandCode.CONNECTION_RSP): HostStackEngine._unsolicited_response,
+    int(CommandCode.CONFIGURATION_REQ): HostStackEngine._on_configuration_req,
+    int(CommandCode.CONFIGURATION_RSP): HostStackEngine._on_configuration_rsp,
+    int(CommandCode.DISCONNECTION_REQ): HostStackEngine._on_disconnection_req,
+    int(CommandCode.DISCONNECTION_RSP): HostStackEngine._on_disconnection_rsp,
+    int(CommandCode.ECHO_REQ): HostStackEngine._on_echo_req,
+    int(CommandCode.ECHO_RSP): HostStackEngine._unsolicited_response,
+    int(CommandCode.INFORMATION_REQ): HostStackEngine._on_information_req,
+    int(CommandCode.INFORMATION_RSP): HostStackEngine._unsolicited_response,
+    int(CommandCode.CREATE_CHANNEL_REQ): HostStackEngine._on_create_channel_req,
+    int(CommandCode.CREATE_CHANNEL_RSP): HostStackEngine._unsolicited_response,
+    int(CommandCode.MOVE_CHANNEL_REQ): HostStackEngine._on_move_channel_req,
+    int(CommandCode.MOVE_CHANNEL_RSP): HostStackEngine._unsolicited_response,
+    int(CommandCode.MOVE_CHANNEL_CONFIRMATION_REQ): (
+        HostStackEngine._on_move_confirmation_req
+    ),
+    int(CommandCode.MOVE_CHANNEL_CONFIRMATION_RSP): (
+        HostStackEngine._unsolicited_response
+    ),
+}

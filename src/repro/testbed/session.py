@@ -40,6 +40,10 @@ class FuzzSession:
         back after the run (safe under parallel fleet workers).
     :param dictionary: corpus-harvested garbage tails spliced into the
         mutation stream; empty keeps the seed behaviour byte-identical.
+    :param retain_trace: keep the full per-packet trace (default). False
+        runs on streaming analysis in bounded memory; incompatible with
+        :attr:`corpus_dir`, whose write-back replays the trace.
+    :param sample_every: grain of the sniffer's streamed Fig. 8/9 series.
     """
 
     profile: DeviceProfile
@@ -51,8 +55,15 @@ class FuzzSession:
     strategy: ExplorationStrategy | str | None = None
     corpus_dir: str | None = None
     dictionary: tuple[bytes, ...] = ()
+    retain_trace: bool = True
+    sample_every: int = 1000
 
     def __post_init__(self) -> None:
+        if self.corpus_dir is not None and not self.retain_trace:
+            raise ValueError(
+                "corpus write-back replays the campaign trace; use "
+                "retain_trace=True (or drop corpus_dir)"
+            )
         self.clock = SimClock()
         self.device = self.profile.build(
             clock=self.clock, armed=self.armed, zero_latency=self.zero_latency
@@ -75,6 +86,8 @@ class FuzzSession:
             target_name=f"{self.profile.device_id} ({self.profile.name})",
             strategy=strategy,
             dictionary=self.dictionary,
+            retain_trace=self.retain_trace,
+            sample_every=self.sample_every,
         )
 
     def _reset_target(self) -> None:
@@ -110,6 +123,8 @@ def run_campaign(
     strategy: ExplorationStrategy | str | None = None,
     corpus_dir: str | None = None,
     dictionary: tuple[bytes, ...] = (),
+    retain_trace: bool = True,
+    sample_every: int = 1000,
 ) -> CampaignReport:
     """Convenience one-shot: build a session and run it."""
     session = FuzzSession(
@@ -122,5 +137,7 @@ def run_campaign(
         strategy=strategy,
         corpus_dir=corpus_dir,
         dictionary=dictionary,
+        retain_trace=retain_trace,
+        sample_every=sample_every,
     )
     return session.run()
