@@ -2,12 +2,13 @@
 """Transfer the methodology to RFCOMM (paper §V, "Applicability to other
 protocols").
 
-Builds an earbud-like target whose RFCOMM multiplexer hides a UIH
-reassembly overflow, then runs the transferred fuzzer: state guiding
-walks the mux states (control DLCI → data DLCI) with valid frames, and
-core-field mutating randomises only the DLCI while keeping the FCS and
-length valid — plus the garbage tail beyond the declared frame end,
-which is exactly what pulls the trigger.
+Runs the *same* campaign engine that fuzzes L2CAP against a target's
+RFCOMM multiplexer, via the protocol-agnostic ``FuzzTarget`` API: state
+guiding walks the mux states (control DLCI → data DLCI) with valid
+frames, and core-field mutating randomises only the DLCI while keeping
+the FCS and length valid — plus the garbage tail beyond the declared
+frame end, which is exactly what pulls the trigger on the injected UIH
+reassembly overflow.
 
 Run with::
 
@@ -16,58 +17,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core.packet_queue import PacketQueue
-from repro.hci.transport import VirtualLink
-from repro.l2cap.constants import CommandCode, ConnectionResult, Psm
-from repro.l2cap.packets import connection_request
-from repro.rfcomm import RfcommFuzzer, RfcommMux
-from repro.stack.device import DeviceMeta, VirtualDevice
-from repro.stack.services import ServiceDirectory, ServiceRecord
-from repro.stack.vendors import RTKIT
-
-
-def build_target():
-    """An earbud exposing an unpaired serial port with a buggy mux."""
-    mux = RfcommMux(server_channels=(1,), vulnerable=True)
-    services = ServiceDirectory(
-        [
-            ServiceRecord(Psm.SDP, "SDP"),
-            ServiceRecord(Psm.RFCOMM, "Serial Port"),
-        ]
-    )
-    device = VirtualDevice(
-        meta=DeviceMeta("9C:64:8B:00:00:42", "budz-pro", "earphone"),
-        personality=RTKIT,
-        services=services,
-    )
-    device.engine.data_handlers[Psm.RFCOMM] = mux.handle_payload
-    link = VirtualLink(clock=device.clock)
-    device.attach_to(link)
-    return device, mux, PacketQueue(link)
+from repro.core.config import FuzzConfig
+from repro.testbed.profiles import D5
+from repro.testbed.session import FuzzSession
 
 
 def main() -> None:
-    device, mux, queue = build_target()
+    print("Fuzzing D5's RFCOMM mux with the shared campaign engine")
+    session = FuzzSession(
+        D5, FuzzConfig(max_packets=4000, seed=7), target="rfcomm"
+    )
+    report = session.run()
+    mux = session.device.rfcomm_mux
 
-    print("Step 1 — L2CAP substrate: connect to PSM 0x0003 (RFCOMM)")
-    responses = queue.exchange(connection_request(psm=Psm.RFCOMM, scid=0x0090))
-    rsp = next(r for r in responses if r.code == CommandCode.CONNECTION_RSP)
-    assert rsp.fields["result"] == ConnectionResult.SUCCESS
-    target_cid = rsp.fields["dcid"]
-    print(f"   channel up (our CID 0x0090, target CID 0x{target_cid:04X})")
+    print(report.summary())
+    print(f"   mux frames accepted : {mux.frames_accepted}")
+    print(f"   mux frames rejected : {mux.frames_rejected}")
 
-    print("Step 2 — state guiding + core field mutating on the RFCOMM mux")
-    fuzzer = RfcommFuzzer(queue, our_cid=0x0090, target_cid=target_cid, seed=7)
-    report = fuzzer.run(per_type=8)
-
-    print(f"   frames sent     : {report.frames_sent}")
-    print(f"   accepted (UA)   : {report.accepted}")
-    print(f"   rejected (DM)   : {report.rejected}")
-    print(f"   target crashed  : {report.crashed} ({report.crash_error})")
-
-    if report.crashed and device.crash_dumps:
-        print("\nStep 3 — recovered crash dump:")
-        print(device.crash_dumps[0])
+    if report.findings and session.device.crash_dumps:
+        finding = report.findings[0]
+        print("\nRecovered crash dump:")
+        print(session.device.crash_dumps[0])
+        print(
+            f"\nFinding key (dedupes fleet- and corpus-wide): "
+            f"{finding.key(session.profile.vendor)}"
+        )
         print(
             "The same two techniques that found the L2CAP zero-days "
             "(§IV) found this RFCOMM bug — the §V transfer claim."

@@ -313,13 +313,20 @@ def packets_to_coverage(sniffer: PacketSniffer, target_count: int) -> int | None
     return None
 
 
-def coverage_report(covered: frozenset[ChannelState]) -> dict:
-    """Summarise coverage the way Fig. 10 / Fig. 11 present it."""
+def coverage_report(covered: frozenset, universe=None) -> dict:
+    """Summarise coverage the way Fig. 10 / Fig. 11 present it.
+
+    :param universe: the full state space the coverage is measured
+        against; defaults to the 19 L2CAP channel states. Pass a
+        protocol target's ``state_universe()`` for non-L2CAP campaigns.
+    """
+    if universe is None:
+        universe = tuple(ChannelState)
     return {
         "count": len(covered),
-        "total": 19,
+        "total": len(universe),
         "states": sorted(state.value for state in covered),
         "missing": sorted(
-            state.value for state in ChannelState if state not in covered
+            state.value for state in universe if state not in covered
         ),
     }

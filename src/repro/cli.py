@@ -4,8 +4,10 @@ Commands:
 
 * ``devices`` — list the Table V testbed profiles.
 * ``scan D2`` — run the target-scanning phase against one profile.
-* ``fuzz D2`` — run a full campaign (``--disarm`` for ratio mode).
-* ``fleet`` — run a profile × strategy fleet and merge the reports.
+* ``fuzz D2`` — run a full campaign (``--disarm`` for ratio mode;
+  ``--target {l2cap,rfcomm,sdp,obex}`` picks the protocol).
+* ``fleet`` — run a profile × strategy × protocol fleet and merge
+  the reports.
 * ``compare`` — run the four-fuzzer comparison (Table VII, Fig. 10).
 * ``survey`` — run Table VI across all eight devices.
 * ``replay`` — replay a saved JSONL trace against a fresh target.
@@ -27,6 +29,7 @@ from repro.core.strategies import STRATEGY_NAMES, make_strategy
 from repro.core.target_scanning import TargetScanner
 from repro.hci.transport import VirtualLink
 from repro.l2cap.states import ChannelState
+from repro.targets import make_target, target_names
 from repro.testbed.profiles import ALL_PROFILES, PROFILES_BY_ID
 from repro.testbed.session import FuzzSession
 
@@ -73,16 +76,16 @@ def cmd_scan(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    """Full campaign against one device."""
+    """Full campaign against one device (any registered protocol target)."""
     from repro.core.fleet import load_corpus_seeds
 
     profile = _profile(args.device)
     config = FuzzConfig(max_packets=args.budget, seed=args.seed)
     prior_visits, dictionary = load_corpus_seeds(args.corpus)
-    try:
-        strategy = make_strategy(args.strategy, prior_visits=prior_visits or None)
-    except ValueError as error:
-        raise SystemExit(str(error)) from None
+    # Bad names never reach here: both flags carry registry-generated
+    # argparse choices.
+    strategy = make_strategy(args.strategy, prior_visits=prior_visits or None)
+    target = make_target(args.target)
     session = FuzzSession(
         profile,
         config,
@@ -92,11 +95,12 @@ def cmd_fuzz(args) -> int:
         strategy=strategy,
         corpus_dir=args.corpus,
         dictionary=dictionary,
+        target=target,
     )
     report = session.run()
     print(report.summary())
     print()
-    print(coverage_report(report.covered_states))
+    print(coverage_report(report.covered_states, target.state_universe()))
     if args.save_trace:
         count = save_trace(session.fuzzer.sniffer, args.save_trace)
         print(f"trace: {count} packets written to {args.save_trace}")
@@ -129,12 +133,15 @@ def cmd_fleet(args) -> int:
     except ValueError:
         raise SystemExit(f"unknown target state {args.target_state!r}") from None
     strategies = args.strategies.split(",")
+    targets = args.targets.split(",")
     try:
         # Validate eagerly so unknown names and unroutable targets fail
         # with a clean message instead of mid-campaign. The orchestrator
         # gets the *names*, keeping the fleet process-pool-safe.
         for name in strategies:
             make_strategy(name, target=target_state)
+        for name in targets:
+            make_target(name)
     except ValueError as error:
         raise SystemExit(str(error)) from None
     orchestrator = FleetOrchestrator(
@@ -146,6 +153,7 @@ def cmd_fleet(args) -> int:
         armed=not args.disarm,
         target_state=target_state,
         corpus_dir=args.corpus,
+        targets=targets,
     )
     report = orchestrator.run()
     rendered = report.to_json() if args.format == "json" else report.to_markdown()
@@ -362,10 +370,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--save-trace", metavar="PATH", help="write the trace as JSONL")
     fuzz.add_argument("--show-log", action="store_true", help="print the campaign log")
+    # Choices and help are generated from the registries at parser-build
+    # time, so a newly registered strategy or protocol target appears
+    # here automatically and a bad value fails with the valid names
+    # listed. target_names() is read live (not the import-time
+    # TARGET_NAMES snapshot) so user-registered targets are accepted.
     fuzz.add_argument(
         "--strategy",
         default="sequential",
-        help=f"exploration strategy: {', '.join(STRATEGY_NAMES)}",
+        choices=STRATEGY_NAMES,
+        help=f"exploration strategy (one of: {', '.join(STRATEGY_NAMES)})",
+    )
+    fuzz.add_argument(
+        "--target",
+        default="l2cap",
+        choices=target_names(),
+        help=f"protocol fuzz target (one of: {', '.join(target_names())})",
     )
     fuzz.add_argument(
         "--corpus",
@@ -386,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies",
         default="sequential",
         help=f"comma-separated strategies: {', '.join(STRATEGY_NAMES)}",
+    )
+    fleet.add_argument(
+        "--targets",
+        default="l2cap",
+        help=f"comma-separated protocol targets: {', '.join(target_names())}",
     )
     fleet.add_argument("--workers", type=int, default=1, help="worker-pool size")
     fleet.add_argument("--seed", type=int, default=7, help="fleet master seed")

@@ -43,21 +43,26 @@ def finding_key(
     vendor: str,
     vulnerability_class: VulnerabilityClass | str,
     trigger: str,
-) -> tuple[str, str, str]:
+    target: str = "l2cap",
+) -> tuple[str, str, str, str]:
     """Canonical deduplication key of a finding.
 
-    Two findings are the same vulnerability when they share ``(vendor,
-    vulnerability class, trigger)`` — the same malformed packet knocking
-    over the same vendor stack the same way, regardless of which device,
-    strategy or campaign hit it first. This is the single key used by
-    the fleet merge, the persistent finding database, and any other
-    cross-campaign deduplication; *trigger* may be a human-readable
-    packet rendering or a content hash of a minimised reproducer, as
-    long as callers are consistent about which they bucket by.
+    Two findings are the same vulnerability when they share ``(fuzz
+    target, vendor, vulnerability class, trigger)`` — the same malformed
+    packet knocking over the same protocol layer of the same vendor
+    stack the same way, regardless of which device, strategy or campaign
+    hit it first. This is the single key used by the fleet merge, the
+    persistent finding database, and any other cross-campaign
+    deduplication; *trigger* may be a human-readable packet rendering or
+    a content hash of a minimised reproducer, as long as callers are
+    consistent about which they bucket by. *target* is the registry name
+    of the protocol under test, so an RFCOMM crash and an L2CAP crash
+    with a coincidentally identical trigger rendering never collapse
+    into one bucket.
     """
     if isinstance(vulnerability_class, VulnerabilityClass):
         vulnerability_class = vulnerability_class.value
-    return (vendor, vulnerability_class, trigger)
+    return (target, vendor, vulnerability_class, trigger)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +77,8 @@ class Finding:
     :param sim_time: simulated campaign time at detection.
     :param ping_failed: whether the confirming ping test failed.
     :param crash_dump: crash-dump text recovered from the target, if any.
+    :param target: registry name of the fuzz target (protocol) under
+        test when the finding was made.
     """
 
     vulnerability_class: VulnerabilityClass
@@ -81,10 +88,13 @@ class Finding:
     sim_time: float
     ping_failed: bool
     crash_dump: str | None = None
+    target: str = "l2cap"
 
-    def key(self, vendor: str) -> tuple[str, str, str]:
+    def key(self, vendor: str) -> tuple[str, str, str, str]:
         """This finding's :func:`finding_key` under *vendor*'s stack."""
-        return finding_key(vendor, self.vulnerability_class, self.trigger)
+        return finding_key(
+            vendor, self.vulnerability_class, self.trigger, self.target
+        )
 
 
 class VulnerabilityDetector:
@@ -139,11 +149,13 @@ class VulnerabilityDetector:
         error: TransportError,
         state_name: str,
         trigger_description: str,
+        target: str = "l2cap",
     ) -> Finding:
         """Build a finding for a transport error seen while fuzzing.
 
         Runs the confirming ping test and the crash-dump check before
-        classifying, mirroring the §III.E sequence.
+        classifying, mirroring the §III.E sequence. *target* stamps the
+        protocol under test into the finding's dedup key.
         """
         ping_ok = self.ping_test()
         return Finding(
@@ -154,4 +166,5 @@ class VulnerabilityDetector:
             sim_time=self.queue.clock.now,
             ping_failed=not ping_ok,
             crash_dump=self.fetch_crash_dump(),
+            target=target,
         )

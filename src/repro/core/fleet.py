@@ -1,11 +1,11 @@
-"""Fleet campaigns: many targets × many strategies, one merged report.
+"""Fleet campaigns: many targets × strategies × protocols, one report.
 
 The paper runs one fuzzer against one device at a time (Table VI is
 eight separate sessions). Production fuzzing wants a *fleet*: every
-testbed profile crossed with every exploration strategy, campaigns
-dispatched onto a pool of workers, and the results merged into one
-deduplicated picture of what the sweep found and which states it
-reached.
+testbed profile crossed with every exploration strategy and every
+protocol fuzz target, campaigns dispatched onto a pool of workers, and
+the results merged into one deduplicated picture of what the sweep
+found and which states it reached — per protocol.
 
 Determinism is the design anchor. Each campaign's seed is derived from
 the fleet seed and the campaign's index with SHA-256, so
@@ -16,14 +16,20 @@ the fleet seed and the campaign's index with SHA-256, so
 
 Campaigns are dispatched with :mod:`concurrent.futures`; because every
 campaign owns its simulated clock, results are independent of worker
-count and completion order. Fleets built from registry profiles and
-strategy names dispatch onto a process pool (real CPU parallelism);
-custom profile or strategy objects fall back to a thread pool, which
-on CPython's GIL only overlaps I/O — fine for real radios, a no-op for
-the simulation. Scaling is therefore *measured* in simulated
-wall-clock: each campaign occupies one worker (one dongle, in the
-paper's setup) for its simulated duration, and the fleet makespan is
-the greedy least-loaded schedule of those durations over the pool.
+count and completion order. Fleets built from registry profiles,
+strategy names and target names dispatch onto a process pool (real CPU
+parallelism); custom profile or strategy objects fall back to a thread
+pool, which on CPython's GIL only overlaps I/O — fine for real radios,
+a no-op for the simulation. Scaling is therefore *measured* in
+simulated wall-clock: each campaign occupies one worker (one dongle, in
+the paper's setup) for its simulated duration, and the fleet makespan
+is the greedy least-loaded schedule of those durations over the pool.
+
+Findings are deduplicated with the shared
+:func:`~repro.core.detection.finding_key`, which carries the fuzz
+target's name — so an RFCOMM crash and an L2CAP crash never collapse,
+while the same protocol bug hit via two strategies or two devices of
+one vendor does.
 """
 
 from __future__ import annotations
@@ -76,12 +82,14 @@ class CampaignSpec:
     :param device_id: testbed profile to fuzz.
     :param strategy: exploration strategy registry name.
     :param seed: the derived campaign seed.
+    :param target: protocol fuzz-target registry name.
     """
 
     index: int
     device_id: str
     strategy: str
     seed: int
+    target: str = "l2cap"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,13 +105,15 @@ class FleetFinding:
     """One deduplicated finding across the fleet.
 
     Findings are considered the same vulnerability when they share
-    ``(vendor, vulnerability_class, trigger)`` — the same malformed
-    packet knocking over the same vendor stack the same way, regardless
-    of which device or strategy hit it first.
+    ``(target, vendor, vulnerability_class, trigger)`` — the same
+    malformed packet knocking over the same protocol layer of the same
+    vendor stack the same way, regardless of which device or strategy
+    hit it first.
 
     :param occurrences: how many campaign findings collapsed into this.
     """
 
+    target: str
     vendor: str
     vulnerability_class: str
     trigger: str
@@ -123,8 +133,10 @@ class FleetReport:
     :param workers: worker-pool size the fleet was scheduled onto.
     :param campaigns: every campaign run, in spec order.
     :param findings: deduplicated findings, in first-detection order.
-    :param coverage_map: per-state campaign counts — how many campaigns
-        demonstrably drove their target into each state.
+    :param coverage_map: per-(target, state) campaign counts — how many
+        campaigns demonstrably drove their device into each state of
+        each protocol's model.
+    :param state_spaces: per-target coverage denominators.
     :param simulated_makespan_seconds: fleet duration in simulated time
         under the greedy schedule over *workers* workers.
     """
@@ -133,19 +145,35 @@ class FleetReport:
     workers: int
     campaigns: tuple[CampaignRun, ...]
     findings: tuple[FleetFinding, ...]
-    coverage_map: tuple[tuple[str, int], ...]
+    coverage_map: tuple[tuple[str, str, int], ...]
+    state_spaces: tuple[tuple[str, int], ...]
     simulated_makespan_seconds: float
 
     # -- derived ------------------------------------------------------------------
 
     @property
+    def targets(self) -> tuple[str, ...]:
+        """Every fuzz target the fleet ran, in coverage-map order."""
+        seen: dict[str, None] = {}
+        for target, _ in self.state_spaces:
+            seen.setdefault(target, None)
+        return tuple(seen)
+
+    def coverage_by_target(self) -> dict[str, tuple[tuple[str, int], ...]]:
+        """The merged coverage map, split per fuzz target."""
+        grouped: dict[str, list[tuple[str, int]]] = {}
+        for target, state, count in self.coverage_map:
+            grouped.setdefault(target, []).append((state, count))
+        return {target: tuple(rows) for target, rows in grouped.items()}
+
+    @property
     def merged_states(self) -> tuple[str, ...]:
         """Every state some campaign covered, sorted by name."""
-        return tuple(state for state, _ in self.coverage_map)
+        return tuple(sorted({state for _, state, _ in self.coverage_map}))
 
     @property
     def merged_state_count(self) -> int:
-        """Distinct states covered by the fleet as a whole."""
+        """Distinct (target, state) pairs covered by the fleet."""
         return len(self.coverage_map)
 
     @property
@@ -174,9 +202,12 @@ class FleetReport:
             grouped.setdefault(run.spec.strategy, []).append(run)
         rows = []
         for name, runs in grouped.items():
-            covered: set[str] = set()
+            covered: set[tuple[str, str]] = set()
             for run in runs:
-                covered.update(state.value for state in run.report.covered_states)
+                covered.update(
+                    (run.spec.target, state.value)
+                    for state in run.report.covered_states
+                )
             packets = sum(run.report.packets_sent for run in runs)
             elapsed = sum(run.report.elapsed_seconds for run in runs)
             findings = sum(len(run.report.findings) for run in runs)
@@ -211,12 +242,14 @@ class FleetReport:
             "campaigns_per_simulated_second": round(
                 self.campaigns_per_simulated_second, 6
             ),
+            "targets": list(self.targets),
             "merged_state_count": self.merged_state_count,
             "best_single_coverage": self.best_single_coverage,
             "coverage_map": [
-                {"state": state, "campaigns": count}
-                for state, count in self.coverage_map
+                {"target": target, "state": state, "campaigns": count}
+                for target, state, count in self.coverage_map
             ],
+            "state_spaces": {target: space for target, space in self.state_spaces},
             "findings": [dataclasses.asdict(finding) for finding in self.findings],
             "strategy_table": self.strategy_table(),
             "campaigns": [_campaign_dict(run) for run in self.campaigns],
@@ -228,6 +261,8 @@ class FleetReport:
 
     def to_markdown(self) -> str:
         """Human-readable fleet summary."""
+        spaces = dict(self.state_spaces)
+        coverage = self.coverage_by_target()
         lines = [
             f"# Fleet report (seed {self.fleet_seed}, {self.workers} worker(s))",
             "",
@@ -236,31 +271,40 @@ class FleetReport:
             f"- simulated makespan: "
             f"{format_elapsed(self.simulated_makespan_seconds)}"
             f" ({self.campaigns_per_simulated_second:.4f} campaigns/s simulated)",
-            f"- merged state coverage: {self.merged_state_count}/19"
-            f" (best single campaign: {self.best_single_coverage}/19)",
+            "- merged state coverage: "
+            + ", ".join(
+                f"{target} {len(coverage.get(target, ()))}/{spaces[target]}"
+                for target in self.targets
+            )
+            + f" (best single campaign: {self.best_single_coverage})",
             "",
             "## Campaigns",
             "",
-            "| # | device | strategy | packets | states | findings | elapsed |",
-            "|---|--------|----------|---------|--------|----------|---------|",
+            "| # | device | protocol | strategy | packets | states |"
+            " findings | elapsed |",
+            "|---|--------|----------|----------|---------|--------|"
+            "----------|---------|",
         ]
         for run in self.campaigns:
             report = run.report
             lines.append(
                 f"| {run.spec.index} | {report.target_name} |"
+                f" {run.spec.target} |"
                 f" {run.spec.strategy} | {report.packets_sent} |"
                 f" {len(report.covered_states)} | {len(report.findings)} |"
                 f" {format_elapsed(report.elapsed_seconds)} |"
             )
-        lines += [
-            "",
-            "## Merged coverage map",
-            "",
-            "| state | campaigns covering |",
-            "|-------|--------------------|",
-        ]
-        for state, count in self.coverage_map:
-            lines.append(f"| {state} | {count} |")
+        for target in self.targets:
+            lines += [
+                "",
+                f"## Merged coverage map — {target}"
+                f" ({len(coverage.get(target, ()))}/{spaces[target]})",
+                "",
+                "| state | campaigns covering |",
+                "|-------|--------------------|",
+            ]
+            for state, count in coverage.get(target, ()):
+                lines.append(f"| {state} | {count} |")
         lines += [
             "",
             "## Findings (deduplicated)",
@@ -270,12 +314,15 @@ class FleetReport:
             lines.append("No vulnerability detected across the fleet.")
         else:
             lines += [
-                "| vendor | class | state | first seen | hits | trigger |",
-                "|--------|-------|-------|------------|------|---------|",
+                "| protocol | vendor | class | state | first seen | hits |"
+                " trigger |",
+                "|----------|--------|-------|-------|------------|------|"
+                "---------|",
             ]
             for finding in self.findings:
                 lines.append(
-                    f"| {finding.vendor} | {finding.vulnerability_class} |"
+                    f"| {finding.target} |"
+                    f" {finding.vendor} | {finding.vulnerability_class} |"
                     f" {finding.state} |"
                     f" {finding.device_id}/{finding.strategy} |"
                     f" {finding.occurrences} | {finding.trigger} |"
@@ -305,6 +352,7 @@ def _campaign_dict(run: CampaignRun) -> dict:
         "index": run.spec.index,
         "device_id": run.spec.device_id,
         "strategy": run.spec.strategy,
+        "target": run.spec.target,
         "seed": run.spec.seed,
         "target_name": report.target_name,
         "packets_sent": report.packets_sent,
@@ -337,16 +385,22 @@ def merge_reports(
 ) -> FleetReport:
     """Merge campaign runs into one :class:`FleetReport`.
 
-    Findings are deduplicated by ``(vendor, vulnerability_class,
-    trigger)``, keeping the first detection and counting the rest.
+    Findings are deduplicated by the shared ``finding_key`` —
+    ``(target, vendor, vulnerability_class, trigger)`` — keeping the
+    first detection and counting the rest. Coverage is merged per
+    (target, state) pair so protocols never pollute each other's maps.
     """
-    coverage_counts: dict[str, int] = {}
+    coverage_counts: dict[tuple[str, str], int] = {}
+    state_spaces: dict[str, int] = {}
     for run in runs:
+        target = run.spec.target
+        state_spaces.setdefault(target, run.report.state_space)
         for state in run.report.covered_states:
-            coverage_counts[state.value] = coverage_counts.get(state.value, 0) + 1
+            key = (target, state.value)
+            coverage_counts[key] = coverage_counts.get(key, 0) + 1
 
     # Insertion order = first-detection order (dicts preserve it).
-    deduped: dict[tuple[str, str, str], FleetFinding] = {}
+    deduped: dict[tuple[str, str, str, str], FleetFinding] = {}
     for run in runs:
         vendor = profiles_by_id[run.spec.device_id].vendor
         for finding in run.report.findings:
@@ -354,6 +408,7 @@ def merge_reports(
             seen = deduped.get(key)
             if seen is None:
                 deduped[key] = FleetFinding(
+                    target=finding.target,
                     vendor=vendor,
                     vulnerability_class=finding.vulnerability_class.value,
                     trigger=finding.trigger,
@@ -374,7 +429,11 @@ def merge_reports(
         workers=workers,
         campaigns=tuple(runs),
         findings=tuple(deduped.values()),
-        coverage_map=tuple(sorted(coverage_counts.items())),
+        coverage_map=tuple(
+            (target, state, count)
+            for (target, state), count in sorted(coverage_counts.items())
+        ),
+        state_spaces=tuple(sorted(state_spaces.items())),
         simulated_makespan_seconds=simulated_makespan(
             [run.report.elapsed_seconds for run in runs], workers
         ),
@@ -382,7 +441,7 @@ def merge_reports(
 
 
 class FleetOrchestrator:
-    """Runs the profile × strategy matrix and merges the results.
+    """Runs the profile × strategy × target matrix and merges the results.
 
     :param profiles: testbed profiles to fuzz.
     :param strategies: strategy registry names (or instances), applied
@@ -403,6 +462,9 @@ class FleetOrchestrator:
         (the default) auto-selects: fleet workers stream — bounded
         memory per campaign — unless a corpus write-back needs the
         trace. The merged report's metrics are identical either way.
+    :param targets: protocol fuzz-target registry names, applied to
+        every profile × strategy cell — one ``repro fleet`` run can
+        sweep strategies × protocols.
     """
 
     def __init__(
@@ -416,15 +478,23 @@ class FleetOrchestrator:
         target_state: ChannelState = ChannelState.OPEN,
         corpus_dir: str | None = None,
         retain_trace: bool | None = None,
+        targets: Sequence[str] = ("l2cap",),
     ) -> None:
+        from repro.targets import make_target
+
         if not profiles:
             raise ValueError("fleet needs at least one profile")
         if not strategies:
             raise ValueError("fleet needs at least one strategy")
+        if not targets:
+            raise ValueError("fleet needs at least one fuzz target")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        for name in targets:
+            make_target(name)  # fail fast on unknown targets
         self.profiles = tuple(profiles)
         self.strategies = tuple(strategies)
+        self.targets = tuple(targets)
         self.fleet_seed = fleet_seed
         self.workers = workers
         self.base_config = (
@@ -498,22 +568,24 @@ class FleetOrchestrator:
         for profile in self.profiles:
             for strategy in self.strategies:
                 name = strategy if isinstance(strategy, str) else strategy.name
-                spec = CampaignSpec(
-                    index=index,
-                    device_id=profile.device_id,
-                    strategy=name,
-                    seed=derive_campaign_seed(self.fleet_seed, index),
-                )
-                matrix.append((spec, strategy))
-                index += 1
+                for target in self.targets:
+                    spec = CampaignSpec(
+                        index=index,
+                        device_id=profile.device_id,
+                        strategy=name,
+                        seed=derive_campaign_seed(self.fleet_seed, index),
+                        target=target,
+                    )
+                    matrix.append((spec, strategy))
+                    index += 1
         return tuple(matrix)
 
     def _process_safe(self) -> bool:
         """Whether the fleet can ship to worker processes.
 
-        A child process rebuilds each campaign from the testbed
-        registry, so every profile must be a registry profile and every
-        strategy a registry name.
+        A child process rebuilds each campaign from the testbed and
+        target registries, so every profile must be a registry profile
+        and every strategy a registry name (targets are always names).
         """
         from repro.testbed.profiles import PROFILES_BY_ID
 
@@ -545,6 +617,7 @@ class FleetOrchestrator:
             corpus_dir=self.corpus_dir,
             dictionary=self._dictionary,
             retain_trace=self.retain_trace,
+            target=spec.target,
         )
         return CampaignRun(spec=spec, report=report)
 
@@ -611,5 +684,6 @@ def _run_spec_job(
         corpus_dir=corpus_dir,
         dictionary=dictionary,
         retain_trace=retain_trace,
+        target=spec.target,
     )
     return CampaignRun(spec=spec, report=report)

@@ -1,16 +1,23 @@
-"""The L2Fuzz campaign orchestrator (paper Fig. 5).
+"""The campaign orchestrator (paper Fig. 5), protocol-agnostic.
 
-Wires the four phases together:
+Wires the four phases together for any registered
+:class:`~repro.targets.base.FuzzTarget`:
 
 1. :class:`~repro.core.target_scanning.TargetScanner` finds the device
    and a pairing-free port;
-2. :class:`~repro.core.state_guiding.StateGuide` walks the 13
-   master-reachable L2CAP states with valid commands, in the order an
+2. the target's **guide** walks its protocol's state plan with valid
+   frames, in the order an
    :class:`~repro.core.strategies.ExplorationStrategy` schedules them;
-3. :class:`~repro.core.mutation.CoreFieldMutator` generates *n* valid
-   malformed packets per valid command of the state's job;
+3. the target's **mutator** generates *n* valid malformed packets per
+   valid command of the state's job;
 4. :class:`~repro.core.detection.VulnerabilityDetector` watches for
    socket errors, runs ping tests and pulls crash dumps.
+
+The engine itself never mentions a protocol: states, commands, routing
+and mutation all come from the target. :class:`L2Fuzz` defaults to the
+L2CAP reference target and reproduces the seed campaign byte-for-byte;
+``target=make_target("rfcomm")`` (or ``"sdp"``, ``"obex"``) fuzzes the
+same virtual device's other layers with the same machinery.
 
 The campaign is fully deterministic given the config seed, and every
 packet in both directions lands in the sniffer trace, from which the
@@ -24,24 +31,23 @@ from collections.abc import Callable, Sequence
 
 from repro.analysis.metrics import measure
 from repro.analysis.sniffer import PacketSniffer
-from repro.analysis.state_coverage import state_coverage
 from repro.core.config import FuzzConfig
 from repro.core.detection import Finding, VulnerabilityDetector
 from repro.core.fuzz_log import FuzzLog, LogLevel
-from repro.core.mutation import CoreFieldMutator
 from repro.core.packet_queue import PacketQueue
 from repro.core.report import CampaignReport
-from repro.core.state_guiding import StateGuide
 from repro.core.strategies import ExplorationStrategy, SequentialStrategy
 from repro.core.target_scanning import ScanResult, TargetScanner
 from repro.errors import TargetTimeoutError, TransportError
 from repro.hci.transport import VirtualLink
-from repro.l2cap.jobs import JOB_VALID_COMMANDS
-from repro.l2cap.states import ChannelState
 
 
 class L2Fuzz:
-    """A stateful fuzzer for the Bluetooth L2CAP layer.
+    """A stateful fuzzer for one protocol layer of a Bluetooth target.
+
+    The class keeps its historical name: with the default target it *is*
+    the paper's L2Fuzz, and the name is how the tool is known. Every
+    protocol-specific decision is delegated to :attr:`target`.
 
     :param link: virtual link to the target.
     :param inquiry: discovery callable returning the device meta.
@@ -62,11 +68,14 @@ class L2Fuzz:
     :param retain_trace: keep the full per-packet trace on the sniffer.
         True preserves the capture for trace export, triage and corpus
         write-back; False runs the campaign on streaming analysis alone,
-        in memory bounded by the number of L2CAP states instead of the
+        in memory bounded by the number of plan states instead of the
         packet budget (the fleet-worker default).
     :param sample_every: granularity of the sniffer's streamed Fig. 8/9
         series (must match the grain later asked of ``mp_curve`` /
         ``pr_curve`` when the trace is not retained).
+    :param target: the protocol under test — a
+        :class:`~repro.targets.base.FuzzTarget` instance or registry
+        name; None selects the L2CAP reference target.
     """
 
     def __init__(
@@ -82,7 +91,15 @@ class L2Fuzz:
         dictionary: Sequence[bytes] = (),
         retain_trace: bool = True,
         sample_every: int = 1000,
+        target=None,
     ) -> None:
+        from repro.targets import make_target
+
+        if target is None:
+            target = make_target("l2cap")
+        elif isinstance(target, str):
+            target = make_target(target)
+        self.target = target
         self.config = config if config is not None else FuzzConfig()
         self.link = link
         self.sniffer = PacketSniffer(
@@ -91,7 +108,7 @@ class L2Fuzz:
         self.queue = PacketQueue(link, self.sniffer)
         self.scanner = TargetScanner(self.queue, inquiry, browse)
         self.detector = VulnerabilityDetector(self.queue, dump_probe)
-        self.mutator = CoreFieldMutator(
+        self.mutator = self.target.build_mutator(
             self.config, random.Random(self.config.seed), dictionary=dictionary
         )
         self.log = FuzzLog()
@@ -99,13 +116,16 @@ class L2Fuzz:
         self.target_name = target_name
         self.strategy = strategy if strategy is not None else SequentialStrategy()
         self.findings: list[Finding] = []
-        self.state_visits: dict[ChannelState, int] = {}
-        self.transition_visits: dict[tuple[ChannelState, ChannelState], int] = {}
+        self.state_visits: dict[object, int] = {}
+        self.transition_visits: dict[tuple[object, object], int] = {}
         #: Coverage-unlock log for the corpus subsystem: each time a
         #: state or plan transition is seen for the first time, the new
         #: tokens plus the sent-packet prefix length that got there.
         self.coverage_log: list[tuple[tuple[str, ...], int]] = []
-        self._previous_state: ChannelState | None = None
+        #: The campaign's live guide (set by :meth:`run`); targets read
+        #: its confirmed-coverage set when building the report.
+        self.guide = None
+        self._previous_state = None
         self._last_packet = None
         self._sweeps = 0
 
@@ -122,7 +142,8 @@ class L2Fuzz:
             open_psms=[hex(psm) for psm in scan.open_psms],
             probed=len(scan.probes),
         )
-        guide = StateGuide(self.queue, scan)
+        guide = self.target.build_guide(self.queue, scan)
+        self.guide = guide
 
         while not self._budget_exhausted():
             stop = self._run_sweep(guide)
@@ -142,13 +163,19 @@ class L2Fuzz:
     def _budget_exhausted(self) -> bool:
         return self.sniffer.transmitted_count() >= self.config.max_packets
 
-    def _run_sweep(self, guide: StateGuide) -> bool:
+    def _run_sweep(self, guide) -> bool:
         """One strategy-scheduled pass over the plan. Returns True to stop."""
+        base_plan = guide.plan()
         if self.config.state_guiding:
-            plan = self.strategy.plan(guide.plan(), self.state_visits)
+            plan = self.strategy.plan(base_plan, self.state_visits)
+            if not plan:
+                # A strategy with nothing to say about this target's
+                # states (e.g. targeted on a foreign state space) falls
+                # back to the guide's canonical plan.
+                plan = base_plan
         else:
-            # Ablation: stateless fuzzing from the CLOSED posture only.
-            plan = (ChannelState.CLOSED,)
+            # Ablation: stateless fuzzing from the shallowest posture.
+            plan = (self.target.fallback_state(),)
         for state in plan:
             if self._budget_exhausted():
                 return True
@@ -157,11 +184,11 @@ class L2Fuzz:
                 return True
         return False
 
-    def _fuzz_state(self, guide: StateGuide, state) -> bool:
+    def _fuzz_state(self, guide, state) -> bool:
         """Route to *state*, fuzz its job's commands. True = stop campaign."""
         state_name = state.value
         try:
-            guided = guide.enter(state)
+            position = guide.enter(state)
         except TransportError as error:
             return self._on_transport_error(error, state_name)
         self._record_visit(state)
@@ -169,10 +196,10 @@ class L2Fuzz:
             self._now,
             "state-guiding",
             f"entered {state_name}",
-            job=guided.job.value,
+            job=position.label,
         )
 
-        commands = sorted(JOB_VALID_COMMANDS[guided.job])
+        commands = self.target.commands_for(position)
         packets_per_command = self.strategy.packets_per_command(
             state, self.config.packets_per_command
         )
@@ -181,7 +208,9 @@ class L2Fuzz:
             if self._budget_exhausted():
                 break
             for _ in range(packets_per_command):
-                packet = self.mutator.mutate(code, self.queue.take_identifier())
+                packet = self.mutator.mutate(
+                    position, code, self.queue.take_identifier()
+                )
                 # Remember the packet itself; its one-line description is
                 # rendered lazily when (and only when) a finding needs it.
                 self._last_packet = packet
@@ -200,7 +229,7 @@ class L2Fuzz:
                     return True
 
         try:
-            guide.leave(guided)
+            guide.leave(position)
         except TransportError as error:
             return self._on_transport_error(error, state_name)
         return False
@@ -240,7 +269,9 @@ class L2Fuzz:
 
     def _on_transport_error(self, error: TransportError, state_name: str) -> bool:
         """Record a finding; decide whether the campaign stops."""
-        finding = self.detector.diagnose(error, state_name, self._last_trigger)
+        finding = self.detector.diagnose(
+            error, state_name, self._last_trigger, target=self.target.name
+        )
         self.findings.append(finding)
         self.log.vulnerability(
             self._now,
@@ -253,6 +284,11 @@ class L2Fuzz:
         if self.config.stop_on_first_finding or self.reset_hook is None:
             return True
         self.reset_hook()
+        # Channels and sessions the guide cached died with the old stack
+        # instance; let it drop them so the next route reconnects.
+        on_reset = getattr(self.guide, "on_target_reset", None)
+        if on_reset is not None:
+            on_reset()
         self.log.info(self._now, "detection", "target reset, campaign continues")
         return False
 
@@ -264,7 +300,7 @@ class L2Fuzz:
             packets_sent=self.sniffer.transmitted_count(),
             sweeps_completed=self._sweeps,
             efficiency=measure(self.sniffer, self._now),
-            covered_states=state_coverage(self.sniffer),
+            covered_states=self.target.covered_states(self),
             strategy=self.strategy.name,
             state_visits=tuple(
                 sorted(
@@ -278,4 +314,6 @@ class L2Fuzz:
                     for (source, destination), count in self.transition_visits.items()
                 )
             ),
+            fuzz_target=self.target.name,
+            state_space=len(self.target.state_universe()),
         )

@@ -38,6 +38,10 @@ class CampaignReport:
         ``(state_name, count)`` pairs.
     :param transition_visits: counts of consecutive plan transitions, as
         sorted ``(from_state, to_state, count)`` triples.
+    :param fuzz_target: registry name of the protocol fuzz target the
+        campaign ran ("l2cap" is the paper's tool).
+    :param state_space: size of the target's state universe — the
+        denominator of the coverage figures (19 for L2CAP).
     """
 
     target_name: str
@@ -50,6 +54,8 @@ class CampaignReport:
     strategy: str = "sequential"
     state_visits: tuple[tuple[str, int], ...] = ()
     transition_visits: tuple[tuple[str, str, int], ...] = ()
+    fuzz_target: str = "l2cap"
+    state_space: int = 19
 
     @property
     def vulnerability_found(self) -> bool:
@@ -76,10 +82,11 @@ class CampaignReport:
         """Multi-line human-readable summary."""
         lines = [
             f"Target: {self.target_name}",
+            f"Protocol: {self.fuzz_target}",
             f"Packets sent: {self.packets_sent}"
             f" ({self.sweeps_completed} full sweep(s),"
             f" {format_elapsed(self.elapsed_seconds)} simulated)",
-            f"State coverage: {len(self.covered_states)}/19",
+            f"State coverage: {len(self.covered_states)}/{self.state_space}",
             f"MP Ratio: {100 * self.efficiency.mp_ratio:.2f}%"
             f"  PR Ratio: {100 * self.efficiency.pr_ratio:.2f}%"
             f"  Mutation efficiency: {100 * self.efficiency.mutation_efficiency:.2f}%",

@@ -27,17 +27,27 @@ from repro.l2cap.packets import L2capPacket
 TargetFactory = Callable[[], tuple[object, object]]
 
 
-def profile_target_factory(profile, armed: bool = True) -> TargetFactory:
+def profile_target_factory(
+    profile, armed: bool = True, fuzz_target: str = "l2cap"
+) -> TargetFactory:
     """Target factory for a testbed profile.
 
     Each call builds a fresh virtual device from *profile* and wires a
     zero-latency link to it — replay only cares whether the target
     survives the stimulus, so response latency is stripped for speed.
+    *fuzz_target* names the protocol target whose campaign produced the
+    sequence; the device is prepared the same way (protocol server
+    mounted, pairing gate lifted) so the reproducer finds the same
+    surface it crashed in the first place.
     """
     from repro.hci.transport import VirtualLink
 
     def factory() -> tuple[object, object]:
         device = profile.build(armed=armed, zero_latency=True)
+        if fuzz_target != "l2cap":
+            from repro.targets import make_target
+
+            make_target(fuzz_target).prepare_device(device, armed=armed)
         link = VirtualLink(clock=device.clock)
         device.attach_to(link)
         return device, link

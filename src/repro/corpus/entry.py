@@ -35,15 +35,25 @@ def transition_token(source: str, destination: str) -> str:
     return f"{source}>{destination}"
 
 
-def content_id(packets: Iterable[str], device_id: str, armed: bool) -> str:
+def content_id(
+    packets: Iterable[str], device_id: str, armed: bool, target: str = "l2cap"
+) -> str:
     """Content-hash ID over the replay-relevant fields.
 
     The payload is canonical JSON — sorted keys, no whitespace — so the
     ID depends only on the content, never on how a particular dump
-    happened to order or format its keys.
+    happened to order or format its keys. The fuzz-target name is part
+    of the content: the same wire bytes recorded by two protocol
+    campaigns are two different replay recipes (each needs its own
+    device preparation), so they must never collide on one ID.
     """
     payload = json.dumps(
-        {"armed": bool(armed), "device_id": device_id, "packets": list(packets)},
+        {
+            "armed": bool(armed),
+            "device_id": device_id,
+            "packets": list(packets),
+            "target": target,
+        },
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -62,6 +72,8 @@ class CorpusEntry:
     :param strategy: exploration strategy of the recording campaign.
     :param seed: seed of the recording campaign.
     :param armed: whether the target's injected bugs were armed.
+    :param target: fuzz-target (protocol) registry name of the
+        recording campaign; part of the content ID.
     """
 
     packets: tuple[str, ...]
@@ -71,11 +83,12 @@ class CorpusEntry:
     strategy: str
     seed: int
     armed: bool
+    target: str = "l2cap"
 
     @property
     def entry_id(self) -> str:
         """The content-hash ID (stable across serialisation)."""
-        return content_id(self.packets, self.device_id, self.armed)
+        return content_id(self.packets, self.device_id, self.armed, self.target)
 
     @property
     def packet_count(self) -> int:
@@ -95,6 +108,7 @@ def entry_from_packets(
     strategy: str,
     seed: int,
     armed: bool,
+    target: str = "l2cap",
 ) -> CorpusEntry:
     """Build an entry from live packet objects."""
     return CorpusEntry(
@@ -105,6 +119,7 @@ def entry_from_packets(
         strategy=strategy,
         seed=seed,
         armed=armed,
+        target=target,
     )
 
 
@@ -119,6 +134,7 @@ def entry_to_dict(entry: CorpusEntry) -> dict:
         "strategy": entry.strategy,
         "seed": entry.seed,
         "armed": entry.armed,
+        "target": entry.target,
     }
 
 
@@ -137,6 +153,7 @@ def dict_to_entry(record: dict) -> CorpusEntry:
         strategy=record["strategy"],
         seed=int(record["seed"]),
         armed=bool(record["armed"]),
+        target=record.get("target", "l2cap"),
     )
     stored = record.get("id")
     if stored is not None and stored != entry.entry_id:

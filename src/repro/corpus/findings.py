@@ -67,6 +67,9 @@ class FindingRecord:
     :param crash_id: vulnerability ID confirmed by replay, if any.
     :param sim_time: simulated first-detection time.
     :param occurrences: campaign findings collapsed into this bucket.
+    :param target: fuzz-target (protocol) registry name of the campaign
+        that recorded the finding; part of the dedup key and the replay
+        recipe (the device must be prepared for the same protocol).
     """
 
     vendor: str
@@ -80,11 +83,14 @@ class FindingRecord:
     crash_id: str | None
     sim_time: float
     occurrences: int = 1
+    target: str = "l2cap"
 
     @property
-    def key(self) -> tuple[str, str, str]:
+    def key(self) -> tuple[str, str, str, str]:
         """The shared dedup key (trigger slot carries the hash)."""
-        return finding_key(self.vendor, self.vulnerability_class, self.trigger_hash)
+        return finding_key(
+            self.vendor, self.vulnerability_class, self.trigger_hash, self.target
+        )
 
     @property
     def bucket_id(self) -> str:
@@ -111,6 +117,7 @@ def record_to_dict(record: FindingRecord) -> dict:
         "crash_id": record.crash_id,
         "sim_time": round(record.sim_time, 6),
         "occurrences": record.occurrences,
+        "target": record.target,
     }
 
 
@@ -128,6 +135,7 @@ def dict_to_record(data: dict) -> FindingRecord:
         crash_id=data.get("crash_id"),
         sim_time=float(data["sim_time"]),
         occurrences=int(data.get("occurrences", 1)),
+        target=data.get("target", "l2cap"),
     )
 
 
@@ -216,7 +224,8 @@ def record_from_campaign(
     Returns the database status, or ``"not-reproducible"`` when the
     prefix does not crash a fresh target (nothing is stored).
     """
-    factory = profile_target_factory(profile, armed=True)
+    fuzz_target = getattr(finding, "target", "l2cap")
+    factory = profile_target_factory(profile, armed=True, fuzz_target=fuzz_target)
     sequence = list(packets)
     if not replay(sequence, factory).crashed:
         return "not-reproducible"
@@ -234,5 +243,6 @@ def record_from_campaign(
         packets=tuple(packets_to_hex(sequence)),
         crash_id=outcome.crash_id,
         sim_time=finding.sim_time,
+        target=fuzz_target,
     )
     return database.record(record)

@@ -64,6 +64,10 @@ def replay_entry(entry: CorpusEntry, profiles_by_id: dict) -> EntryReplayOutcome
     """
     profile = profiles_by_id[entry.device_id]
     device = profile.build(armed=entry.armed, zero_latency=True)
+    if entry.target != "l2cap":
+        from repro.targets import make_target
+
+        make_target(entry.target).prepare_device(device, armed=entry.armed)
     link = VirtualLink(clock=device.clock)
     device.attach_to(link)
     queue = PacketQueue(link)
@@ -98,7 +102,9 @@ def replay_finding(
     :raises KeyError: when the record's profile is unknown.
     """
     profile = profiles_by_id[record.device_id]
-    factory = profile_target_factory(profile, armed=True)
+    factory = profile_target_factory(
+        profile, armed=True, fuzz_target=record.target
+    )
     outcome = replay(record.decode_packets(), factory)
     return FindingReplayOutcome(
         bucket_id=record.bucket_id,

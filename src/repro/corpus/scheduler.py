@@ -36,13 +36,24 @@ from collections.abc import Mapping, Sequence
 from repro.l2cap.states import ChannelState
 
 
+def _state_name(state) -> str:
+    """Coverage-token name of a plan state (any target's enum, or str)."""
+    return state.value if hasattr(state, "value") else str(state)
+
+
 def _normalise_prior(
     prior_visits: Mapping[ChannelState, int] | Mapping[str, int] | None,
-) -> dict[ChannelState, int]:
-    prior: dict[ChannelState, int] = {}
+) -> dict[str, int]:
+    """Key the prior by state *name* so it is protocol-agnostic.
+
+    Corpus tokens are plain strings; campaigns hand the scheduler enum
+    states. Bridging on the name means one prior serves every fuzz
+    target (state names are unique per protocol by construction).
+    """
+    prior: dict[str, int] = {}
     for key, count in (prior_visits or {}).items():
-        state = key if isinstance(key, ChannelState) else ChannelState(key)
-        prior[state] = prior.get(state, 0) + int(count)
+        name = _state_name(key)
+        prior[name] = prior.get(name, 0) + int(count)
     return prior
 
 
@@ -109,7 +120,7 @@ class EnergyScheduler:
     def _merged(
         self, state: ChannelState, visits: Mapping[ChannelState, int]
     ) -> int:
-        return self.prior_visits.get(state, 0) + visits.get(state, 0)
+        return self.prior_visits.get(_state_name(state), 0) + visits.get(state, 0)
 
 
 def prior_from_corpus(store) -> dict[str, int]:

@@ -200,6 +200,7 @@ def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
     from repro.corpus.findings import FindingDatabase, record_from_campaign
 
     store = CorpusStore(root)
+    target_name = getattr(getattr(fuzzer, "target", None), "name", "l2cap")
     sent_entries = fuzzer.sniffer.sent()
     cumulative: set[str] = set()
     added = 0
@@ -217,6 +218,7 @@ def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
             strategy=report.strategy,
             seed=fuzzer.config.seed,
             armed=armed,
+            target=target_name,
         )
         if store.add(entry):
             added += 1

@@ -801,6 +801,10 @@ class L2capPacket:
 
     def describe(self) -> str:
         """One-line human-readable rendering for logs."""
+        if self.is_data_frame:
+            # Upper-layer traffic (SDP/RFCOMM/OBEX): the payload bytes
+            # are the whole story.
+            return f"DATA(cid=0x{self.header_cid:04X}) payload={self.tail.hex()}"
         fields = ", ".join(f"{k}=0x{v:04X}" for k, v in self.fields.items())
         extra = ""
         if self.tail:

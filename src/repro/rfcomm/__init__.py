@@ -1,8 +1,14 @@
-"""RFCOMM substrate: the paper's §V protocol-transfer demonstration."""
+"""RFCOMM substrate: codec, mux and constants.
+
+The paper's §V protocol-transfer demonstration — fuzzing this mux with
+state guiding and core-field mutating — lives in
+:class:`repro.targets.rfcomm.RfcommTarget`, which runs RFCOMM campaigns
+through the same engine, corpus and fleet machinery as every other
+protocol (the old standalone ``RfcommFuzzer`` is gone).
+"""
 
 from repro.rfcomm.constants import CONTROL_DLCI, FrameType, fcs
 from repro.rfcomm.frames import RfcommFrame, disc, dm, sabm, ua, uih
-from repro.rfcomm.fuzzer import RfcommFuzzer, RfcommFuzzReport
 from repro.rfcomm.mux import DlciState, RfcommMux
 
 __all__ = [
@@ -10,8 +16,6 @@ __all__ = [
     "DlciState",
     "FrameType",
     "RfcommFrame",
-    "RfcommFuzzReport",
-    "RfcommFuzzer",
     "RfcommMux",
     "disc",
     "dm",

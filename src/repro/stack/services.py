@@ -56,6 +56,14 @@ class ServiceDirectory:
             raise ServiceError(f"PSM {record.psm:#06x} already registered")
         self._records[record.psm] = record
 
+    def override(self, record: ServiceRecord) -> None:
+        """Replace (or add) the record at *record.psm*.
+
+        Used by fuzz targets to lift a pairing gate the way a paired
+        dongle would, or to mount an extra protocol server on a device.
+        """
+        self._records[record.psm] = record
+
     def lookup(self, psm: int) -> ServiceRecord | None:
         """Find the service at *psm* (None if not offered)."""
         return self._records.get(psm)

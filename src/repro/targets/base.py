@@ -1,0 +1,299 @@
+"""The protocol-agnostic fuzz-target interface.
+
+The paper's method — state guiding, core-field mutating, vulnerability
+detecting — is protocol-generic (§V), but the seed engine hard-wired it
+to L2CAP. A :class:`FuzzTarget` packages everything the campaign engine
+needs to fuzz one protocol:
+
+* a **state model** — the ordered state plan the guide walks (states are
+  enum members; their ``.value`` strings become coverage tokens, corpus
+  keys and report rows);
+* a **guide** — routes the target into each plan state using only valid
+  frames (phase 2);
+* a **mutator** — produces valid-malformed frames for the current state
+  (phase 3), wrapped as L2CAP wire packets so the whole transport,
+  sniffer, corpus and replay machinery works unchanged;
+* **codec hooks** — encode/decode the protocol's payload unit and
+  expose the wire bytes, feeding the cross-protocol property suite;
+* a **structural-validity predicate** — "would a conformant parser
+  accept this frame?", the boundary the mutator must stay inside;
+* **coverage / finding keys** — the target's name flows into corpus
+  entry IDs and :func:`repro.core.detection.finding_key`, so findings
+  from different protocols never collapse into one bucket.
+
+Targets register themselves in a module-level registry. Registration
+validates the full hook surface up front: a target missing a required
+hook fails at import/registration time, not mid-campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+#: Probability that a protocol mutator's garbage tail is spliced from the
+#: corpus dictionary instead of drawn fresh (matches
+#: :attr:`repro.core.mutation.CoreFieldMutator.SPLICE_RATE`).
+SPLICE_RATE = 0.25
+
+
+def draw_garbage(
+    rng: random.Random,
+    max_garbage: int,
+    dictionary: Sequence[bytes] = (),
+    headroom: int | None = None,
+) -> bytes:
+    """Draw a Fig.-7-style garbage tail for a protocol mutator.
+
+    Mirrors the L2CAP core mutator's tail discipline so every target
+    shares the corpus splice behaviour: with a non-empty *dictionary* a
+    quarter of the tails splice a harvested token, the rest are fresh
+    random bytes of 1..``max_garbage`` (clamped to *headroom* when set).
+    """
+    limit = max_garbage if headroom is None else min(max_garbage, headroom)
+    if limit <= 0:
+        return b""
+    if dictionary and rng.random() < SPLICE_RATE:
+        token = dictionary[rng.randrange(len(dictionary))]
+        return token[:limit]
+    length = rng.randint(1, limit)
+    return bytes(rng.getrandbits(8) for _ in range(length))
+
+
+def wire_data_frame(target_cid: int, payload: bytes):
+    """Wrap a protocol payload as an L2CAP data frame to *target_cid*.
+
+    Every non-L2CAP target ships its frames this way, exactly as on a
+    real link, so the transport, sniffer, corpus and replay machinery
+    is shared unchanged.
+    """
+    from repro.l2cap.packets import L2capPacket
+
+    return L2capPacket(
+        code=0,
+        identifier=0,
+        header_cid=target_cid,
+        tail=payload,
+        fill_defaults=False,
+    )
+
+
+def open_l2cap_channel(queue, psm: int, our_cid: int, failure_message: str) -> int:
+    """Open the L2CAP channel a protocol session rides on.
+
+    Sends one valid Connection Request and returns the CID the target
+    allocated. Shared by every non-L2CAP guide so the handshake (and
+    any future fix to it) lives in one place.
+
+    :raises ScanError: with *failure_message* when the port refuses.
+    :raises TransportError: if the target dies during the handshake.
+    """
+    from repro.errors import ScanError
+    from repro.l2cap.constants import CommandCode, ConnectionResult
+    from repro.l2cap.packets import connection_request
+
+    responses = queue.exchange(
+        connection_request(
+            psm=psm, scid=our_cid, identifier=queue.take_identifier()
+        )
+    )
+    for response in responses:
+        if (
+            response.code == CommandCode.CONNECTION_RSP
+            and response.fields.get("result") == ConnectionResult.SUCCESS
+        ):
+            return response.fields.get("dcid", 0)
+    raise ScanError(failure_message)
+
+
+@dataclasses.dataclass
+class GuidedPosition:
+    """Where the guide parked the target.
+
+    :param state: the plan state (an enum member; ``.value`` is its name).
+    :param label: human label for the state's command family (the L2CAP
+        job name, the RFCOMM mux role, ...) — appears in the campaign log.
+    :param context: opaque per-protocol routing context (live channel,
+        learned handles, open DLCIs); consumed only by the owning target.
+    """
+
+    state: object
+    label: str
+    context: object = None
+
+
+@runtime_checkable
+class TargetGuide(Protocol):
+    """Phase-2 router for one protocol (built per campaign).
+
+    Optional extras the engine honours when present:
+
+    * ``confirmed_states`` — a set of plan states whose routing
+      handshake the target demonstrably answered (feeds the default
+      :meth:`FuzzTarget.covered_states`);
+    * ``on_target_reset()`` — called after a crashed target is reset in
+      an auto-reset campaign, so cached channels/sessions that died
+      with the old stack instance are dropped and re-established.
+    """
+
+    def plan(self) -> tuple:
+        """The ordered states this campaign will visit (shallow→deep)."""
+        ...
+
+    def enter(self, state) -> GuidedPosition:
+        """Drive the target into *state* with valid frames.
+
+        :raises TransportError: if the target dies during routing.
+        """
+        ...
+
+    def leave(self, position: GuidedPosition) -> None:
+        """Tear down whatever the route built (valid teardown frames)."""
+        ...
+
+
+@runtime_checkable
+class TargetMutator(Protocol):
+    """Phase-3 generator for one protocol (built per campaign)."""
+
+    def mutate(self, position: GuidedPosition, command, identifier: int):
+        """Build one valid-malformed wire packet for *command*.
+
+        Returns an :class:`~repro.l2cap.packets.L2capPacket` — either a
+        signaling command (the L2CAP target) or a data frame carrying
+        the protocol's mutated payload (every other target).
+        """
+        ...
+
+
+#: The hook surface every registered target must provide. Each entry is
+#: ``(attribute, is_callable)``; registration checks presence and shape.
+REQUIRED_HOOKS: tuple[tuple[str, bool], ...] = (
+    ("name", False),
+    ("state_universe", True),
+    ("state_plan", True),
+    ("fallback_state", True),
+    ("build_guide", True),
+    ("build_mutator", True),
+    ("commands_for", True),
+    ("encode_payload", True),
+    ("decode_payload", True),
+    ("is_structurally_valid", True),
+    ("covered_states", True),
+    ("prepare_device", True),
+)
+
+
+class FuzzTarget:
+    """Base class (and documentation) for protocol targets.
+
+    Subclasses must provide every hook in :data:`REQUIRED_HOOKS`:
+
+    * ``name`` — registry key ("l2cap", "rfcomm", ...); flows into
+      corpus entry IDs, finding keys and fleet reports.
+    * ``state_universe()`` — every state of the protocol's model (the
+      coverage denominator).
+    * ``state_plan()`` — the ordered subset a campaign routes through.
+    * ``fallback_state()`` — posture fuzzed when state guiding is
+      ablated away.
+    * ``build_guide(queue, scan)`` — phase-2 router.
+    * ``build_mutator(config, rng, dictionary)`` — phase-3 generator.
+    * ``commands_for(position)`` — the valid commands of the state the
+      guide just entered, in deterministic order.
+    * ``encode_payload(obj)`` / ``decode_payload(raw)`` — protocol codec
+      (the payload unit inside the wire packet).
+    * ``is_structurally_valid(payload)`` — would a conformant parser
+      accept these payload bytes?
+    * ``covered_states(fuzzer)`` — the campaign's demonstrated coverage.
+    * ``prepare_device(device, armed)`` — wire the protocol's server
+      into a virtual device (and lift pairing gates the way a paired
+      dongle would); a no-op for protocols the stack serves by default.
+    """
+
+    name: str = ""
+
+    # -- convenience defaults -------------------------------------------------------
+
+    def fallback_state(self):
+        """Ablation posture: the shallowest plan state by default."""
+        return self.state_plan()[0]
+
+    def state_universe(self) -> tuple:
+        """Defaults to the plan (protocols modelled plan == universe)."""
+        return self.state_plan()
+
+    def prepare_device(self, device, armed: bool = True) -> None:
+        """Default: the stack already serves this protocol."""
+
+    def covered_states(self, fuzzer) -> frozenset:
+        """Default: the states the guide *confirmed* the target entered.
+
+        A guide that exposes a ``confirmed_states`` set (states whose
+        routing handshake was answered as expected — the protocol
+        analogue of L2CAP's wire-inferred coverage) is trusted over the
+        raw visit counter, which only records that routing was
+        *attempted*.
+        """
+        confirmed = getattr(fuzzer.guide, "confirmed_states", None)
+        if confirmed is not None:
+            return frozenset(confirmed)
+        return frozenset(fuzzer.state_visits)
+
+
+class TargetRegistrationError(TypeError):
+    """A target was registered without its full hook surface."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_target(target_cls: type) -> type:
+    """Register *target_cls* after validating its hook surface.
+
+    Usable as a class decorator. Fails fast — at registration, never
+    mid-campaign — when a required hook is missing or not callable.
+
+    :raises TargetRegistrationError: on a missing/malformed hook or a
+        duplicate/empty name.
+    """
+    for attribute, expect_callable in REQUIRED_HOOKS:
+        if not hasattr(target_cls, attribute):
+            raise TargetRegistrationError(
+                f"fuzz target {target_cls.__name__!r} is missing required "
+                f"hook {attribute!r}"
+            )
+        if expect_callable and not callable(getattr(target_cls, attribute)):
+            raise TargetRegistrationError(
+                f"fuzz target {target_cls.__name__!r} hook {attribute!r} "
+                "must be callable"
+            )
+    name = target_cls.name
+    if not isinstance(name, str) or not name:
+        raise TargetRegistrationError(
+            f"fuzz target {target_cls.__name__!r} must declare a non-empty "
+            "string name"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not target_cls:
+        raise TargetRegistrationError(f"fuzz target {name!r} already registered")
+    _REGISTRY[name] = target_cls
+    return target_cls
+
+
+def target_names() -> tuple[str, ...]:
+    """Registered target names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def make_target(name: str) -> FuzzTarget:
+    """Build a target from its registry name.
+
+    :raises ValueError: for an unknown name, listing the valid ones.
+    """
+    target_cls = _REGISTRY.get(name)
+    if target_cls is None:
+        raise ValueError(
+            f"unknown fuzz target {name!r}; choose from {', '.join(_REGISTRY)}"
+        )
+    return target_cls()

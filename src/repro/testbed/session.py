@@ -3,7 +3,9 @@
 A :class:`FuzzSession` is the reproduction's equivalent of plugging the
 dongle in and launching the tool against one Table V device: it builds
 the virtual device from its profile, strings a link between them with the
-fuzzer's throughput model, and runs the campaign.
+fuzzer's throughput model, and runs the campaign — for any registered
+protocol target (L2CAP by default; RFCOMM, SDP and OBEX ride the same
+machinery).
 """
 
 from __future__ import annotations
@@ -44,6 +46,11 @@ class FuzzSession:
         runs on streaming analysis in bounded memory; incompatible with
         :attr:`corpus_dir`, whose write-back replays the trace.
     :param sample_every: grain of the sniffer's streamed Fig. 8/9 series.
+    :param target: protocol fuzz target (instance or registry name);
+        None keeps the seed behaviour (L2CAP). The session prepares the
+        device for the chosen protocol the way a paired dongle would —
+        mounting the RFCOMM mux or OBEX server and lifting the pairing
+        gate on the protocol's port.
     """
 
     profile: DeviceProfile
@@ -57,17 +64,27 @@ class FuzzSession:
     dictionary: tuple[bytes, ...] = ()
     retain_trace: bool = True
     sample_every: int = 1000
+    target: object | str | None = None
 
     def __post_init__(self) -> None:
+        from repro.targets import make_target
+
         if self.corpus_dir is not None and not self.retain_trace:
             raise ValueError(
                 "corpus write-back replays the campaign trace; use "
                 "retain_trace=True (or drop corpus_dir)"
             )
+        target = self.target
+        if target is None:
+            target = make_target("l2cap")
+        elif isinstance(target, str):
+            target = make_target(target)
+        self.target = target
         self.clock = SimClock()
         self.device = self.profile.build(
             clock=self.clock, armed=self.armed, zero_latency=self.zero_latency
         )
+        self.target.prepare_device(self.device, armed=self.armed)
         self.link = VirtualLink(clock=self.clock, tx_cost=1.0 / self.pps)
         self.device.attach_to(self.link)
         config = self.config
@@ -88,6 +105,7 @@ class FuzzSession:
             dictionary=self.dictionary,
             retain_trace=self.retain_trace,
             sample_every=self.sample_every,
+            target=self.target,
         )
 
     def _reset_target(self) -> None:
@@ -125,6 +143,7 @@ def run_campaign(
     dictionary: tuple[bytes, ...] = (),
     retain_trace: bool = True,
     sample_every: int = 1000,
+    target: object | str | None = None,
 ) -> CampaignReport:
     """Convenience one-shot: build a session and run it."""
     session = FuzzSession(
@@ -139,5 +158,6 @@ def run_campaign(
         dictionary=dictionary,
         retain_trace=retain_trace,
         sample_every=sample_every,
+        target=target,
     )
     return session.run()

@@ -107,17 +107,24 @@ class TestFindingKey:
 
     def test_enum_and_string_classes_agree(self):
         assert finding_key("Google", VulnerabilityClass.DOS, "pkt") == (
+            "l2cap",
             "Google",
             "DoS",
             "pkt",
         )
-        assert finding_key("Google", "DoS", "pkt") == ("Google", "DoS", "pkt")
+        assert finding_key("Google", "DoS", "pkt") == (
+            "l2cap",
+            "Google",
+            "DoS",
+            "pkt",
+        )
 
     def test_key_discriminates_each_component(self):
         base = finding_key("Google", "DoS", "pkt")
         assert finding_key("Apple", "DoS", "pkt") != base
         assert finding_key("Google", "Crash", "pkt") != base
         assert finding_key("Google", "DoS", "other") != base
+        assert finding_key("Google", "DoS", "pkt", target="rfcomm") != base
 
     def test_finding_method_matches_helper(self):
         finding = Finding(

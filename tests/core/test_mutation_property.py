@@ -138,7 +138,8 @@ class TestVisitAccounting:
             config=FuzzConfig(max_packets=budget, seed=seed),
             strategy=make_strategy(strategy_name),
         )
-        with mock.patch("repro.core.fuzzer.StateGuide", CountingGuide):
+        # The engine reaches StateGuide through the L2CAP target adapter.
+        with mock.patch("repro.targets.l2cap.StateGuide", CountingGuide):
             report = fuzzer.run()
         assert sum(count for _, count in report.state_visits) == len(entered)
         # And per-state: the report's counts match the observed entries.

@@ -96,7 +96,7 @@ class TestDatabase:
 
     def test_key_uses_trigger_hash(self):
         record = _record()
-        assert record.key == ("Google", "DoS", record.trigger_hash)
+        assert record.key == ("l2cap", "Google", "DoS", record.trigger_hash)
 
 
 class TestRecordFromCampaign:

@@ -24,8 +24,8 @@ class TestValidation:
 
     def test_prior_accepts_state_names(self):
         scheduler = EnergyScheduler(prior_visits={"OPEN": 3, "CLOSED": 1})
-        assert scheduler.prior_visits[ChannelState.OPEN] == 3
-        assert scheduler.prior_visits[ChannelState.CLOSED] == 1
+        assert scheduler.prior_visits["OPEN"] == 3
+        assert scheduler.prior_visits["CLOSED"] == 1
 
 
 class TestPlan:
@@ -100,7 +100,7 @@ class TestRegistry:
 
     def test_make_strategy_threads_prior(self):
         strategy = make_strategy("coverage_guided", prior_visits={"OPEN": 9})
-        assert strategy.prior_visits[ChannelState.OPEN] == 9
+        assert strategy.prior_visits["OPEN"] == 9
 
     def test_other_strategies_ignore_prior(self):
         strategy = make_strategy("sequential", prior_visits={"OPEN": 9})
@@ -123,4 +123,4 @@ def test_prior_from_corpus(tmp_path):
     prior = prior_from_corpus(store)
     assert prior == {"CLOSED": 1, "OPEN": 1}
     scheduler = EnergyScheduler(prior_visits=prior)
-    assert scheduler.prior_visits[ChannelState.OPEN] == 1
+    assert scheduler.prior_visits["OPEN"] == 1

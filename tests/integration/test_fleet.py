@@ -176,7 +176,13 @@ class TestFindingDedup:
             _synthetic_run(1, "D2", "targeted", "b"),
         ]
         report = merge_reports(runs, self.profiles, fleet_seed=7, workers=1)
-        assert dict(report.coverage_map) == {"CLOSED": 2, "WAIT_CONFIG": 2}
+        assert report.coverage_map == (
+            ("l2cap", "CLOSED", 2),
+            ("l2cap", "WAIT_CONFIG", 2),
+        )
+        assert report.coverage_by_target() == {
+            "l2cap": (("CLOSED", 2), ("WAIT_CONFIG", 2))
+        }
 
 
 class TestSimulatedSchedule:

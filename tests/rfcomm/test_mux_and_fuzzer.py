@@ -1,20 +1,21 @@
-"""Tests for the RFCOMM mux and the transferred fuzzing methodology."""
+"""Tests for the RFCOMM mux and the transferred fuzzing methodology.
+
+The transferred fuzzer is no longer a standalone class: RFCOMM
+campaigns run through the shared engine via the ``rfcomm`` fuzz target
+(see ``tests/targets/`` for the cross-protocol suite). The tests here
+pin the mux itself plus the RFCOMM-specific campaign behaviour the old
+``RfcommFuzzer`` tests covered.
+"""
 
 from __future__ import annotations
 
-import pytest
-
-from repro.core.packet_queue import PacketQueue
-from repro.hci.transport import VirtualLink
-from repro.l2cap.constants import CommandCode, ConnectionResult, Psm
-from repro.l2cap.packets import connection_request
+from repro.core.config import FuzzConfig
+from repro.core.detection import VulnerabilityClass, finding_key
 from repro.rfcomm.constants import CONTROL_DLCI, FrameType
 from repro.rfcomm.frames import RfcommFrame, disc, sabm, uih
-from repro.rfcomm.fuzzer import RfcommFuzzer
 from repro.rfcomm.mux import DlciState, RfcommMux
-from repro.stack.device import DeviceMeta, VirtualDevice
-from repro.stack.services import ServiceDirectory, ServiceRecord
-from repro.stack.vendors import BLUEDROID
+from repro.testbed.profiles import D5
+from repro.testbed.session import FuzzSession
 
 
 class TestMux:
@@ -70,84 +71,77 @@ class TestMux:
         assert mux.frames_rejected == 1
 
 
-def _rfcomm_device(vulnerable=False):
-    """A device exposing RFCOMM without pairing (earbud in pairing mode)."""
-    mux = RfcommMux(server_channels=(1,), vulnerable=vulnerable)
-    services = ServiceDirectory(
-        [
-            ServiceRecord(Psm.SDP, "SDP"),
-            ServiceRecord(Psm.RFCOMM, "Serial Port"),
-        ]
+def _rfcomm_session(armed: bool, budget: int = 3000, seed: int = 7) -> FuzzSession:
+    return FuzzSession(
+        D5,
+        FuzzConfig(max_packets=budget, seed=seed),
+        armed=armed,
+        target="rfcomm",
     )
-    device = VirtualDevice(
-        meta=DeviceMeta("AA:BB:CC:00:00:10", "rfcomm-target", "earphone"),
-        personality=BLUEDROID,
-        services=services,
-    )
-    device.engine.data_handlers[Psm.RFCOMM] = mux.handle_payload
-    link = VirtualLink(clock=device.clock)
-    device.attach_to(link)
-    queue = PacketQueue(link)
-    return device, mux, queue
 
 
-def _open_rfcomm_channel(queue):
-    responses = queue.exchange(connection_request(psm=Psm.RFCOMM, scid=0x0090))
-    rsp = next(r for r in responses if r.code == CommandCode.CONNECTION_RSP)
-    assert rsp.fields["result"] == ConnectionResult.SUCCESS
-    return 0x0090, rsp.fields["dcid"]
+class TestRfcommCampaign:
+    """The §V thesis, now through the shared campaign engine."""
 
-
-class TestRfcommFuzzer:
-    def test_state_guiding_opens_channels(self):
-        device, mux, queue = _rfcomm_device()
-        our_cid, target_cid = _open_rfcomm_channel(queue)
-        fuzzer = RfcommFuzzer(queue, our_cid, target_cid)
-        assert fuzzer.open_control_channel()
-        assert fuzzer.open_data_dlci(3)
-        assert mux.dlci_state(3) is DlciState.CONNECTED
+    def test_state_guiding_opens_dlcis(self):
+        session = _rfcomm_session(armed=False)
+        report = session.run()
+        mux = session.device.rfcomm_mux
+        assert {state.value for state in report.covered_states} == {
+            "MUX_CLOSED",
+            "CONTROL_OPEN",
+            "DATA_OPEN",
+        }
+        assert (CONTROL_DLCI, DlciState.CONNECTED) in mux.visited_states()
+        assert (3, DlciState.CONNECTED) in mux.visited_states()
 
     def test_mutated_frames_parse_and_classify(self):
-        device, mux, queue = _rfcomm_device()
-        our_cid, target_cid = _open_rfcomm_channel(queue)
-        fuzzer = RfcommFuzzer(queue, our_cid, target_cid)
-        report = fuzzer.run(per_type=5)
-        assert report.frames_sent >= 20
-        assert report.rejected > 0  # DMs for unopened DLCIs
-        assert not report.crashed
+        session = _rfcomm_session(armed=False)
+        report = session.run()
+        mux = session.device.rfcomm_mux
+        assert report.packets_sent >= 3000
+        assert mux.frames_rejected > 0  # DMs for unopened DLCIs
+        assert mux.frames_accepted > 0
+        assert not report.findings
 
     def test_vulnerable_mux_crashes_under_fuzzing(self):
-        """The §V thesis: the same technique finds RFCOMM bugs."""
-        device, mux, queue = _rfcomm_device(vulnerable=True)
-        our_cid, target_cid = _open_rfcomm_channel(queue)
-        fuzzer = RfcommFuzzer(queue, our_cid, target_cid, seed=7)
-        report = fuzzer.run(per_type=8)
-        assert report.crashed
-        assert not device.is_alive
-        assert device.crash.vulnerability_id == "rfcomm-uih-overflow"
-        assert device.crash_dumps  # tombstone recovered
+        session = _rfcomm_session(armed=True)
+        report = session.run()
+        assert report.vulnerability_found
+        finding = report.first_finding
+        assert finding.vulnerability_class is VulnerabilityClass.CRASH
+        assert finding.target == "rfcomm"
+        assert not session.device.is_alive
+        assert session.device.crash.vulnerability_id == "rfcomm-uih-overflow"
+        assert session.device.crash_dumps  # tombstone recovered
 
-    def test_valid_frames_never_trigger_the_bug(self):
-        device, mux, queue = _rfcomm_device(vulnerable=True)
-        our_cid, target_cid = _open_rfcomm_channel(queue)
-        fuzzer = RfcommFuzzer(queue, our_cid, target_cid)
-        assert fuzzer.open_control_channel()
-        assert fuzzer.open_data_dlci(3)
-        # Clean UIH data (no garbage) is harmless.
-        from repro.l2cap.packets import L2capPacket
+    def test_finding_buckets_with_shared_key(self):
+        """RFCOMM findings dedupe via finding_key(), not a raw tuple.
 
-        packet = L2capPacket(
-            code=0, identifier=0, header_cid=target_cid,
-            tail=uih(3, b"clean").encode(), fill_defaults=False,
+        The old standalone fuzzer's report bucketed crashes by an
+        ad-hoc tuple that never matched the fleet/corpus databases; an
+        absorbed finding must produce the canonical key with the target
+        name in front, distinct from the same trigger on L2CAP.
+        """
+        report = _rfcomm_session(armed=True).run()
+        finding = report.first_finding
+        key = finding.key("Apple")
+        assert key == finding_key(
+            "Apple", VulnerabilityClass.CRASH, finding.trigger, "rfcomm"
         )
-        queue.exchange(packet)
-        assert device.is_alive
+        assert key[0] == "rfcomm"
+        assert key != finding_key(
+            "Apple", VulnerabilityClass.CRASH, finding.trigger, "l2cap"
+        )
 
-    def test_fuzzer_is_deterministic(self):
-        results = []
-        for _ in range(2):
-            device, mux, queue = _rfcomm_device()
-            our_cid, target_cid = _open_rfcomm_channel(queue)
-            report = RfcommFuzzer(queue, our_cid, target_cid, seed=42).run()
-            results.append((report.frames_sent, report.accepted, report.rejected))
-        assert results[0] == results[1]
+    def test_campaign_is_deterministic(self):
+        first = _rfcomm_session(armed=False, budget=1000).run()
+        second = _rfcomm_session(armed=False, budget=1000).run()
+        assert first == second
+
+    def test_disarmed_mux_never_fires_the_bug(self):
+        """Disarming the device disarms the injected mux overflow too."""
+        session = _rfcomm_session(armed=False)
+        report = session.run()
+        assert not report.findings
+        assert session.device.is_alive

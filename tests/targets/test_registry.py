@@ -1,0 +1,90 @@
+"""Registry tests: targets fail fast when their hook surface is broken."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.targets import (
+    TARGET_NAMES,
+    FuzzTarget,
+    TargetRegistrationError,
+    make_target,
+    register_target,
+)
+from repro.targets.base import REQUIRED_HOOKS, _REGISTRY
+
+
+class TestRegistry:
+    def test_builtin_targets_registered_in_order(self):
+        assert TARGET_NAMES == ("l2cap", "rfcomm", "sdp", "obex")
+
+    def test_make_target_builds_each(self):
+        for name in TARGET_NAMES:
+            assert make_target(name).name == name
+
+    def test_unknown_target_lists_valid_names(self):
+        with pytest.raises(ValueError, match="l2cap, rfcomm, sdp, obex"):
+            make_target("zigbee")
+
+    def test_every_builtin_satisfies_the_hook_surface(self):
+        for name in TARGET_NAMES:
+            target = make_target(name)
+            for attribute, expect_callable in REQUIRED_HOOKS:
+                assert hasattr(target, attribute)
+                if expect_callable:
+                    assert callable(getattr(target, attribute))
+
+
+class TestFailFastRegistration:
+    def test_missing_hook_rejected_at_registration(self):
+        class NoGuide(FuzzTarget):
+            name = "no-guide"
+
+            def state_plan(self):
+                return ()
+
+            # build_guide, build_mutator, commands_for, codec hooks and
+            # the validity predicate are all missing.
+
+        with pytest.raises(TargetRegistrationError, match="build_guide"):
+            register_target(NoGuide)
+        assert "no-guide" not in _REGISTRY
+
+    def test_non_callable_hook_rejected(self):
+        class BadHook(FuzzTarget):
+            name = "bad-hook"
+            state_plan = ()  # data where a callable is required
+            build_guide = build_mutator = commands_for = staticmethod(lambda *a: None)
+            encode_payload = decode_payload = staticmethod(lambda *a: b"")
+            is_structurally_valid = staticmethod(lambda *a: True)
+
+        with pytest.raises(TargetRegistrationError, match="state_plan"):
+            register_target(BadHook)
+
+    def test_empty_name_rejected(self):
+        class NoName(FuzzTarget):
+            state_plan = build_guide = build_mutator = commands_for = (
+                staticmethod(lambda *a: None)
+            )
+            encode_payload = decode_payload = staticmethod(lambda *a: b"")
+            is_structurally_valid = staticmethod(lambda *a: True)
+
+        with pytest.raises(TargetRegistrationError, match="non-empty"):
+            register_target(NoName)
+
+    def test_duplicate_name_rejected(self):
+        class Impostor(FuzzTarget):
+            name = "l2cap"
+            state_plan = build_guide = build_mutator = commands_for = (
+                staticmethod(lambda *a: None)
+            )
+            encode_payload = decode_payload = staticmethod(lambda *a: b"")
+            is_structurally_valid = staticmethod(lambda *a: True)
+
+        with pytest.raises(TargetRegistrationError, match="already registered"):
+            register_target(Impostor)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        from repro.targets.l2cap import L2capTarget
+
+        assert register_target(L2capTarget) is L2capTarget

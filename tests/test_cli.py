@@ -50,6 +50,21 @@ class TestFuzz:
         out = capsys.readouterr().out
         assert "No vulnerability detected." in out
 
+    def test_fuzz_target_flag_runs_each_protocol(self, capsys):
+        # D5's RFCOMM mux hides the injected UIH overflow: exit code 0.
+        assert main(["fuzz", "D5", "--target", "rfcomm",
+                     "--budget", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "Protocol: rfcomm" in out
+        assert "Crash" in out
+        # SDP and OBEX campaigns run end to end (clean servers: exit 1).
+        for target, state in (("sdp", "SDP_SEARCHED"), ("obex", "OBEX_CONNECTED")):
+            assert main(["fuzz", "D2", "--target", target,
+                         "--budget", "1500"]) == 1
+            out = capsys.readouterr().out
+            assert f"Protocol: {target}" in out
+            assert state in out
+
     def test_clean_device_returns_one(self, capsys):
         assert main(["fuzz", "D4", "--budget", "1500"]) == 1
 
@@ -107,9 +122,11 @@ class TestFleet:
             "total_packets",
             "simulated_makespan_seconds",
             "campaigns_per_simulated_second",
+            "targets",
             "merged_state_count",
             "best_single_coverage",
             "coverage_map",
+            "state_spaces",
             "findings",
             "strategy_table",
             "campaigns",
@@ -121,6 +138,7 @@ class TestFleet:
                 "index",
                 "device_id",
                 "strategy",
+                "target",
                 "seed",
                 "target_name",
                 "packets_sent",
@@ -156,9 +174,23 @@ class TestFleet:
         assert "written to" in capsys.readouterr().out
         assert json.loads(path.read_text())["fleet_seed"] == 7
 
+    def test_multi_protocol_fleet(self, capsys):
+        assert main(
+            ["fleet", "--profiles", "D2,D5", "--targets", "l2cap,rfcomm",
+             "--budget", "1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "## Merged coverage map — l2cap (" in out
+        assert "## Merged coverage map — rfcomm (" in out
+        assert "| rfcomm |" in out  # a deduped RFCOMM finding row
+
     def test_unknown_strategy_exits(self):
         with pytest.raises(SystemExit):
             main(["fleet", "--strategies", "depth_charge"])
+
+    def test_unknown_fleet_target_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit, match="l2cap, rfcomm, sdp, obex"):
+            main(["fleet", "--targets", "zigbee"])
 
     def test_bad_profile_count_exits(self):
         with pytest.raises(SystemExit):
@@ -238,9 +270,21 @@ class TestCorpusCommands:
         )
         assert "State coverage" in capsys.readouterr().out
 
-    def test_fuzz_unknown_strategy_exits(self):
-        with pytest.raises(SystemExit, match="unknown strategy"):
+    def test_fuzz_unknown_strategy_exits(self, capsys):
+        # argparse generates the choices from the strategy registry and
+        # lists the valid names on a bad value.
+        with pytest.raises(SystemExit):
             main(["fuzz", "D2", "--strategy", "depth_charge"])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'depth_charge'" in err
+        assert "sequential" in err and "coverage_guided" in err
+
+    def test_fuzz_unknown_target_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "D2", "--target", "zigbee"])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'zigbee'" in err
+        assert "l2cap" in err and "obex" in err
 
     def test_stats(self, corpus_dir, capsys):
         assert main(["corpus", "stats", str(corpus_dir)]) == 0
