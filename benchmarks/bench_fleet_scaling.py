@@ -3,15 +3,32 @@
 A fleet campaign occupies one worker (one fuzzing dongle, in the
 paper's physical setup) for its simulated duration, so fleet throughput
 is governed by the makespan of the campaign schedule over the pool.
-This benchmark runs the same 4-profile × 2-strategy fleet on 1 and on 4
-workers and reports campaigns/sec in simulated time — the wall-clock
-dispatch time is also printed, but the asserted scaling is the
-simulated schedule, which is deterministic and host-independent.
+This benchmark runs the same 4-profile × 2-strategy fleet on 1, 2 and 4
+workers on the persistent batched runtime and asserts near-linear
+scaling of the simulated schedule — ≥0.8× linear at 4 workers.
+
+The fleet runs **disarmed**: a scaling benchmark needs a saturating
+workload. Armed, the Table-V bugs stop most campaigns within seconds
+while one immune device fuzzes its whole budget — the 1→4-worker
+speedup is then capped at ``sum/max ≈ 2.5×`` by that single straggler
+no matter how good the scheduler is, which measures workload luck, not
+the runtime. Disarmed, every campaign runs its full budget (the paper's
+own ratio-measurement posture) and the schedule itself is what scales.
+
+Wall-clock dispatch time is also recorded — cold (pool start-up +
+context shipping) and warm (the persistent runtime reused) — and every
+run is appended to ``benchmarks/BENCH_fleet_scaling.json`` so the
+scaling trajectory accumulates across PRs. Worker count must never
+change *what* the fleet computes: the merged reports are asserted
+identical across all pool sizes, batch granularities included.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import time
+from pathlib import Path
 
 from repro.core.config import FuzzConfig
 from repro.core.fleet import FleetOrchestrator
@@ -25,29 +42,50 @@ FLEET_SEED = 7
 STRATEGIES = ("breadth_first", "targeted")
 WORKER_COUNTS = (1, 2, 4)
 
+#: Required fraction of perfectly linear scaling at 4 workers.
+LINEAR_FLOOR = 0.8
 
-def _run_fleet(workers: int, budget: int = BUDGET):
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_fleet_scaling.json"
+
+
+def _run_fleet(workers: int, budget: int):
     orchestrator = FleetOrchestrator(
         profiles=ALL_PROFILES[:4],
         strategies=STRATEGIES,
         fleet_seed=FLEET_SEED,
         workers=workers,
         base_config=FuzzConfig(max_packets=budget),
+        armed=False,
     )
-    started = time.perf_counter()
-    report = orchestrator.run()
-    return report, time.perf_counter() - started
+    with orchestrator:
+        started = time.perf_counter()
+        report = orchestrator.run()
+        cold = time.perf_counter() - started
+        # Second run on the same (already initialised) runtime: what a
+        # long-lived fleet service pays per sweep.
+        started = time.perf_counter()
+        orchestrator.run()
+        warm = time.perf_counter() - started
+    return report, cold, warm
+
+
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    return {"runs": []}
 
 
 def bench_fleet_scaling(benchmark, quick):
     budget = scaled(quick, BUDGET, QUICK_BUDGET)
 
     def measure_all():
-        return {workers: _run_fleet(workers, budget) for workers in WORKER_COUNTS}
+        return {
+            workers: _run_fleet(workers, budget) for workers in WORKER_COUNTS
+        }
 
     results = run_once(benchmark, measure_all)
     rows = []
-    for workers, (report, wall) in results.items():
+    for workers, (report, cold, warm) in results.items():
         rows.append(
             {
                 "workers": workers,
@@ -56,7 +94,8 @@ def bench_fleet_scaling(benchmark, quick):
                 "campaigns_per_sim_s": round(
                     report.campaigns_per_simulated_second, 6
                 ),
-                "dispatch_wall_s": round(wall, 2),
+                "dispatch_cold_s": round(cold, 2),
+                "dispatch_warm_s": round(warm, 2),
             }
         )
     print_table("Fleet scaling — campaigns/sec vs workers", rows)
@@ -81,5 +120,38 @@ def bench_fleet_scaling(benchmark, quick):
         quad.campaigns_per_simulated_second
         / single.campaigns_per_simulated_second
     )
-    print(f"\n1 -> 4 workers: {speedup:.2f}x campaigns/sec")
-    assert speedup > 1.5
+    linear_fraction = speedup / 4
+    print(
+        f"\n1 -> 4 workers: {speedup:.2f}x campaigns/sec "
+        f"({linear_fraction:.1%} of linear)"
+    )
+
+    data = _load_results()
+    data.setdefault("runs", []).append(
+        {
+            "mode": "quick" if quick else "full",
+            "budget": budget,
+            "workers": [
+                {
+                    "workers": row["workers"],
+                    "makespan_sim_s": row["makespan_sim_s"],
+                    "campaigns_per_sim_s": row["campaigns_per_sim_s"],
+                    "dispatch_cold_s": row["dispatch_cold_s"],
+                    "dispatch_warm_s": row["dispatch_warm_s"],
+                }
+                for row in rows
+            ],
+            "speedup_1_to_4": round(speedup, 4),
+            "linear_fraction_4w": round(linear_fraction, 4),
+            "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        }
+    )
+    data["runs"] = data["runs"][-50:]
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    assert speedup >= LINEAR_FLOOR * 4, (
+        f"fleet scaling regression: {speedup:.2f}x at 4 workers is below "
+        f"the {LINEAR_FLOOR:.0%}-of-linear floor ({LINEAR_FLOOR * 4:.1f}x)"
+    )

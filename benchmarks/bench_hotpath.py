@@ -6,10 +6,15 @@ allows" goal needs: wall-clock packets per second and peak RSS for a
 large streaming campaign (``retain_trace=False``).
 
 Every run appends to ``benchmarks/BENCH_hotpath.json`` so the perf
-trajectory accumulates across PRs. The first recorded run per mode
-becomes the committed baseline; later runs fail when wall-clock
-throughput regresses by more than :data:`REGRESSION_TOLERANCE` against
-it — the CI smoke job runs the ``--quick`` mode as a regression gate.
+trajectory accumulates across PRs. The regression gate compares
+against the **median of the last three recorded runs** of the same
+mode (the runs list shows >20% wall-pps noise between identical-code
+runs, so a single-run reference flags phantom regressions and a lucky
+single run would ratchet the floor too high); a run fails when
+wall-clock throughput drops more than :data:`REGRESSION_TOLERANCE`
+below that median — the CI smoke job runs the ``--quick`` mode as the
+gate. The first recorded run per mode is kept as the historical
+baseline for before/after context in the printed table.
 
 The simulated metrics must stay exact regardless of machine speed: the
 campaign still reads 524.27 pps off the simulated clock (paper §IV.C).
@@ -49,6 +54,21 @@ def _load_results() -> dict:
     if RESULTS_PATH.exists():
         return json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
     return {"baseline": {}, "runs": []}
+
+
+def _reference_pps(runs: list[dict], mode: str) -> float | None:
+    """Regression reference: median wall pps of the last 3 *mode* runs.
+
+    Robust against both directions of single-run noise — one slow CI
+    run neither fails the next PR nor drags the floor down, and one
+    lucky run cannot ratchet it up. Fewer than one prior run means no
+    gate yet (the first run of a mode seeds the history).
+    """
+    history = [run["wall_pps"] for run in runs if run["mode"] == mode]
+    if not history:
+        return None
+    tail = sorted(history[-3:])
+    return tail[len(tail) // 2]
 
 
 def _rss_kb() -> int:
@@ -104,6 +124,9 @@ def bench_hotpath(benchmark, quick):
     }
 
     data = _load_results()
+    # The reference is computed over the runs recorded *before* this
+    # one: a run must not vote on its own gate.
+    reference = _reference_pps(data.get("runs", []), mode)
     data.setdefault("runs", []).append(entry)
     data["runs"] = data["runs"][-50:]
     baseline = data.setdefault("baseline", {}).get(mode)
@@ -112,19 +135,22 @@ def bench_hotpath(benchmark, quick):
     RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
     rows = [entry]
+    if reference is not None:
+        rows.append({"mode": f"{mode} (median of last 3)", "wall_pps": reference})
     if baseline is not None:
-        rows.append({**baseline, "mode": f"{mode} (baseline)"})
+        rows.append({**baseline, "mode": f"{mode} (first recorded)"})
     print_table("hot path — wall-clock throughput and memory", rows)
 
     # Simulated metrics are machine-independent and must stay exact.
     assert report.efficiency.packets_per_second == pytest.approx(
         PAPER_SIM_PPS, rel=1e-6
     )
-    if baseline is not None:
-        floor = baseline["wall_pps"] * (1.0 - REGRESSION_TOLERANCE)
+    if reference is not None:
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
         assert wall_pps >= floor, (
             f"hot-path regression: {wall_pps:.0f} wall pps is more than "
-            f"{REGRESSION_TOLERANCE:.0%} below the committed baseline "
-            f"{baseline['wall_pps']:.0f} pps (floor {floor:.0f}); if this "
-            "slowdown is intended, refresh benchmarks/BENCH_hotpath.json"
+            f"{REGRESSION_TOLERANCE:.0%} below the median of the last 3 "
+            f"{mode} runs ({reference:.0f} pps, floor {floor:.0f}); if "
+            "this slowdown is intended, prune the runs list in "
+            "benchmarks/BENCH_hotpath.json"
         )

@@ -121,11 +121,29 @@ def _fleet_profiles(spec: str):
     return tuple(_profile(device_id) for device_id in spec.split(","))
 
 
+def _fleet_workers(spec: str) -> int:
+    """Resolve ``--workers``: a count or ``auto`` (one per CPU core)."""
+    if spec == "auto":
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    try:
+        workers = int(spec)
+    except ValueError:
+        raise SystemExit(
+            f"--workers must be a positive integer or 'auto', got {spec!r}"
+        ) from None
+    if workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    return workers
+
+
 def cmd_fleet(args) -> int:
     """Run a profile × strategy fleet and print the merged report."""
     profiles = _fleet_profiles(args.profiles)
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
+    workers = _fleet_workers(args.workers)
+    if args.batch is not None and args.batch < 1:
+        raise SystemExit("--batch must be >= 1")
     if args.budget < 1:
         raise SystemExit("--budget must be >= 1")
     try:
@@ -148,14 +166,16 @@ def cmd_fleet(args) -> int:
         profiles=profiles,
         strategies=strategies,
         fleet_seed=args.seed,
-        workers=args.workers,
+        workers=workers,
         base_config=FuzzConfig(max_packets=args.budget),
         armed=not args.disarm,
         target_state=target_state,
         corpus_dir=args.corpus,
         targets=targets,
+        batch=args.batch,
     )
-    report = orchestrator.run()
+    with orchestrator:
+        report = orchestrator.run()
     rendered = report.to_json() if args.format == "json" else report.to_markdown()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -412,7 +432,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="l2cap",
         help=f"comma-separated protocol targets: {', '.join(target_names())}",
     )
-    fleet.add_argument("--workers", type=int, default=1, help="worker-pool size")
+    fleet.add_argument(
+        "--workers",
+        default="1",
+        help="worker-pool size, or 'auto' for one worker per CPU core",
+    )
+    fleet.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaigns per worker shard (default: auto, ~4 shards/worker)",
+    )
     fleet.add_argument("--seed", type=int, default=7, help="fleet master seed")
     fleet.add_argument(
         "--budget", type=int, default=3000, help="packet budget per campaign"

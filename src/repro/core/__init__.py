@@ -8,6 +8,7 @@ from repro.core.fleet import (
     FleetFinding,
     FleetOrchestrator,
     FleetReport,
+    SummaryRun,
     derive_campaign_seed,
     merge_reports,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "ScanResult",
     "SequentialStrategy",
     "StateGuide",
+    "SummaryRun",
     "TargetScanner",
     "TargetedStrategy",
     "VulnerabilityClass",

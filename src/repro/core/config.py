@@ -26,6 +26,12 @@ class FuzzConfig:
     :param max_sweeps: upper bound on full state-plan sweeps (0 = until
         the packet budget runs out).
     :param echo_payload: payload carried by detection pings.
+    :param wire_fast_path: let mutators that implement ``mutate_wire``
+        assemble fuzz frames at the bytes level (template patching with
+        a primed encode cache) instead of the field-object→encode round
+        trip. Byte-for-byte and RNG-stream identical to the object path
+        by contract — False forces the reference path (equivalence
+        tests, debugging).
 
     Ablation switches (all default to the paper's design; flipping one
     removes one of the two key techniques — used by the ablation bench):
@@ -46,6 +52,7 @@ class FuzzConfig:
     stop_on_first_finding: bool = True
     max_sweeps: int = 0
     echo_payload: bytes = b"l2fuzz-ping"
+    wire_fast_path: bool = True
     state_guiding: bool = True
     mutate_core_fields_only: bool = True
     append_garbage: bool = True

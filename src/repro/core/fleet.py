@@ -14,16 +14,19 @@ the fleet seed and the campaign's index with SHA-256, so
   (and therefore byte-identical merged reports), and
 * campaigns never share a seed, no matter how large the fleet.
 
-Campaigns are dispatched with :mod:`concurrent.futures`; because every
+Campaigns are dispatched onto the persistent batched runtime of
+:mod:`repro.core.runtime`: long-lived worker processes initialise the
+campaign context once, consume shards of campaign coordinates, and
+stream back compact binary summaries the merge works from directly
+(full reports are only reconstructed when export asks). Because every
 campaign owns its simulated clock, results are independent of worker
-count and completion order. Fleets built from registry profiles,
-strategy names and target names dispatch onto a process pool (real CPU
-parallelism); custom profile or strategy objects fall back to a thread
-pool, which on CPython's GIL only overlaps I/O — fine for real radios,
-a no-op for the simulation. Scaling is therefore *measured* in
-simulated wall-clock: each campaign occupies one worker (one dongle, in
-the paper's setup) for its simulated duration, and the fleet makespan
-is the greedy least-loaded schedule of those durations over the pool.
+count, batch size and completion order. Custom profile or strategy
+objects cannot ship to processes and fall back to a thread pool — which
+on CPython's GIL only overlaps I/O — announced by a single warning at
+construction. Scaling is *measured* in simulated wall-clock: each
+campaign occupies one worker (one dongle, in the paper's setup) for its
+simulated duration, and the fleet makespan is the greedy least-loaded
+schedule of those durations over the pool.
 
 Findings are deduplicated with the shared
 :func:`~repro.core.detection.finding_key`, which carries the fuzz
@@ -38,11 +41,19 @@ import copy
 import dataclasses
 import hashlib
 import json
+import warnings
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.config import FuzzConfig
 from repro.core.report import CampaignReport, format_elapsed
+from repro.core.runtime import (
+    CampaignSummary,
+    FindingSummary,
+    FleetContext,
+    FleetRuntime,
+    iter_shard_specs,
+)
 from repro.core.strategies import ExplorationStrategy, make_strategy
 from repro.l2cap.states import ChannelState
 from repro.testbed.profiles import DeviceProfile
@@ -98,6 +109,33 @@ class CampaignRun:
 
     spec: CampaignSpec
     report: CampaignReport
+
+
+class SummaryRun:
+    """A spec with its compact summary; the report materialises lazily.
+
+    This is what the persistent runtime hands back: the fleet merge
+    works straight off :attr:`summary` (plain tokens and counters), and
+    the full :class:`~repro.core.report.CampaignReport` object graph is
+    only rebuilt — once, cached — when something actually reads
+    :attr:`report` (markdown/JSON export, the per-campaign tables).
+    Quacks like :class:`CampaignRun` everywhere a report consumer looks.
+    """
+
+    __slots__ = ("spec", "summary", "_report")
+
+    def __init__(self, spec: CampaignSpec, summary: CampaignSummary) -> None:
+        self.spec = spec
+        self.summary = summary
+        self._report: CampaignReport | None = None
+
+    @property
+    def report(self) -> CampaignReport:
+        report = self._report
+        if report is None:
+            report = self.summary.to_report()
+            self._report = report
+        return report
 
 
 @dataclasses.dataclass(frozen=True)
@@ -377,6 +415,34 @@ def _campaign_dict(run: CampaignRun) -> dict:
     }
 
 
+def _merge_facts(
+    run,
+) -> tuple[tuple[str, ...], int, float, tuple[FindingSummary, ...]]:
+    """Merge-relevant slice of one run, without materialising reports.
+
+    A :class:`SummaryRun` serves everything straight from its summary;
+    a plain :class:`CampaignRun` derives the same plain-data view from
+    its report, so both kinds merge through one code path.
+    """
+    summary = getattr(run, "summary", None)
+    if summary is not None:
+        return (
+            summary.covered_states,
+            summary.state_space,
+            summary.elapsed_seconds,
+            summary.findings,
+        )
+    report = run.report
+    return (
+        tuple(sorted(state.value for state in report.covered_states)),
+        report.state_space,
+        report.elapsed_seconds,
+        tuple(
+            FindingSummary.from_finding(finding) for finding in report.findings
+        ),
+    )
+
+
 def merge_reports(
     runs: Sequence[CampaignRun],
     profiles_by_id: dict[str, DeviceProfile],
@@ -389,28 +455,39 @@ def merge_reports(
     ``(target, vendor, vulnerability_class, trigger)`` — keeping the
     first detection and counting the rest. Coverage is merged per
     (target, state) pair so protocols never pollute each other's maps.
+
+    Accepts :class:`CampaignRun` and :class:`SummaryRun` alike; runs
+    carrying summaries merge without reconstructing a single report.
     """
     coverage_counts: dict[tuple[str, str], int] = {}
     state_spaces: dict[str, int] = {}
-    for run in runs:
-        target = run.spec.target
-        state_spaces.setdefault(target, run.report.state_space)
-        for state in run.report.covered_states:
-            key = (target, state.value)
-            coverage_counts[key] = coverage_counts.get(key, 0) + 1
-
+    durations: list[float] = []
     # Insertion order = first-detection order (dicts preserve it).
     deduped: dict[tuple[str, str, str, str], FleetFinding] = {}
     for run in runs:
+        covered, state_space, elapsed, findings = _merge_facts(run)
+        target = run.spec.target
+        state_spaces.setdefault(target, state_space)
+        durations.append(elapsed)
+        for token in covered:
+            key = (target, token)
+            coverage_counts[key] = coverage_counts.get(key, 0) + 1
         vendor = profiles_by_id[run.spec.device_id].vendor
-        for finding in run.report.findings:
-            key = finding.key(vendor)
+        for finding in findings:
+            # The shared finding_key, spelled on plain data: the class
+            # value string is what finding_key normalises enums to.
+            key = (
+                finding.target,
+                vendor,
+                finding.vulnerability_class,
+                finding.trigger,
+            )
             seen = deduped.get(key)
             if seen is None:
                 deduped[key] = FleetFinding(
                     target=finding.target,
                     vendor=vendor,
-                    vulnerability_class=finding.vulnerability_class.value,
+                    vulnerability_class=finding.vulnerability_class,
                     trigger=finding.trigger,
                     device_id=run.spec.device_id,
                     strategy=run.spec.strategy,
@@ -434,9 +511,7 @@ def merge_reports(
             for (target, state), count in sorted(coverage_counts.items())
         ),
         state_spaces=tuple(sorted(state_spaces.items())),
-        simulated_makespan_seconds=simulated_makespan(
-            [run.report.elapsed_seconds for run in runs], workers
-        ),
+        simulated_makespan_seconds=simulated_makespan(durations, workers),
     )
 
 
@@ -465,6 +540,8 @@ class FleetOrchestrator:
     :param targets: protocol fuzz-target registry names, applied to
         every profile × strategy cell — one ``repro fleet`` run can
         sweep strategies × protocols.
+    :param batch: campaigns per worker shard (the persistent runtime's
+        message granularity). None auto-sizes (~4 shards per worker).
     """
 
     def __init__(
@@ -479,6 +556,7 @@ class FleetOrchestrator:
         corpus_dir: str | None = None,
         retain_trace: bool | None = None,
         targets: Sequence[str] = ("l2cap",),
+        batch: int | None = None,
     ) -> None:
         from repro.targets import make_target
 
@@ -511,10 +589,75 @@ class FleetOrchestrator:
                 "corpus write-back replays campaign traces; use "
                 "retain_trace=True (or drop corpus_dir)"
             )
+        self.batch = batch
         self._prior_visits, self._dictionary = load_corpus_seeds(corpus_dir)
         self._profiles_by_id = {
             profile.device_id: profile for profile in self.profiles
         }
+        # Picklability is a static property of the inputs: decide once,
+        # here, instead of re-deriving (or discovering via pickling
+        # errors) on every run. A fleet that cannot ship to worker
+        # processes silently loses real parallelism, so say so — once.
+        self._process_safe = self._compute_process_safe()
+        if self.workers > 1 and not self._process_safe:
+            warnings.warn(
+                "fleet inputs are not process-pool safe (custom profile "
+                "or strategy objects); campaigns will run on a thread "
+                "pool, which only overlaps I/O. Use registry profile and "
+                "strategy names for real CPU parallelism.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._runtime: FleetRuntime | None = None
+        self._keep_runtime = False
+
+    # -- runtime lifecycle ----------------------------------------------------------
+
+    @property
+    def runtime(self) -> FleetRuntime:
+        """The persistent execution runtime (created on first use).
+
+        Persistence follows usage: inside a ``with`` block (or after
+        any explicit :attr:`runtime` access), repeated :meth:`run`
+        calls reuse the same initialised worker processes instead of
+        rebuilding a pool (and re-shipping the campaign context) per
+        run, until :meth:`close`. A bare ``orchestrator.run()`` still
+        cleans its pool up before returning, like the original per-run
+        executors did — no leaked worker processes for one-shot
+        callers.
+        """
+        self._keep_runtime = True
+        return self._ensure_runtime()
+
+    def _ensure_runtime(self) -> FleetRuntime:
+        if self._runtime is None:
+            self._runtime = FleetRuntime(
+                context=FleetContext(
+                    base_config=self.base_config,
+                    armed=self.armed,
+                    target_state_value=self.target_state.value,
+                    corpus_dir=self.corpus_dir,
+                    retain_trace=self.retain_trace,
+                    prior_visits=tuple(sorted(self._prior_visits.items())),
+                    dictionary=self._dictionary,
+                ),
+                workers=self.workers,
+                use_processes=self.workers > 1,
+            )
+        return self._runtime
+
+    def close(self) -> None:
+        """Shut the persistent runtime down (idempotent)."""
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def __enter__(self) -> "FleetOrchestrator":
+        self._keep_runtime = True
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def specs(self) -> tuple[CampaignSpec, ...]:
         """The fleet matrix in dispatch order (profile-major)."""
@@ -524,31 +667,34 @@ class FleetOrchestrator:
         """Run every campaign and merge the results.
 
         Results are ordered by spec index, so the merged report does not
-        depend on completion order (or on :attr:`workers` at all).
+        depend on completion order (or on :attr:`workers` or
+        :attr:`batch` at all).
+
+        Process-safe fleets (registry profiles, strategy names) execute
+        on the persistent batched runtime and merge from compact
+        summaries; fleets built from in-process objects fall back to a
+        thread pool over full campaign objects (announced once, at
+        construction).
         """
         matrix = self._matrix()
-        if self.workers == 1:
+        if self._process_safe:
+            specs = [spec for spec, _ in matrix]
+            try:
+                summaries = self._ensure_runtime().run_specs(
+                    iter_shard_specs(specs), batch=self.batch
+                )
+            finally:
+                if not self._keep_runtime:
+                    self.close()
+            runs: list = [
+                SummaryRun(spec, summary)
+                for spec, summary in zip(specs, summaries)
+            ]
+        elif self.workers == 1:
             runs = [
                 self._run_spec(spec, strategy_input)
                 for spec, strategy_input in matrix
             ]
-        elif self._process_safe():
-            jobs = [
-                (
-                    spec,
-                    strategy_input,
-                    self.base_config,
-                    self.armed,
-                    self.target_state.value,
-                    self.corpus_dir,
-                    self._prior_visits,
-                    self._dictionary,
-                    self.retain_trace,
-                )
-                for spec, strategy_input in matrix
-            ]
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                runs = list(pool.map(_run_spec_job, jobs))
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 runs = [
@@ -580,12 +726,13 @@ class FleetOrchestrator:
                     index += 1
         return tuple(matrix)
 
-    def _process_safe(self) -> bool:
+    def _compute_process_safe(self) -> bool:
         """Whether the fleet can ship to worker processes.
 
         A child process rebuilds each campaign from the testbed and
         target registries, so every profile must be a registry profile
         and every strategy a registry name (targets are always names).
+        Decided once at construction; see the warning emitted there.
         """
         from repro.testbed.profiles import PROFILES_BY_ID
 
@@ -645,45 +792,3 @@ def load_corpus_seeds(
     )
 
 
-def _run_spec_job(
-    job: tuple[
-        CampaignSpec,
-        str,
-        FuzzConfig,
-        bool,
-        str,
-        str | None,
-        dict[str, int],
-        tuple[bytes, ...],
-        bool,
-    ]
-) -> CampaignRun:
-    """Process-pool entry point: rebuild the campaign from the registry."""
-    from repro.testbed.profiles import PROFILES_BY_ID
-
-    (
-        spec,
-        strategy_name,
-        base_config,
-        armed,
-        target_state_value,
-        corpus_dir,
-        prior_visits,
-        dictionary,
-        retain_trace,
-    ) = job
-    report = run_campaign(
-        PROFILES_BY_ID[spec.device_id],
-        config=dataclasses.replace(base_config, seed=spec.seed),
-        armed=armed,
-        strategy=make_strategy(
-            strategy_name,
-            target=ChannelState(target_state_value),
-            prior_visits=prior_visits or None,
-        ),
-        corpus_dir=corpus_dir,
-        dictionary=dictionary,
-        retain_trace=retain_trace,
-        target=spec.target,
-    )
-    return CampaignRun(spec=spec, report=report)

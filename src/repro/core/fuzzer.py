@@ -203,20 +203,36 @@ class L2Fuzz:
         packets_per_command = self.strategy.packets_per_command(
             state, self.config.packets_per_command
         )
+        # Hot-loop locals: one attribute walk per state visit instead of
+        # four per packet. mutate_wire is the optional bytes-level fast
+        # path (None falls back to the field-object reference path).
+        queue = self.queue
+        take_identifier = queue.take_identifier
+        send = queue.send
+        drain = queue.drain
+        mutate = self.mutator.mutate
+        mutate_wire = (
+            getattr(self.mutator, "mutate_wire", None)
+            if self.config.wire_fast_path
+            else None
+        )
         batches_since_ping = 0
         for code in commands:
             if self._budget_exhausted():
                 break
             for _ in range(packets_per_command):
-                packet = self.mutator.mutate(
-                    position, code, self.queue.take_identifier()
-                )
+                identifier = take_identifier()
+                packet = None
+                if mutate_wire is not None:
+                    packet = mutate_wire(position, code, identifier)
+                if packet is None:
+                    packet = mutate(position, code, identifier)
                 # Remember the packet itself; its one-line description is
                 # rendered lazily when (and only when) a finding needs it.
                 self._last_packet = packet
                 try:
-                    self.queue.send(packet)
-                    self.queue.drain()
+                    send(packet)
+                    drain()
                 except TransportError as error:
                     return self._on_transport_error(error, state_name)
                 if self._budget_exhausted():

@@ -20,6 +20,7 @@ exceeded") whose port/channel plumbing is poisoned.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections.abc import Iterable, Iterator
 
@@ -30,7 +31,31 @@ from repro.l2cap.fields import (
     random_abnormal_psm,
     random_normal_cidp,
 )
-from repro.l2cap.packets import COMMAND_SPECS, L2capPacket
+from repro.l2cap.packets import COMMAND_SPECS, CommandSpec, L2capPacket
+
+#: Offset of the identifier byte inside an encoded signaling frame
+#: (Payload Length 2 | Header CID 2 | Code 1 | *Identifier* | ...).
+_IDENTIFIER_OFFSET = 4 + 1
+
+#: Offset of the first fixed data field (after the 2-byte Data Length).
+_FIELDS_OFFSET = 4 + 4
+
+
+@dataclasses.dataclass(frozen=True)
+class _WireTemplate:
+    """Precomputed bytes-level mutation plan for one command code.
+
+    ``base`` is the full encoded frame with default field values and
+    identifier 0; ``mutations`` lists the core fields Algorithm 1
+    touches as ``(name, wire offset, size, is_psm)`` in spec order —
+    the same order the object path draws its random values in, so both
+    paths consume the RNG stream identically.
+    """
+
+    spec: CommandSpec
+    base: bytes
+    mutations: tuple[tuple[str, int, int, bool], ...]
+    defaults: dict[str, int]
 
 
 class CoreFieldMutator:
@@ -62,6 +87,7 @@ class CoreFieldMutator:
         self.rng = rng
         self.signaling_mtu = signaling_mtu
         self.dictionary = tuple(tail for tail in dictionary if tail)
+        self._templates: dict[int, _WireTemplate | None] = {}
 
     def mutate(self, code: CommandCode, identifier: int) -> L2capPacket:
         """Build one malformed packet for *code* (Algorithm 1 lines 5-21).
@@ -88,14 +114,102 @@ class CoreFieldMutator:
 
     def _garbage_tail(self, packet: L2capPacket) -> bytes:
         """Draw a garbage tail that keeps the frame within the MTU."""
-        headroom = self.signaling_mtu - packet.wire_length
+        return self._garbage_for_length(packet.wire_length)
+
+    def _garbage_for_length(self, wire_length: int) -> bytes:
+        """The tail draw itself, shared by the object and wire paths.
+
+        Draw order and RNG consumption are part of the campaign's
+        deterministic contract: both paths call this with the same
+        pre-garbage frame length, so seeded streams stay identical.
+        """
+        headroom = self.signaling_mtu - wire_length
         if headroom <= 0:
             return b""
-        if self.dictionary and self.rng.random() < self.SPLICE_RATE:
-            token = self.dictionary[self.rng.randrange(len(self.dictionary))]
+        rng = self.rng
+        if self.dictionary and rng.random() < self.SPLICE_RATE:
+            token = self.dictionary[rng.randrange(len(self.dictionary))]
             return token[: min(headroom, self.config.max_garbage)]
-        length = self.rng.randint(1, min(self.config.max_garbage, headroom))
-        return bytes(self.rng.getrandbits(8) for _ in range(length))
+        length = rng.randint(1, min(self.config.max_garbage, headroom))
+        getrandbits = rng.getrandbits
+        # One draw per byte, exactly like the historical generator
+        # expression (bytes(getrandbits(8) for ...)), minus the
+        # generator frame per byte.
+        return bytes([getrandbits(8) for _ in range(length)])
+
+    # -- bytes-level fast path ------------------------------------------------------
+
+    def mutate_wire(self, code: CommandCode, identifier: int) -> L2capPacket | None:
+        """Bytes-level twin of :meth:`mutate`, or None when ineligible.
+
+        Instead of building a field object and encoding it, the frame is
+        assembled by patching a per-code template: identifier byte and
+        mutated core fields written straight into the wire image, garbage
+        appended, and the packet object built around the finished bytes
+        with its encode cache primed (:meth:`L2capPacket.from_wire_parts`).
+
+        Structural safety gate: the fast path only covers the paper's
+        default mutation plan (``MC`` only). The BFuzz-style ablation
+        (``mutate_core_fields_only=False``) rewrites dependent length
+        fields mid-draw and must keep taking the object path, as must
+        codes without a spec. Byte and RNG-stream identity with
+        :meth:`mutate` is pinned by the fast-path equivalence tests.
+        """
+        if not self.config.mutate_core_fields_only:
+            return None
+        template = self._templates.get(code, False)
+        if template is False:
+            template = self._build_template(code)
+            self._templates[code] = template
+        if template is None:
+            return None
+        rng = self.rng
+        values = dict(template.defaults)
+        frame = bytearray(template.base)
+        frame[_IDENTIFIER_OFFSET] = identifier & 0xFF
+        for name, offset, size, is_psm in template.mutations:
+            if is_psm:
+                value = random_abnormal_psm(rng)
+            else:
+                value = random_normal_cidp(rng, field_size=size)
+            values[name] = value
+            frame[offset] = value & 0xFF
+            if size == 2:
+                frame[offset + 1] = value >> 8
+        if self.config.append_garbage:
+            garbage = self._garbage_for_length(len(frame))
+        else:
+            garbage = b""
+        return L2capPacket.from_wire_parts(
+            code=code,
+            identifier=identifier,
+            field_values=values,
+            tail=b"",
+            garbage=garbage,
+            wire=bytes(frame) + garbage,
+            spec=template.spec,
+        )
+
+    def _build_template(self, code: CommandCode) -> _WireTemplate | None:
+        """Encode the default frame once and map the mutated offsets."""
+        spec = COMMAND_SPECS.get(code)
+        if spec is None:
+            return None
+        base = L2capPacket(code, 0).encode()
+        mutations = []
+        offset = _FIELDS_OFFSET
+        for field in spec.fields:
+            if field.name == "psm":
+                mutations.append((field.name, offset, field.size, True))
+            elif field.name in CIDP_FIELD_NAMES:
+                mutations.append((field.name, offset, field.size, False))
+            offset += field.size
+        return _WireTemplate(
+            spec=spec,
+            base=base,
+            mutations=tuple(mutations),
+            defaults=dict(spec.defaults),
+        )
 
     def generate(
         self,

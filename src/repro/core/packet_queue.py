@@ -9,12 +9,22 @@ from the same trace a Wireshark capture would give.
 
 from __future__ import annotations
 
+import struct
+
 from repro.analysis.sniffer import PacketSniffer
-from repro.errors import PacketDecodeError
+from repro.errors import PacketDecodeError, PacketEncodeError
 from repro.hci.fragmentation import Reassembler, fragment
-from repro.hci.packets import AclPacket, encode_acl
+from repro.hci.packets import (
+    HCI_ACL_DATA_PKT,
+    MAX_CONNECTION_HANDLE,
+    PB_FIRST_FLUSHABLE,
+    AclPacket,
+)
 from repro.hci.transport import VirtualLink
 from repro.l2cap.packets import L2capPacket
+
+#: Single-field length pack for the per-send ACL header fast path.
+_PACK_U16 = struct.Struct("<H").pack
 
 
 class PacketQueue:
@@ -44,6 +54,20 @@ class PacketQueue:
         self.clock = link.clock
         self._next_identifier = 0
         self._reassembler = Reassembler()
+        # Per-send ACL framing without the encode_acl call: the handle
+        # and flags never change, so the first three header bytes are a
+        # constant prefix (byte-identical to encode_acl's output, which
+        # the packet-queue tests pin). Validate the handle once here —
+        # encode_acl used to reject it on the first send.
+        if not 0 <= handle <= MAX_CONNECTION_HANDLE:
+            raise PacketEncodeError(
+                f"connection handle {handle:#x} out of range"
+            )
+        self._acl_prefix = struct.pack(
+            "<BH",
+            HCI_ACL_DATA_PKT,
+            handle | (PB_FIRST_FLUSHABLE << 12),
+        )
 
     def take_identifier(self) -> int:
         """Allocate the next request identifier (1..255, wrapping)."""
@@ -69,7 +93,7 @@ class PacketQueue:
                 self.link.send_frame(fragment_pkt.encode())
             return
         self.link.send_frame(
-            encode_acl(self.handle, payload),
+            self._acl_prefix + _PACK_U16(len(payload)) + payload,
             l2cap=packet.loopback_view(),
         )
 

@@ -197,9 +197,40 @@ def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
     essential trigger). Returns a small summary dict
     ``{"entries_added", "findings_new", "findings_duplicate"}``.
     """
-    from repro.corpus.findings import FindingDatabase, record_from_campaign
+    from repro.corpus.findings import FindingDatabase
+
+    return _record_into(
+        CorpusStore(root), FindingDatabase(root), profile, fuzzer, report, armed
+    )
+
+
+def record_campaigns(root, campaigns, armed: bool = True) -> list[dict]:
+    """Batched write-back: many campaigns through one pair of handles.
+
+    *campaigns* is an iterable of ``(profile, fuzzer, report)`` triples.
+    The store and finding database are opened once for the whole batch —
+    a fleet worker records its entire shard this way instead of paying a
+    handle per campaign. Entry files stay content-addressed and atomic,
+    so batches from parallel workers interleave exactly as safely as
+    individual campaigns always did. Returns one stats dict per
+    campaign, in input order.
+    """
+    from repro.corpus.findings import FindingDatabase
 
     store = CorpusStore(root)
+    database = FindingDatabase(root)
+    return [
+        _record_into(store, database, profile, fuzzer, report, armed)
+        for profile, fuzzer, report in campaigns
+    ]
+
+
+def _record_into(
+    store: CorpusStore, database, profile, fuzzer, report, armed: bool
+) -> dict:
+    """One campaign's write-back through already-open handles."""
+    from repro.corpus.findings import record_from_campaign
+
     target_name = getattr(getattr(fuzzer, "target", None), "name", "l2cap")
     sent_entries = fuzzer.sniffer.sent()
     cumulative: set[str] = set()
@@ -223,7 +254,6 @@ def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
         if store.add(entry):
             added += 1
 
-    database = FindingDatabase(root)
     statuses = {"new": 0, "duplicate": 0}
     for finding in report.findings:
         prefix = [
@@ -244,5 +274,6 @@ def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
 __all__ = [
     "CorpusStore",
     "record_campaign",
+    "record_campaigns",
     "transition_token",
 ]

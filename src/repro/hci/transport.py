@@ -62,6 +62,36 @@ class LinkStats:
     frames_dropped: int = 0
 
 
+class PacketFrame:
+    """An in-flight ACL frame kept as its decoded L2CAP packet.
+
+    The step past :class:`TaggedFrame`: where a tagged frame carries the
+    wire bytes *plus* the decoded object, a packet frame defers the byte
+    image entirely — the virtual device hands its response back as the
+    packet object it just built, and neither the L2CAP nor the ACL
+    serialisation ever happens unless someone asks for the bytes.
+
+    Only emitted on the hinted loopback path (the sender passed its
+    decoded packet down, proving the consumer is an in-process
+    :class:`~repro.core.packet_queue.PacketQueue` that reads the
+    ``l2cap`` attribute), and only for packets whose
+    ``loopback_view()`` is the packet itself — anything else still
+    travels as real bytes, so byte-reading consumers never meet one.
+    """
+
+    __slots__ = ("handle", "l2cap")
+
+    def __init__(self, handle: int, l2cap) -> None:
+        self.handle = handle
+        self.l2cap = l2cap
+
+    def to_bytes(self) -> bytes:
+        """Materialise the wire image (offline export, debugging)."""
+        from repro.hci.packets import encode_acl
+
+        return encode_acl(self.handle, self.l2cap.encode())
+
+
 class TaggedFrame(bytes):
     """ACL frame bytes carrying their already-decoded L2CAP packet.
 

@@ -799,6 +799,45 @@ class L2capPacket:
                 return None
         return self
 
+    @classmethod
+    def from_wire_parts(
+        cls,
+        code: int,
+        identifier: int,
+        field_values: dict[str, int],
+        tail: bytes,
+        garbage: bytes,
+        wire: bytes,
+        spec: CommandSpec | None,
+        header_cid: int = SIGNALING_CID,
+    ) -> "L2capPacket":
+        """Build a packet around already-assembled *wire* bytes.
+
+        The bytes-level mutation fast path serialises the frame itself
+        (template patching instead of a field walk), so the constructor
+        and :meth:`encode` would each redo work the caller has in hand.
+        This bypasses both: the instance dict is populated directly and
+        the encode cache primed with *wire*, exactly as :meth:`decode`
+        primes a parsed packet. The caller guarantees that *wire* is what
+        :meth:`encode` would produce for these parts — the wire-fast-path
+        equivalence tests pin that contract per target.
+        """
+        packet = cls.__new__(cls)
+        fields = _FieldMap(field_values)
+        fields._owner = packet
+        instance = packet.__dict__
+        instance["code"] = code
+        instance["identifier"] = identifier
+        instance["fields"] = fields
+        instance["tail"] = tail
+        instance["garbage"] = garbage
+        instance["header_cid"] = header_cid
+        instance["declared_payload_len"] = None
+        instance["declared_data_len"] = None
+        instance["_spec_cache"] = spec
+        instance["_wire"] = wire
+        return packet
+
     def describe(self) -> str:
         """One-line human-readable rendering for logs."""
         if self.is_data_frame:

@@ -170,7 +170,10 @@ def structural_reject_reason(
     """
     if packet.wire_length > signaling_mtu:
         return RejectReason.SIGNALING_MTU_EXCEEDED
-    structural, _ = _structural_facts(packet)
+    facts = packet._intrinsic
+    if facts is None:
+        facts = _structural_facts(packet)
+    structural = facts[0]
     if structural and (
         Violation.UNKNOWN_CODE in structural
         or Violation.LENGTH_MISMATCH in structural
@@ -222,7 +225,12 @@ def is_malformed(packet: L2capPacket, allocated_cids: frozenset[int] = frozenset
             packet.header_cid not in (SIGNALING_CID, CONNECTIONLESS_CID)
             and packet.header_cid not in allocated_cids
         )
-    structural, invalid_psm = _structural_facts(packet)
+    # Inline the memo hit (one attribute read) — this and the engine's
+    # structural_reject_reason both run once per transmitted packet.
+    facts = packet._intrinsic
+    if facts is None:
+        facts = _structural_facts(packet)
+    structural, invalid_psm = facts
     if structural or invalid_psm:
         return True
     for name in RECEIVER_CID_FIELDS.get(packet.code, ()):

@@ -69,6 +69,11 @@ class ChannelManager:
         self.max_channels = max_channels
         self._channels: dict[int, ChannelControlBlock] = {}
         self._next_cid = DYNAMIC_CID_MIN
+        #: Monotonic generation counter: bumped on any membership change
+        #: (and by the engine on state transitions), so per-packet
+        #: derived views — the engine's ambient-state guess — can be
+        #: cached until something actually changed.
+        self.version = 0
 
     def allocate(self, psm: int, remote_cid: int, initiates_config: bool = False) -> ChannelControlBlock:
         """Create a control block with a freshly allocated local CID.
@@ -86,6 +91,7 @@ class ChannelManager:
             initiates_config=initiates_config,
         )
         self._channels[cid] = block
+        self.version += 1
         return block
 
     def _next_free_cid(self) -> int:
@@ -105,7 +111,8 @@ class ChannelManager:
 
     def release(self, local_cid: int) -> None:
         """Tear down the channel at *local_cid* (no-op if absent)."""
-        self._channels.pop(local_cid, None)
+        if self._channels.pop(local_cid, None) is not None:
+            self.version += 1
 
     def get(self, local_cid: int) -> ChannelControlBlock | None:
         """Look up a channel by our local CID."""
@@ -134,6 +141,7 @@ class ChannelManager:
         """Release every channel (stack restart)."""
         self._channels.clear()
         self._next_cid = DYNAMIC_CID_MIN
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._channels)

@@ -20,7 +20,7 @@ import re
 from repro.errors import PacketDecodeError, TargetCrashedError
 from repro.hci.fragmentation import Reassembler
 from repro.hci.packets import ACL_HEADER_LEN, AclPacket, HCI_ACL_DATA_PKT, encode_acl
-from repro.hci.transport import SimClock, TaggedFrame, VirtualLink
+from repro.hci.transport import PacketFrame, SimClock, TaggedFrame, VirtualLink
 from repro.l2cap.constants import Psm
 from repro.l2cap.packets import L2capPacket
 from repro.stack.crash import CrashReport
@@ -160,6 +160,7 @@ class VirtualDevice:
         :raises TargetCrashedError: when an injected bug fires (after the
             crash dump has been recorded on-device).
         """
+        hinted = False
         if (
             l2cap is not None
             and len(frame) - ACL_HEADER_LEN == len(wire := l2cap.encode())
@@ -172,6 +173,7 @@ class VirtualDevice:
             # are never fragments, so the reassembler state is untouched.
             handle = int.from_bytes(frame[1:3], "little") & 0x0FFF
             packet = l2cap
+            hinted = True
         else:
             try:
                 acl = AclPacket.decode(frame)
@@ -193,10 +195,16 @@ class VirtualDevice:
         except TargetCrashedError as crash_exc:
             self._record_crash(crash_exc.crash)
             raise
-        frames: list[bytes] = []
+        frames: list = []
         for response in responses:
-            raw = encode_acl(handle, response.encode())
             view = response.loopback_view()
+            if view is not None and hinted:
+                # The sender proved it reads decoded packets (it hinted
+                # one down); hand the response back as an object and
+                # skip both serialisations entirely.
+                frames.append(PacketFrame(handle, view))
+                continue
+            raw = encode_acl(handle, response.encode())
             frames.append(TaggedFrame.tag(raw, view) if view is not None else raw)
         return frames
 

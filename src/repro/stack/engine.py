@@ -93,6 +93,15 @@ class HostStackEngine:
         self.armed = armed
         self.data_handlers = dict(data_handlers or {})
         self.channels = ChannelManager(personality.max_channels)
+        # Ambient-state cache: (channel-table version, state, state.value).
+        # Valid until the table's membership or any block's state changes
+        # — both bump ``channels.version`` — so the per-packet transition
+        # accounting stops re-walking the table for every fuzz frame.
+        self._ambient_cache: tuple[int, ChannelState, str] = (
+            self.channels.version,
+            ChannelState.CLOSED,
+            ChannelState.CLOSED.value,
+        )
         self.state_history: list[StateVisit] = []
         self.crash: CrashReport | None = None
         self._next_identifier = 0x70
@@ -152,8 +161,10 @@ class HostStackEngine:
 
     def _record_transition(self, packet: L2capPacket, outcome: str) -> None:
         command = COMMAND_NAME_BY_VALUE.get(packet.code, "UNKNOWN")
-        state = self._ambient_state()
-        self.transition_hits[(command, state.value, outcome)] += 1
+        cache = self._ambient_cache
+        if cache[0] != self.channels.version:
+            cache = self._refresh_ambient()
+        self.transition_hits[(command, cache[2], outcome)] += 1
 
     @staticmethod
     def _outcome_of(responses: list[L2capPacket]) -> str:
@@ -196,6 +207,7 @@ class HostStackEngine:
 
     def _set_state(self, block, state: ChannelState) -> None:
         block.state = state
+        self.channels.version += 1
         self._visit(block.local_cid, state)
 
     def _take_identifier(self) -> int:
@@ -209,18 +221,33 @@ class HostStackEngine:
         control block the lookup produced (possibly NULL); the relevant
         state is that of the connection's active channel. We use the most
         recently progressed live channel, preferring mid-configuration
-        ones, falling back to CLOSED.
+        ones, falling back to CLOSED. The answer is cached against the
+        channel table's version, so state changes must go through
+        :meth:`_set_state` (they do — it bumps the version).
         """
+        cache = self._ambient_cache
+        if cache[0] == self.channels.version:
+            return cache[1]
+        return self._refresh_ambient()[1]
+
+    def _refresh_ambient(self) -> tuple[int, ChannelState, str]:
         channels = self.channels
-        if not len(channels):
-            return ChannelState.CLOSED
-        newest = None
-        for block in reversed(channels.blocks()):
-            if newest is None:
-                newest = block
-            if block.state in CONFIGURATION_STATES:
-                return block.state
-        return newest.state
+        state = None
+        if len(channels):
+            newest = None
+            for block in reversed(channels.blocks()):
+                if newest is None:
+                    newest = block
+                if block.state in CONFIGURATION_STATES:
+                    state = block.state
+                    break
+            if state is None:
+                state = newest.state
+        else:
+            state = ChannelState.CLOSED
+        cache = (channels.version, state, state.value)
+        self._ambient_cache = cache
+        return cache
 
     def _check_bugs(self, packet: L2capPacket, state: ChannelState | None) -> None:
         """Evaluate injected bug predicates on an accepted packet.

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import struct
 from collections.abc import Sequence
 from typing import Protocol, runtime_checkable
 
@@ -77,6 +78,31 @@ def wire_data_frame(target_cid: int, payload: bytes):
         header_cid=target_cid,
         tail=payload,
         fill_defaults=False,
+    )
+
+
+def wire_data_frame_fast(target_cid: int, payload: bytes):
+    """Bytes-level twin of :func:`wire_data_frame` (primed encode cache).
+
+    Produces a packet indistinguishable from
+    ``wire_data_frame(target_cid, payload)`` — same fields, same wire
+    image — but assembles the 4-byte B-frame header itself and hands the
+    finished bytes to :meth:`~repro.l2cap.packets.L2capPacket.from_wire_parts`,
+    skipping the constructor's field machinery and the later
+    ``encode()`` pass. This is the ``mutate_wire`` building block for
+    every target whose fuzz frames ride as data frames.
+    """
+    from repro.l2cap.packets import L2capPacket
+
+    return L2capPacket.from_wire_parts(
+        code=0,
+        identifier=0,
+        field_values={},
+        tail=payload,
+        garbage=b"",
+        wire=struct.pack("<HH", len(payload), target_cid) + payload,
+        spec=None,
+        header_cid=target_cid,
     )
 
 
@@ -156,7 +182,22 @@ class TargetGuide(Protocol):
 
 @runtime_checkable
 class TargetMutator(Protocol):
-    """Phase-3 generator for one protocol (built per campaign)."""
+    """Phase-3 generator for one protocol (built per campaign).
+
+    Optional extra the engine honours when present (and
+    ``FuzzConfig.wire_fast_path`` is on):
+
+    * ``mutate_wire(position, command, identifier)`` — the bytes-level
+      fast path. Must return a packet **byte-identical** to what
+      :meth:`mutate` would have produced for the same call, consuming
+      the RNG stream identically (same draws, same order), or None when
+      this mutation plan needs field semantics — the engine then falls
+      back to :meth:`mutate` for that packet. The returned packet
+      usually carries a primed encode cache
+      (:meth:`~repro.l2cap.packets.L2capPacket.from_wire_parts` /
+      :func:`wire_data_frame_fast`), so the single wire serialisation
+      the transport needs is the one the mutator already did.
+    """
 
     def mutate(self, position: GuidedPosition, command, identifier: int):
         """Build one valid-malformed wire packet for *command*.

@@ -50,9 +50,16 @@ class _L2capMutator:
 
     def __init__(self, core: CoreFieldMutator) -> None:
         self.core = core
+        self._mutate_wire = core.mutate_wire
 
     def mutate(self, position: GuidedPosition, command, identifier: int) -> L2capPacket:
         return self.core.mutate(command, identifier)
+
+    def mutate_wire(
+        self, position: GuidedPosition, command, identifier: int
+    ) -> L2capPacket | None:
+        """Bytes-level fast path (see :class:`~repro.targets.base.TargetMutator`)."""
+        return self._mutate_wire(command, identifier)
 
 
 @register_target

@@ -38,6 +38,7 @@ from repro.targets.base import (
     open_l2cap_channel,
     register_target,
     wire_data_frame,
+    wire_data_frame_fast,
 )
 
 #: GOEP L2CAP PSM (Bluetooth assigned number for OBEX over L2CAP).
@@ -191,9 +192,8 @@ class _ObexMutator:
         self.rng = rng
         self.dictionary = tuple(tail for tail in dictionary if tail)
 
-    def mutate(
-        self, position: GuidedPosition, command: Opcode, identifier: int
-    ) -> L2capPacket:
+    def _fuzz_payload(self, command: Opcode) -> bytes:
+        """One mutated request as raw channel payload (shared by both paths)."""
         headers: list[ObexHeader] = []
         extras = None
         if command == Opcode.CONNECT:
@@ -222,8 +222,22 @@ class _ObexMutator:
             )
             if garbage:
                 headers.append(ObexHeader(GARBAGE_HEADER_ID, garbage))
-        packet = ObexPacket(command, tuple(headers), connect_extras=extras)
-        return wire_data_frame(position.context.target_cid, packet.encode())
+        return ObexPacket(command, tuple(headers), connect_extras=extras).encode()
+
+    def mutate(
+        self, position: GuidedPosition, command: Opcode, identifier: int
+    ) -> L2capPacket:
+        return wire_data_frame(
+            position.context.target_cid, self._fuzz_payload(command)
+        )
+
+    def mutate_wire(
+        self, position: GuidedPosition, command: Opcode, identifier: int
+    ) -> L2capPacket:
+        """Bytes-level fast path: same payload, pre-assembled wire frame."""
+        return wire_data_frame_fast(
+            position.context.target_cid, self._fuzz_payload(command)
+        )
 
     def _random_name(self) -> str:
         length = self.rng.randint(0, 12)

@@ -33,6 +33,7 @@ from repro.targets.base import (
     open_l2cap_channel,
     register_target,
     wire_data_frame,
+    wire_data_frame_fast,
 )
 
 #: The data DLCI the guide opens (server channel 1, responder side).
@@ -189,9 +190,11 @@ class _RfcommMutator:
         self.rng = rng
         self.dictionary = tuple(tail for tail in dictionary if tail)
 
-    def mutate(
-        self, position: GuidedPosition, command: FrameType, identifier: int
-    ) -> L2capPacket:
+    def _fuzz_payload(self, command: FrameType) -> bytes:
+        """One mutated mux frame plus garbage, as raw channel payload.
+
+        Shared by both mutation paths so their RNG draws are identical.
+        """
         dlci = self.rng.randrange(0, MAX_DLCI + 1)
         if command == FrameType.UIH:
             payload = bytes(self.rng.getrandbits(8) for _ in range(4))
@@ -203,8 +206,21 @@ class _RfcommMutator:
             garbage = draw_garbage(
                 self.rng, self.config.max_garbage, self.dictionary
             )
+        return frame.encode() + garbage
+
+    def mutate(
+        self, position: GuidedPosition, command: FrameType, identifier: int
+    ) -> L2capPacket:
         return wire_data_frame(
-            position.context.target_cid, frame.encode() + garbage
+            position.context.target_cid, self._fuzz_payload(command)
+        )
+
+    def mutate_wire(
+        self, position: GuidedPosition, command: FrameType, identifier: int
+    ) -> L2capPacket:
+        """Bytes-level fast path: same payload, pre-assembled wire frame."""
+        return wire_data_frame_fast(
+            position.context.target_cid, self._fuzz_payload(command)
         )
 
 

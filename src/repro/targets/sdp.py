@@ -44,6 +44,7 @@ from repro.targets.base import (
     open_l2cap_channel,
     register_target,
     wire_data_frame,
+    wire_data_frame_fast,
 )
 
 
@@ -228,9 +229,8 @@ class _SdpMutator:
         self.dictionary = tuple(tail for tail in dictionary if tail)
         self._transaction = 0x4000
 
-    def mutate(
-        self, position: GuidedPosition, command: PduId, identifier: int
-    ) -> L2capPacket:
+    def _fuzz_payload(self, position: GuidedPosition, command: PduId) -> bytes:
+        """One mutated PDU as raw channel payload (shared by both paths)."""
         session = position.context
         self._transaction = (self._transaction + 1) & 0xFFFF
         parameters = self._parameters_for(command, session)
@@ -238,8 +238,22 @@ class _SdpMutator:
             parameters += draw_garbage(
                 self.rng, self.config.max_garbage, self.dictionary
             )
-        pdu = SdpPdu(command, self._transaction, parameters)
-        return wire_data_frame(session.target_cid, pdu.encode())
+        return SdpPdu(command, self._transaction, parameters).encode()
+
+    def mutate(
+        self, position: GuidedPosition, command: PduId, identifier: int
+    ) -> L2capPacket:
+        return wire_data_frame(
+            position.context.target_cid, self._fuzz_payload(position, command)
+        )
+
+    def mutate_wire(
+        self, position: GuidedPosition, command: PduId, identifier: int
+    ) -> L2capPacket:
+        """Bytes-level fast path: same payload, pre-assembled wire frame."""
+        return wire_data_frame_fast(
+            position.context.target_cid, self._fuzz_payload(position, command)
+        )
 
     # -- parameter builders ---------------------------------------------------------
 

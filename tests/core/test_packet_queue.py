@@ -50,3 +50,21 @@ class TestPacketQueue:
         responses = queue.drain()
         assert responses[0].code == CommandCode.CONNECTION_RSP
         assert queue.drain() == []
+
+    def test_acl_prefix_matches_encode_acl(self):
+        import struct
+
+        from repro.hci.packets import encode_acl
+
+        _, _, queue = make_rig()
+        wire = echo_request(b"prefix-check").encode()
+        fast = queue._acl_prefix + struct.pack("<H", len(wire)) + wire
+        assert fast == encode_acl(queue.handle, wire)
+
+    def test_out_of_range_handle_rejected_at_construction(self):
+        from repro.core.packet_queue import PacketQueue
+        from repro.errors import PacketEncodeError
+        from repro.hci.transport import VirtualLink
+
+        with pytest.raises(PacketEncodeError, match="handle"):
+            PacketQueue(VirtualLink(), handle=0x1FFF)

@@ -1,0 +1,225 @@
+"""Integration tests for fleets on the persistent batched runtime.
+
+The contract under test: execution topology — worker count, shard
+granularity, pool reuse, process vs. thread fallback — must never
+change what a fleet computes. Only the schedule-derived summary fields
+may vary with the worker count.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.config import FuzzConfig
+from repro.core.fleet import FleetOrchestrator, SummaryRun
+from repro.testbed.profiles import ALL_PROFILES
+
+SCHEDULE_KEYS = (
+    "workers",
+    "simulated_makespan_seconds",
+    "campaigns_per_simulated_second",
+)
+
+
+def _orchestrator(workers: int = 1, batch: int | None = None, **kwargs):
+    return FleetOrchestrator(
+        profiles=ALL_PROFILES[:3],
+        strategies=("sequential", "targeted"),
+        fleet_seed=7,
+        workers=workers,
+        base_config=FuzzConfig(max_packets=700),
+        batch=batch,
+        **kwargs,
+    )
+
+
+def _comparable(report) -> dict:
+    rendered = report.to_dict()
+    for key in SCHEDULE_KEYS:
+        rendered.pop(key)
+    return rendered
+
+
+class TestWorkerIndependence:
+    def test_merged_report_identical_across_worker_counts(self):
+        rendered = {}
+        for workers in (1, 2, 4):
+            with _orchestrator(workers=workers) as orchestrator:
+                rendered[workers] = _comparable(orchestrator.run())
+        assert rendered[1] == rendered[2] == rendered[4]
+
+    def test_merged_report_identical_across_batch_sizes(self):
+        rendered = []
+        for batch in (1, 2, 6, None):
+            with _orchestrator(workers=2, batch=batch) as orchestrator:
+                rendered.append(orchestrator.run().to_dict())
+        assert all(entry == rendered[0] for entry in rendered[1:])
+
+    def test_findings_dedupe_identically_across_workers(self):
+        # The armed fleet crashes several campaigns; dedup and
+        # first-detection attribution must not depend on the pool.
+        reports = {}
+        for workers in (1, 4):
+            with _orchestrator(workers=workers) as orchestrator:
+                reports[workers] = orchestrator.run()
+        assert [
+            (f.target, f.vendor, f.vulnerability_class, f.trigger, f.occurrences)
+            for f in reports[1].findings
+        ] == [
+            (f.target, f.vendor, f.vulnerability_class, f.trigger, f.occurrences)
+            for f in reports[4].findings
+        ]
+
+
+class TestPersistentRuntime:
+    def test_repeated_runs_reuse_runtime_and_agree(self):
+        with _orchestrator(workers=2) as orchestrator:
+            first = orchestrator.run()
+            runtime = orchestrator._runtime
+            second = orchestrator.run()
+            assert orchestrator._runtime is runtime  # same pool, not rebuilt
+        assert first.to_json() == second.to_json()
+
+    def test_runs_come_back_as_lazy_summaries(self):
+        with _orchestrator(workers=1) as orchestrator:
+            report = orchestrator.run()
+        run = report.campaigns[0]
+        assert isinstance(run, SummaryRun)
+        assert run._report is None  # merge did not materialise reports
+        materialised = run.report
+        assert run._report is materialised  # cached on first access
+        assert materialised.packets_sent == run.summary.packets_sent
+
+    def test_close_is_idempotent(self):
+        orchestrator = _orchestrator(workers=2)
+        orchestrator.run()
+        orchestrator.close()
+        orchestrator.close()
+
+    def test_bare_run_does_not_leak_worker_pool(self):
+        # Outside a with-block, run() must clean its pool up before
+        # returning, like the original per-run executors did.
+        orchestrator = _orchestrator(workers=2)
+        orchestrator.run()
+        assert orchestrator._runtime is None
+        # Touching .runtime explicitly opts into persistence instead.
+        persistent = _orchestrator(workers=2)
+        assert persistent.runtime is not None
+        persistent.run()
+        assert persistent._runtime is not None
+        persistent.close()
+
+
+class TestThreadFallback:
+    @staticmethod
+    def _custom_strategy():
+        class EchoStrategy:
+            name = "custom-echo"
+
+            def plan(self, base_plan, visits):
+                return base_plan
+
+            def packets_per_command(self, state, default):
+                return default
+
+        return EchoStrategy()
+
+    def test_single_warning_at_construction(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            orchestrator = FleetOrchestrator(
+                profiles=ALL_PROFILES[:1],
+                strategies=(self._custom_strategy(),),
+                workers=2,
+                base_config=FuzzConfig(max_packets=400),
+            )
+            orchestrator.run()
+            orchestrator.run()
+        fallback = [
+            entry
+            for entry in caught
+            if issubclass(entry.category, RuntimeWarning)
+            and "thread" in str(entry.message)
+        ]
+        assert len(fallback) == 1
+
+    def test_no_warning_for_registry_fleet(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with _orchestrator(workers=2) as orchestrator:
+                orchestrator.run()
+        assert not [
+            entry
+            for entry in caught
+            if issubclass(entry.category, RuntimeWarning)
+        ]
+
+    def test_single_worker_object_fleet_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            FleetOrchestrator(
+                profiles=ALL_PROFILES[:1],
+                strategies=(self._custom_strategy(),),
+                workers=1,
+                base_config=FuzzConfig(max_packets=300),
+            ).run()
+        assert not [
+            entry
+            for entry in caught
+            if issubclass(entry.category, RuntimeWarning)
+        ]
+
+
+class TestBatchedCorpusWriteBack:
+    def test_corpus_contents_independent_of_workers_and_batch(self, tmp_path):
+        from repro.corpus.findings import FindingDatabase
+        from repro.corpus.store import CorpusStore
+
+        contents = []
+        for index, (workers, batch) in enumerate(((1, None), (2, 1), (2, 3))):
+            root = tmp_path / f"corpus-{index}"
+            orchestrator = FleetOrchestrator(
+                profiles=ALL_PROFILES[:2],
+                strategies=("sequential",),
+                fleet_seed=7,
+                workers=workers,
+                batch=batch,
+                base_config=FuzzConfig(max_packets=600),
+                corpus_dir=str(root),
+            )
+            with orchestrator:
+                orchestrator.run()
+            contents.append(
+                (
+                    {entry.entry_id for entry in CorpusStore(root).entries()},
+                    {
+                        record.bucket_id
+                        for record in FindingDatabase(root).records()
+                    },
+                )
+            )
+        assert contents[0] == contents[1] == contents[2]
+        entries, buckets = contents[0]
+        assert entries and buckets
+
+    def test_summary_carries_corpus_stats(self, tmp_path):
+        orchestrator = FleetOrchestrator(
+            profiles=ALL_PROFILES[:1],
+            strategies=("sequential",),
+            workers=1,
+            base_config=FuzzConfig(max_packets=600),
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        with orchestrator:
+            report = orchestrator.run()
+        stats = [run.summary.corpus_entries_added for run in report.campaigns]
+        assert sum(stats) > 0
+
+
+class TestBatchValidation:
+    def test_zero_batch_rejected(self):
+        with _orchestrator(workers=2, batch=0) as orchestrator:
+            with pytest.raises(ValueError, match="batch"):
+                orchestrator.run()

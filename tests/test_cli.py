@@ -158,6 +158,37 @@ class TestFleet:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_workers_auto_and_batch(self, capsys):
+        main(_FLEET_ARGS + ["--format", "json"])
+        reference = json.loads(capsys.readouterr().out)
+        args = [
+            "fleet",
+            "--profiles", "2",
+            "--strategies", "breadth_first,targeted",
+            "--seed", "7",
+            "--budget", "800",
+        ]
+        assert main(args + ["--workers", "auto", "--batch", "1",
+                            "--format", "json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        # Worker count and shard size must not change the fleet's
+        # findings/coverage — only the schedule summary may differ.
+        for key in ("workers", "simulated_makespan_seconds",
+                    "campaigns_per_simulated_second"):
+            reference.pop(key)
+            decoded.pop(key)
+        assert decoded == reference
+
+    def test_workers_validation(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["fleet", "--workers", "0", "--budget", "5"])
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["fleet", "--workers", "many", "--budget", "5"])
+
+    def test_batch_validation(self):
+        with pytest.raises(SystemExit, match="--batch"):
+            main(["fleet", "--batch", "0", "--budget", "5"])
+
     def test_profiles_by_id(self, capsys):
         assert main(
             ["fleet", "--profiles", "D2,D4", "--budget", "600"]
