@@ -244,10 +244,11 @@ def cmd_replay(args) -> int:
 
 
 def _corpus_handles(args):
-    from repro.corpus import CorpusStore, FindingDatabase
+    from repro.corpus import CorpusStore, FindingDatabase, open_backend
 
-    store = CorpusStore(args.dir)
-    database = FindingDatabase(args.dir)
+    backend = open_backend(args.dir)
+    store = CorpusStore(args.dir, backend=backend)
+    database = FindingDatabase(args.dir, backend=backend)
     if not store.exists() and not len(database):
         raise SystemExit(f"no corpus at {args.dir!r}")
     return store, database
@@ -255,26 +256,22 @@ def _corpus_handles(args):
 
 def cmd_corpus_stats(args) -> int:
     """Summarise a corpus directory."""
-    from repro.corpus.store import state_frequencies_of
-
     store, database = _corpus_handles(args)
-    # One pass over the entry files; coverage and the per-state
-    # frequencies are derived from the list in hand.
-    entries = store.entries()
-    coverage: set[str] = set()
-    for entry in entries:
-        coverage.update(entry.covered)
-    frequencies = state_frequencies_of(entries)
-    states = [token for token in coverage if ">" not in token]
-    transitions = [token for token in coverage if ">" in token]
-    print(f"corpus: {args.dir}")
+    # One aggregate pass through the backend: a directory scan on the
+    # file layout, indexed queries on SQLite.
+    stats = store.stats()
+    canonical_note = " STALE" if stats.canonical_stale else ""
+    print(f"corpus: {args.dir} [{store.backend.name} backend]")
     print(
-        f"entries: {len(entries)}"
-        f" ({sum(entry.packet_count for entry in entries)} packets,"
-        f" canonical: {len(store.canonical_entries())})"
+        f"entries: {stats.entry_count}"
+        f" ({stats.packet_total} packets,"
+        f" canonical: {stats.canonical_count}{canonical_note})"
     )
-    print(f"coverage: {len(states)} state(s), {len(transitions)} transition(s)")
-    for token, count in sorted(frequencies.items()):
+    print(
+        f"coverage: {len(stats.state_tokens)} state(s),"
+        f" {len(stats.transition_tokens)} transition(s)"
+    )
+    for token, count in sorted(stats.state_frequencies.items()):
         print(f"  {token:<22} {count}")
     records = database.records()
     print(f"findings: {len(records)} bucket(s)")
@@ -296,7 +293,7 @@ def cmd_corpus_minimize(args) -> int:
     packets = sum(entry.packet_count for entry in canonical)
     print(
         f"minimised {before} entr(ies) to {len(canonical)} canonical"
-        f" ({packets} packets) -> {store.canonical_path}"
+        f" ({packets} packets) -> {store.backend.describe_canonical()}"
     )
     return 0
 
@@ -325,7 +322,9 @@ def cmd_corpus_replay(args) -> int:
         )
         regressions += int(result.regression)
     if args.entries:
-        for entry in store.canonical_entries() or store.entries():
+        # seed_entries(): the canonical set while fresh, the live entry
+        # set once entries were added past the last minimize.
+        for entry in store.seed_entries():
             result = replay_entry(entry, PROFILES_BY_ID)
             print(
                 f"entry {entry.entry_id[:12]} ({entry.device_id}):"
@@ -342,6 +341,18 @@ def cmd_corpus_export(args) -> int:
     store, _ = _corpus_handles(args)
     count = store.export_jsonl(args.output)
     print(f"{count} entr(ies) exported to {args.output}")
+    return 0
+
+
+def cmd_corpus_migrate(args) -> int:
+    """Convert a file-layout corpus to the SQLite (WAL) backend in place."""
+    from repro.corpus.migrate import MigrationError, migrate_to_sqlite
+
+    try:
+        report = migrate_to_sqlite(args.dir)
+    except MigrationError as error:
+        raise SystemExit(str(error)) from None
+    print(report.summary())
     return 0
 
 
@@ -516,6 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", required=True, metavar="PATH", help="output JSONL path"
     )
     corpus_export.set_defaults(func=cmd_corpus_export)
+
+    corpus_migrate = corpus_commands.add_parser(
+        "migrate",
+        help="convert a file-layout corpus to the SQLite (WAL) backend",
+    )
+    corpus_migrate.add_argument("dir", help="corpus directory")
+    corpus_migrate.set_defaults(func=cmd_corpus_migrate)
 
     compare = commands.add_parser("compare", help="four-fuzzer comparison")
     compare.add_argument("--budget", type=int, default=20_000)

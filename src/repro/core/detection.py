@@ -85,6 +85,12 @@ class Finding:
     :param crash_dump: crash-dump text recovered from the target, if any.
     :param target: registry name of the fuzz target (protocol) under
         test when the finding was made.
+    :param sent_index: number of fuzzer→target packets on the wire at
+        detection — the exact reproducer-prefix length, trigger
+        included. Corpus write-back cuts the stored reproducer here, so
+        packets transmitted after the detection but at the same
+        simulated tick (liveness probes, auto-reset traffic) never leak
+        in. ``None`` on findings recorded before this field existed.
     """
 
     vulnerability_class: VulnerabilityClass
@@ -95,6 +101,7 @@ class Finding:
     ping_failed: bool
     crash_dump: str | None = None
     target: str = "l2cap"
+    sent_index: int | None = None
 
     def key(self, vendor: str) -> tuple[str, str, str, str]:
         """This finding's :func:`finding_key` under *vendor*'s stack."""
@@ -226,12 +233,15 @@ class VulnerabilityDetector:
         state_name: str,
         trigger_description: str,
         target: str = "l2cap",
+        sent_index: int | None = None,
     ) -> Finding:
         """Build a finding for a transport error seen while fuzzing.
 
         Runs the confirming ping test and the crash-dump check before
         classifying, mirroring the §III.E sequence. *target* stamps the
-        protocol under test into the finding's dedup key.
+        protocol under test into the finding's dedup key; *sent_index*
+        must be captured **before** this call (the confirming ping puts
+        more packets on the wire) and pins the reproducer-prefix cut.
         """
         ping_ok = self.ping_test()
         return Finding(
@@ -243,4 +253,5 @@ class VulnerabilityDetector:
             ping_failed=not ping_ok,
             crash_dump=self.fetch_crash_dump(),
             target=target,
+            sent_index=sent_index,
         )

@@ -780,15 +780,13 @@ def load_corpus_seeds(
     """
     if corpus_dir is None:
         return {}, ()
-    from repro.corpus.findings import FindingDatabase
-    from repro.corpus.store import CorpusStore
+    from repro.corpus.backend import open_backend
 
-    # Both handles tolerate missing directories, so a cold, partial
+    # One backend handle (autodetected from the directory layout: JSON
+    # files or SQLite) serves both reads. A cold, partial
     # (findings-only) or pruned corpus degrades gracefully to an empty
     # prior/dictionary instead of being skipped wholesale.
-    return (
-        CorpusStore(corpus_dir).state_frequencies(),
-        FindingDatabase(corpus_dir).garbage_dictionary(),
-    )
+    backend = open_backend(corpus_dir)
+    return (backend.state_frequencies(), backend.garbage_dictionary())
 
 

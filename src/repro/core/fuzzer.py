@@ -285,8 +285,14 @@ class L2Fuzz:
 
     def _on_transport_error(self, error: TransportError, state_name: str) -> bool:
         """Record a finding; decide whether the campaign stops."""
+        # The prefix cut must be read before diagnose(): its confirming
+        # ping test transmits more packets at the same simulated tick.
         finding = self.detector.diagnose(
-            error, state_name, self._last_trigger, target=self.target.name
+            error,
+            state_name,
+            self._last_trigger,
+            target=self.target.name,
+            sent_index=self.sniffer.transmitted_count(),
         )
         self.findings.append(finding)
         self.log.vulnerability(

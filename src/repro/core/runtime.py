@@ -48,7 +48,11 @@ from repro.core.detection import Finding, VulnerabilityClass
 from repro.core.report import CampaignReport
 
 #: Format version stamped on every encoded summary blob.
-SUMMARY_FORMAT_VERSION = 1
+#: v2 added the per-finding ``sent_index`` (reproducer-prefix cut).
+SUMMARY_FORMAT_VERSION = 2
+
+#: Wire sentinel for a finding without a recorded ``sent_index``.
+_NO_SENT_INDEX = 0xFFFFFFFF
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -69,6 +73,7 @@ class FindingSummary:
     ping_failed: bool
     crash_dump: str
     target: str
+    sent_index: int | None = None
 
     def to_finding(self) -> Finding:
         """Reconstruct the engine-side :class:`Finding` object."""
@@ -81,6 +86,7 @@ class FindingSummary:
             ping_failed=self.ping_failed,
             crash_dump=self.crash_dump or None,
             target=self.target,
+            sent_index=self.sent_index,
         )
 
     @classmethod
@@ -94,6 +100,7 @@ class FindingSummary:
             ping_failed=finding.ping_failed,
             crash_dump=finding.crash_dump or "",
             target=finding.target,
+            sent_index=finding.sent_index,
         )
 
 
@@ -329,7 +336,16 @@ def encode_summary(summary: CampaignSummary) -> bytes:
             finding.target,
         ):
             _pack_str(parts, text)
-        parts.append(struct.pack("<dB", finding.sim_time, finding.ping_failed))
+        parts.append(
+            struct.pack(
+                "<dBI",
+                finding.sim_time,
+                finding.ping_failed,
+                _NO_SENT_INDEX
+                if finding.sent_index is None
+                else finding.sent_index,
+            )
+        )
     _pack_size(parts, len(summary.coverage_samples))
     for states, sent in summary.coverage_samples:
         _pack_size(parts, states)
@@ -388,6 +404,7 @@ def decode_summary(blob: bytes) -> CampaignSummary:
         sim_time = reader.f64()
         ping_failed = bool(blob[reader.offset])
         reader.offset += 1
+        sent_index = reader.u32()
         findings.append(
             FindingSummary(
                 vulnerability_class=vulnerability_class,
@@ -398,6 +415,7 @@ def decode_summary(blob: bytes) -> CampaignSummary:
                 ping_failed=ping_failed,
                 crash_dump=crash_dump,
                 target=target,
+                sent_index=None if sent_index == _NO_SENT_INDEX else sent_index,
             )
         )
     coverage_samples = tuple(
@@ -473,8 +491,9 @@ def run_shard(
 
     Campaigns run with corpus write-back deferred: sessions execute
     without a corpus directory, and the whole shard is recorded through
-    one pair of store/database handles at the end (
-    :func:`repro.corpus.store.record_campaigns`) — one batched
+    one storage-backend handle at the end (
+    :func:`repro.corpus.store.record_campaigns`, which autodetects the
+    directory's backend — JSON files or SQLite) — one batched
     write-back per shard instead of one open/scan/write cycle per
     campaign.
     """

@@ -7,10 +7,13 @@ content hash of the *minimised* reproducer rather than a human-readable
 rendering, so cosmetic differences between campaigns (identifiers,
 garbage-tail noise that minimisation strips) collapse into one bucket.
 
-Each bucket is one JSON file under ``findings/`` in the corpus
-directory, carrying the minimised packet sequence that reproduces the
-crash. Recording an already-known bucket increments its occurrence
-count — that is the cross-run duplicate detection — and
+Storage is delegated to the corpus directory's pluggable backend (see
+:mod:`repro.corpus.backend`): one JSON file per bucket under
+``findings/`` on the file layout, one indexed row per bucket on SQLite.
+Recording an already-known bucket increments its occurrence count —
+that is the cross-run duplicate detection, and the count is **exact**
+under concurrent workers on both backends (a per-bucket exclusive lock
+around the file rewrite; a transactional ``UPDATE`` on SQLite).
 :func:`repro.corpus.replay.replay_finding` re-fires stored reproducers
 against a fresh target, which is the regression half: a bucket that no
 longer reproduces (or reproduces differently) is flagged instead of
@@ -28,7 +31,7 @@ from pathlib import Path
 from repro.analysis.traceio import packets_from_hex, packets_to_hex
 from repro.core.detection import Finding, finding_key
 from repro.core.triage import minimize_trigger, profile_target_factory, replay
-from repro.corpus.store import _atomic_write
+from repro.corpus.backend import CorpusBackend, open_backend
 from repro.l2cap.packets import L2capPacket
 
 FINDINGS_DIR = "findings"
@@ -140,55 +143,59 @@ def dict_to_record(data: dict) -> FindingRecord:
 
 
 class FindingDatabase:
-    """Bucketed, persistent crash database inside a corpus directory.
+    """Finding-side facade over a corpus directory's storage backend.
 
-    :param root: the corpus directory (buckets live in ``findings/``).
+    :param root: the corpus directory.
+    :param backend: ``None`` autodetects from the directory layout; a
+        registry name forces one; a backend instance is shared as-is
+        (see :class:`~repro.corpus.store.CorpusStore`).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, backend: str | CorpusBackend | None = None) -> None:
         self.root = Path(root)
+        self.backend = open_backend(self.root, backend)
 
     @property
     def findings_dir(self) -> Path:
+        """File-layout findings directory (file backend only)."""
         return self.root / FINDINGS_DIR
-
-    def _bucket_path(self, record: FindingRecord) -> Path:
-        return self.findings_dir / f"{record.bucket_id}.json"
 
     def record(self, record: FindingRecord) -> str:
         """Store *record*; returns ``"new"`` or ``"duplicate"``.
 
         A duplicate (same bucket key, possibly from an earlier run)
         keeps the first-seen record and bumps its occurrence count —
-        that is the cross-run deduplication. The read-modify-write is
-        not transactional, so occurrence counts may undercount under
-        heavily parallel ingestion; bucket membership never does.
+        that is the cross-run deduplication. The bump is transactional
+        on both backends, so occurrence counts stay exact under
+        arbitrarily parallel ingestion.
         """
-        self.findings_dir.mkdir(parents=True, exist_ok=True)
-        path = self._bucket_path(record)
-        if path.exists():
-            seen = dict_to_record(json.loads(path.read_text(encoding="utf-8")))
-            updated = dataclasses.replace(
-                seen, occurrences=seen.occurrences + record.occurrences
-            )
-            _atomic_write(path, json.dumps(record_to_dict(updated), sort_keys=True) + "\n")
-            return "duplicate"
-        _atomic_write(path, json.dumps(record_to_dict(record), sort_keys=True) + "\n")
-        return "new"
+        return self.backend.record_finding(record)
 
     def records(self) -> list[FindingRecord]:
         """Every bucket, sorted by bucket ID (deterministic order)."""
-        if not self.findings_dir.is_dir():
-            return []
-        return [
-            dict_to_record(json.loads(path.read_text(encoding="utf-8")))
-            for path in sorted(self.findings_dir.glob("*.json"))
-        ]
+        return self.backend.finding_records()
+
+    def query(
+        self,
+        target: str | None = None,
+        vendor: str | None = None,
+        vulnerability_class: str | None = None,
+        state: str | None = None,
+    ) -> list[FindingRecord]:
+        """Buckets matching every given filter, sorted by bucket ID.
+
+        Served by the ``(target, vendor, class, state)`` index on the
+        SQLite backend; a filtered scan on the file layout.
+        """
+        return self.backend.query_findings(
+            target=target,
+            vendor=vendor,
+            vulnerability_class=vulnerability_class,
+            state=state,
+        )
 
     def __len__(self) -> int:
-        if not self.findings_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.findings_dir.glob("*.json"))
+        return self.backend.finding_count()
 
     def garbage_dictionary(self) -> tuple[bytes, ...]:
         """Known-crashing garbage tails, for cross-campaign splicing.
@@ -197,12 +204,7 @@ class FindingDatabase:
         packet (deduplicated, sorted — deterministic), which the
         mutator can splice into fresh campaigns against other vendors.
         """
-        tails: set[bytes] = set()
-        for record in self.records():
-            for packet in record.decode_packets():
-                if packet.garbage:
-                    tails.add(bytes(packet.garbage))
-        return tuple(sorted(tails))
+        return self.backend.garbage_dictionary()
 
 
 def record_from_campaign(

@@ -1,0 +1,183 @@
+"""In-place corpus migration between storage backends.
+
+``repro corpus migrate DIR`` converts a file-layout corpus into the
+SQLite (WAL) backend. The conversion is verification-gated: entries and
+finding buckets are copied, re-read from the database and compared —
+entry content byte-for-byte (the database stores the exact JSON line
+the file layout held), finding buckets record-for-record including
+occurrence counts — before a single source file is removed. A failed
+verification leaves the directory untouched except for a dangling
+``corpus.sqlite3`` that autodetection will shadow the moment it is
+deleted; a crashed migration never deletes source files.
+
+The canonical corpus (and its freshness metadata, when present) is
+carried over as-is: a stale canonical set stays stale, a fresh one
+stays fresh. The stored cmin cursor starts at zero, so the first
+``minimize`` after migration performs one full scan and is incremental
+from then on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.corpus.backend import detect_backend_name
+from repro.corpus.file_backend import FileCorpusBackend, entry_line
+from repro.corpus.findings import record_to_dict
+from repro.corpus.sqlite_backend import SqliteCorpusBackend
+
+
+class MigrationError(RuntimeError):
+    """A migration step failed; the source corpus was left in place."""
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationReport:
+    """What one migration moved."""
+
+    backend: str
+    entries: int
+    findings: int
+    canonical: int
+    removed_files: int
+
+    def summary(self) -> str:
+        return (
+            f"migrated to {self.backend}: {self.entries} entr(ies),"
+            f" {self.findings} finding bucket(s),"
+            f" {self.canonical} canonical entr(ies)"
+            f" ({self.removed_files} source file(s) removed)"
+        )
+
+
+def migrate_to_sqlite(root) -> MigrationReport:
+    """Convert the file corpus at *root* to the SQLite backend, in place.
+
+    Safe on an empty or missing directory (creates an empty database,
+    so subsequent writers autodetect SQLite). Idempotent-ish: running
+    it on an already-SQLite corpus raises instead of double-converting.
+
+    :raises MigrationError: when the directory is already
+        SQLite-backed, or when post-copy verification fails (source
+        files are then left untouched).
+    """
+    root = Path(root)
+    if detect_backend_name(root) == "sqlite":
+        raise MigrationError(f"{root} is already an SQLite corpus")
+    source = FileCorpusBackend(root)
+    target = SqliteCorpusBackend(root)
+
+    entries = source.entries()
+    records = source.finding_records()
+    canonical = source.canonical_entries()
+    try:
+        # Create the database even for an empty source: its presence is
+        # what flips autodetection for every subsequent writer.
+        target._connect(create=True)
+        for entry in entries:
+            target.add_entry(entry)
+        for record in records:
+            target.record_finding(record)
+        _copy_canonical(source, target, canonical)
+        _verify(source, target, entries, records, canonical)
+    except Exception:
+        # Any failure — verification or an unexpected copy error — must
+        # not leave a partial database behind: autodetection would
+        # prefer it and silently shadow the intact file layout.
+        target.close()
+        target.database_path.unlink(missing_ok=True)
+        raise
+    removed = _remove_source_files(source)
+    target.close()
+    return MigrationReport(
+        backend="sqlite",
+        entries=len(entries),
+        findings=len(records),
+        canonical=len(canonical),
+        removed_files=removed,
+    )
+
+
+def _copy_canonical(
+    source: FileCorpusBackend, target: SqliteCorpusBackend, canonical
+) -> None:
+    """Carry over canonical membership and its freshness marker."""
+    if not canonical:
+        return
+    connection = target._connect(create=True)
+    with connection:
+        connection.executemany(
+            "INSERT OR IGNORE INTO canonical (entry_id) VALUES (?)",
+            [(entry.entry_id,) for entry in canonical],
+        )
+        if source.canonical_meta_path.is_file():
+            try:
+                meta = json.loads(
+                    source.canonical_meta_path.read_text(encoding="utf-8")
+                )
+                rows = [
+                    ("cmin_entry_count", str(int(meta["entry_count"]))),
+                    ("cmin_max_entry_id", str(meta["max_entry_id"])),
+                ]
+            except (ValueError, KeyError, TypeError):
+                rows = []
+            connection.executemany(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", rows
+            )
+
+
+def _verify(source, target, entries, records, canonical) -> None:
+    """Byte-equal entries, identical finding buckets, same canonical set."""
+    migrated = {entry.entry_id: entry for entry in target.entries()}
+    if len(migrated) != len(entries):
+        raise MigrationError(
+            f"entry count mismatch after copy:"
+            f" {len(entries)} source, {len(migrated)} migrated"
+        )
+    for entry in entries:
+        twin = migrated.get(entry.entry_id)
+        if twin is None or entry_line(twin) != entry_line(entry):
+            raise MigrationError(
+                f"entry {entry.entry_id} did not survive migration byte-equal"
+            )
+    migrated_records = {
+        record.bucket_id: record for record in target.finding_records()
+    }
+    if len(migrated_records) != len(records):
+        raise MigrationError("finding bucket count mismatch after copy")
+    for record in records:
+        twin = migrated_records.get(record.bucket_id)
+        if twin is None or record_to_dict(twin) != record_to_dict(record):
+            raise MigrationError(
+                f"finding bucket {record.bucket_id} did not survive migration"
+            )
+    if [e.entry_id for e in target.canonical_entries()] != sorted(
+        entry.entry_id for entry in canonical
+    ):
+        raise MigrationError("canonical set mismatch after copy")
+
+
+def _remove_source_files(source: FileCorpusBackend) -> int:
+    """Delete the migrated JSON layout (entries, findings, canonical)."""
+    removed = 0
+    for directory in (source.entries_dir, source.findings_dir):
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            path.unlink()
+            removed += 1
+        directory.rmdir()
+    for path in (source.canonical_path, source.canonical_meta_path):
+        if path.is_file():
+            path.unlink()
+            removed += 1
+    return removed
+
+
+__all__ = [
+    "MigrationError",
+    "MigrationReport",
+    "migrate_to_sqlite",
+]

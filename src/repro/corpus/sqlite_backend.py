@@ -1,0 +1,465 @@
+"""SQLite (WAL) corpus backend: one database, indexed, transactional.
+
+Everything the file layout spreads over thousands of JSON files lives
+in one ``corpus.sqlite3`` database in the corpus directory:
+
+* ``entries`` — one row per content-addressed entry. The ``data``
+  column stores the exact canonical JSON line the file backend would
+  have written, so migration and export are byte-equal by construction;
+  the indexed metadata columns (target, device, strategy, packet count)
+  make the hot queries index scans instead of full-directory reads.
+* ``coverage`` — one row per (entry, coverage token), indexed by token:
+  per-state frequencies and coverage unions are ``GROUP BY`` queries.
+* ``findings`` — one row per crash bucket, indexed by
+  (target, vendor, class, state). An occurrence bump is a transactional
+  ``UPDATE … SET occurrences = occurrences + ?`` — O(1), exact under
+  any number of concurrent writers, no read-modify-write to lose.
+* ``canonical`` + ``cmin_winners`` + ``meta`` — the minimised corpus,
+  the per-token cheapest-witness map and the last-minimised cursor.
+  ``minimize`` only scans entries inserted since the previous run and
+  folds them into the stored winner map (the fold is associative, see
+  :func:`repro.corpus.backend.cmin_update`), so repeated cmin on a
+  growing corpus is O(new entries), not O(corpus).
+
+Concurrency model: WAL journal with a generous busy timeout, one
+connection per (process, thread) via thread-local storage — fleet
+workers of either pool flavour write concurrently; readers never block
+writers and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.corpus.backend import (
+    SQLITE_FILE,
+    CorpusBackend,
+    CorpusStats,
+    cmin_update,
+)
+from repro.corpus.entry import CorpusEntry, dict_to_entry
+from repro.corpus.findings import FindingRecord, dict_to_record, record_to_dict
+
+#: Schema version stamped into ``meta`` on creation.
+SCHEMA_VERSION = 1
+
+#: How long a writer waits on a locked database before giving up (ms).
+BUSY_TIMEOUT_MS = 30_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+    id           TEXT NOT NULL UNIQUE,
+    target       TEXT NOT NULL,
+    device_id    TEXT NOT NULL,
+    strategy     TEXT NOT NULL,
+    seed         TEXT NOT NULL,
+    armed        INTEGER NOT NULL,
+    packet_count INTEGER NOT NULL,
+    data         TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_entries_id ON entries(id);
+CREATE INDEX IF NOT EXISTS idx_entries_target ON entries(target);
+CREATE INDEX IF NOT EXISTS idx_entries_device ON entries(device_id);
+CREATE TABLE IF NOT EXISTS coverage (
+    entry_seq     INTEGER NOT NULL REFERENCES entries(seq),
+    token         TEXT NOT NULL,
+    is_transition INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_coverage_token ON coverage(token, is_transition);
+CREATE INDEX IF NOT EXISTS idx_coverage_entry ON coverage(entry_seq);
+CREATE TABLE IF NOT EXISTS findings (
+    bucket_id   TEXT PRIMARY KEY,
+    target      TEXT NOT NULL,
+    vendor      TEXT NOT NULL,
+    class       TEXT NOT NULL,
+    state       TEXT NOT NULL,
+    occurrences INTEGER NOT NULL,
+    data        TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_findings_query
+    ON findings(target, vendor, class, state);
+CREATE TABLE IF NOT EXISTS canonical (
+    entry_id TEXT PRIMARY KEY
+);
+CREATE TABLE IF NOT EXISTS cmin_winners (
+    token        TEXT PRIMARY KEY,
+    packet_count INTEGER NOT NULL,
+    entry_id     TEXT NOT NULL
+);
+"""
+
+
+class SqliteCorpusBackend(CorpusBackend):
+    """WAL-mode SQLite backend for heavy parallel ingestion."""
+
+    name = "sqlite"
+
+    def __init__(self, root) -> None:
+        super().__init__(root)
+        self._local = threading.local()
+
+    # -- connection management ----------------------------------------------------
+
+    @property
+    def database_path(self) -> Path:
+        return self.root / SQLITE_FILE
+
+    def _connect(self, create: bool) -> sqlite3.Connection | None:
+        """Thread-local connection; ``None`` for reads of a cold corpus."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection
+        if not self.database_path.is_file():
+            if not create:
+                return None
+            self.root.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(
+            self.database_path, timeout=BUSY_TIMEOUT_MS / 1000
+        )
+        connection.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+        connection.execute("PRAGMA journal_mode = WAL")
+        connection.execute("PRAGMA synchronous = NORMAL")
+        connection.executescript(_SCHEMA)
+        connection.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+        connection.commit()
+        self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def _meta(self, connection: sqlite3.Connection, key: str) -> str | None:
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    # -- entries ------------------------------------------------------------------
+
+    def add_entry(self, entry: CorpusEntry) -> bool:
+        from repro.corpus.file_backend import entry_line
+
+        connection = self._connect(create=True)
+        with connection:
+            cursor = connection.execute(
+                "INSERT OR IGNORE INTO entries"
+                " (id, target, device_id, strategy, seed, armed,"
+                "  packet_count, data)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    entry.entry_id,
+                    entry.target,
+                    entry.device_id,
+                    entry.strategy,
+                    # TEXT: fleet campaign seeds are SHA-256-derived and
+                    # overflow SQLite's 64-bit INTEGER.
+                    str(entry.seed),
+                    int(entry.armed),
+                    entry.packet_count,
+                    entry_line(entry),
+                ),
+            )
+            if cursor.rowcount == 0:
+                return False
+            connection.executemany(
+                "INSERT INTO coverage (entry_seq, token, is_transition)"
+                " VALUES (?, ?, ?)",
+                [
+                    (cursor.lastrowid, token, int(">" in token))
+                    for token in entry.covered
+                ],
+            )
+        return True
+
+    def entries(self) -> list[CorpusEntry]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        return [
+            dict_to_entry(json.loads(data))
+            for (data,) in connection.execute(
+                "SELECT data FROM entries ORDER BY id"
+            )
+        ]
+
+    def entry_count(self) -> int:
+        connection = self._connect(create=False)
+        if connection is None:
+            return 0
+        return connection.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    def coverage(self) -> frozenset[str]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return frozenset()
+        return frozenset(
+            token
+            for (token,) in connection.execute(
+                "SELECT DISTINCT token FROM coverage"
+            )
+        )
+
+    def state_frequencies(self) -> dict[str, int]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return {}
+        return dict(
+            connection.execute(
+                "SELECT token, COUNT(*) FROM coverage"
+                " WHERE is_transition = 0 GROUP BY token"
+            )
+        )
+
+    # -- canonical corpus ---------------------------------------------------------
+
+    def _census(self, connection: sqlite3.Connection) -> tuple[int, str]:
+        count, max_id = connection.execute(
+            "SELECT COUNT(*), COALESCE(MAX(id), '') FROM entries"
+        ).fetchone()
+        return (int(count), str(max_id))
+
+    def _stored_winners(
+        self, connection: sqlite3.Connection
+    ) -> dict[str, tuple[int, str]]:
+        return {
+            token: (packet_count, entry_id)
+            for token, packet_count, entry_id in connection.execute(
+                "SELECT token, packet_count, entry_id FROM cmin_winners"
+            )
+        }
+
+    def minimize(self, write: bool = True) -> list[CorpusEntry]:
+        """Incremental ``cmin``: fold only entries newer than the last run.
+
+        The stored winner map is the fold state; merging it with the
+        entries inserted since ``cmin_last_seq`` yields exactly the
+        full-scan answer (associativity — entries are never deleted).
+        ``write=False`` computes the same canonical set without
+        persisting the fold, so it re-scans from the stored cursor but
+        leaves the cursor untouched.
+        """
+        connection = self._connect(create=write)
+        if connection is None:
+            return []
+        with connection:
+            last_seq = int(self._meta(connection, "cmin_last_seq") or 0)
+            winners = self._stored_winners(connection)
+            new_rows = connection.execute(
+                "SELECT seq, data FROM entries WHERE seq > ? ORDER BY seq",
+                (last_seq,),
+            ).fetchall()
+            cmin_update(
+                winners,
+                (dict_to_entry(json.loads(data)) for _, data in new_rows),
+            )
+            canonical_ids = sorted({entry_id for _, entry_id in winners.values()})
+            if write:
+                connection.executemany(
+                    "INSERT OR REPLACE INTO cmin_winners"
+                    " (token, packet_count, entry_id) VALUES (?, ?, ?)",
+                    [
+                        (token, packet_count, entry_id)
+                        for token, (packet_count, entry_id) in winners.items()
+                    ],
+                )
+                connection.execute("DELETE FROM canonical")
+                connection.executemany(
+                    "INSERT INTO canonical (entry_id) VALUES (?)",
+                    [(entry_id,) for entry_id in canonical_ids],
+                )
+                max_seq = max((seq for seq, _ in new_rows), default=last_seq)
+                count, max_id = self._census(connection)
+                connection.executemany(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    [
+                        ("cmin_last_seq", str(max_seq)),
+                        ("cmin_entry_count", str(count)),
+                        ("cmin_max_entry_id", max_id),
+                    ],
+                )
+            if not canonical_ids:
+                return []
+            placeholders = ",".join("?" * len(canonical_ids))
+            return [
+                dict_to_entry(json.loads(data))
+                for (data,) in connection.execute(
+                    f"SELECT data FROM entries WHERE id IN ({placeholders})"
+                    " ORDER BY id",
+                    canonical_ids,
+                )
+            ]
+
+    def canonical_entries(self) -> list[CorpusEntry]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        return [
+            dict_to_entry(json.loads(data))
+            for (data,) in connection.execute(
+                "SELECT e.data FROM entries e"
+                " JOIN canonical c ON c.entry_id = e.id ORDER BY e.id"
+            )
+        ]
+
+    def canonical_is_stale(self) -> bool:
+        connection = self._connect(create=False)
+        if connection is None:
+            return False
+        has_canonical = connection.execute(
+            "SELECT EXISTS(SELECT 1 FROM canonical)"
+        ).fetchone()[0]
+        if not has_canonical:
+            return False
+        count = self._meta(connection, "cmin_entry_count")
+        max_id = self._meta(connection, "cmin_max_entry_id")
+        if count is None or max_id is None:
+            # Migrated canonical without freshness metadata.
+            return True
+        return (int(count), max_id) != self._census(connection)
+
+    def describe_canonical(self) -> str:
+        return f"{self.database_path} (canonical table)"
+
+    # -- findings -----------------------------------------------------------------
+
+    def record_finding(self, record: FindingRecord) -> str:
+        """Transactional upsert: insert the bucket or bump its count.
+
+        Both statements run inside one transaction, so the
+        count-or-create decision and the increment are atomic — exact
+        occurrence totals under arbitrarily parallel ingestion.
+        """
+        connection = self._connect(create=True)
+        with connection:
+            cursor = connection.execute(
+                "INSERT OR IGNORE INTO findings"
+                " (bucket_id, target, vendor, class, state, occurrences, data)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.bucket_id,
+                    record.target,
+                    record.vendor,
+                    record.vulnerability_class,
+                    record.state,
+                    record.occurrences,
+                    json.dumps(record_to_dict(record), sort_keys=True),
+                ),
+            )
+            if cursor.rowcount:
+                return "new"
+            connection.execute(
+                "UPDATE findings SET occurrences = occurrences + ?"
+                " WHERE bucket_id = ?",
+                (record.occurrences, record.bucket_id),
+            )
+        return "duplicate"
+
+    def _records_from_rows(self, rows) -> list[FindingRecord]:
+        records = []
+        for data, occurrences in rows:
+            # The data column keeps the first-seen record; the
+            # occurrences column is the transactional truth.
+            payload = json.loads(data)
+            payload["occurrences"] = occurrences
+            records.append(dict_to_record(payload))
+        return records
+
+    def finding_records(self) -> list[FindingRecord]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        return self._records_from_rows(
+            connection.execute(
+                "SELECT data, occurrences FROM findings ORDER BY bucket_id"
+            )
+        )
+
+    def finding_count(self) -> int:
+        connection = self._connect(create=False)
+        if connection is None:
+            return 0
+        return connection.execute("SELECT COUNT(*) FROM findings").fetchone()[0]
+
+    def query_findings(
+        self,
+        target: str | None = None,
+        vendor: str | None = None,
+        vulnerability_class: str | None = None,
+        state: str | None = None,
+    ) -> list[FindingRecord]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        clauses, params = [], []
+        for column, value in (
+            ("target", target),
+            ("vendor", vendor),
+            ("class", vulnerability_class),
+            ("state", state),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return self._records_from_rows(
+            connection.execute(
+                "SELECT data, occurrences FROM findings"
+                f"{where} ORDER BY bucket_id",
+                params,
+            )
+        )
+
+    # -- aggregates / lifecycle ---------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.database_path.is_file()
+
+    def stats(self) -> CorpusStats:
+        """All aggregates straight from the indexes — no entry parsing."""
+        connection = self._connect(create=False)
+        if connection is None:
+            return super().stats()
+        entry_count, packet_total = connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(packet_count), 0) FROM entries"
+        ).fetchone()
+        canonical_count = connection.execute(
+            "SELECT COUNT(*) FROM canonical"
+        ).fetchone()[0]
+        tokens = connection.execute(
+            "SELECT DISTINCT token, is_transition FROM coverage"
+        ).fetchall()
+        finding_count, occurrence_total = connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(occurrences), 0) FROM findings"
+        ).fetchone()
+        return CorpusStats(
+            entry_count=entry_count,
+            packet_total=packet_total,
+            canonical_count=canonical_count,
+            canonical_stale=self.canonical_is_stale(),
+            state_tokens=tuple(
+                sorted(token for token, is_transition in tokens if not is_transition)
+            ),
+            transition_tokens=tuple(
+                sorted(token for token, is_transition in tokens if is_transition)
+            ),
+            state_frequencies=self.state_frequencies(),
+            finding_count=finding_count,
+            occurrence_total=occurrence_total,
+        )
+
+
+__all__ = ["BUSY_TIMEOUT_MS", "SCHEMA_VERSION", "SqliteCorpusBackend"]

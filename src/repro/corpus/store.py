@@ -1,56 +1,41 @@
-"""The persistent, shareable corpus store.
+"""The persistent, shareable corpus store (backend facade).
 
-Layout of a corpus directory::
+:class:`CorpusStore` is the entry-side view over a pluggable
+:class:`~repro.corpus.backend.CorpusBackend` — the file layout by
+default, SQLite (WAL) when the directory holds a ``corpus.sqlite3``
+database (see :func:`~repro.corpus.backend.open_backend` for the
+autodetection rules and ``repro corpus migrate`` for conversion). Every
+consumer — campaign write-back, the fleet runtime's batched shards, the
+scheduler prior, replay, the CLI — talks to this facade and works
+against whichever backend owns the directory.
 
-    corpus/
-    ├── entries/<content-hash>.json   one JSONL-style line per entry
-    ├── findings/<bucket>.json        persistent finding database
-    └── corpus.jsonl                  canonical minimised corpus (cmin)
-
-Entries are written write-once under their content-hash ID with an
-atomic rename, which makes the store safe to share between fleet
-workers (process or thread pools) without locking: two workers that
-record the same sequence race to publish byte-identical files, and
-whoever loses the race simply finds the entry already present. The same
-property makes ingestion idempotent across repeated runs.
-
-:func:`CorpusStore.minimize` is the ``afl-cmin`` equivalent: for every
+:meth:`CorpusStore.minimize` is the ``afl-cmin`` equivalent: for every
 coverage token pick the cheapest entry (fewest packets, then lowest ID)
 that exercises it, and the canonical corpus is the union of winners —
 a minimal-ish seed set that still reaches everything the fleet reached.
+:meth:`CorpusStore.seed_entries` is the safe way to consume it: the
+canonical set when it is still fresh, the live entry set once new
+entries have been recorded past the last ``minimize``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import threading
 from pathlib import Path
 
+from repro.corpus.backend import (
+    CorpusBackend,
+    CorpusStats,
+    _atomic_write,
+    open_backend,
+)
 from repro.corpus.entry import (
     CorpusEntry,
-    dict_to_entry,
     entry_from_packets,
-    entry_to_dict,
     transition_token,
 )
 
 ENTRIES_DIR = "entries"
 CANONICAL_FILE = "corpus.jsonl"
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    """Publish *text* at *path* atomically (same-directory rename).
-
-    The temp name carries both pid and thread id: fleet workers may be
-    threads of one process, and two writers racing on one bucket must
-    never share a temp file (the loser's rename would raise).
-    """
-    tmp = path.with_name(
-        f".tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
-    )
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
 
 
 def state_frequencies_of(entries: list[CorpusEntry]) -> dict[str, int]:
@@ -65,74 +50,71 @@ def state_frequencies_of(entries: list[CorpusEntry]) -> dict[str, int]:
 
 
 class CorpusStore:
-    """Directory-backed corpus of interesting packet sequences.
+    """Entry-side facade over a corpus directory's storage backend.
 
     :param root: corpus directory (created lazily on first write).
+    :param backend: ``None`` autodetects from the directory layout; a
+        registry name ("file"/"sqlite") forces one; a
+        :class:`~repro.corpus.backend.CorpusBackend` instance is used
+        directly (shared-handle batching).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, backend: str | CorpusBackend | None = None) -> None:
         self.root = Path(root)
+        self.backend = open_backend(self.root, backend)
 
     # -- paths --------------------------------------------------------------------
 
     @property
     def entries_dir(self) -> Path:
+        """File-layout entries directory (file backend only)."""
         return self.root / ENTRIES_DIR
 
     @property
     def canonical_path(self) -> Path:
+        """File-layout canonical corpus path (file backend only)."""
         return self.root / CANONICAL_FILE
 
     def exists(self) -> bool:
         """Whether anything has ever been written to this corpus."""
-        return self.entries_dir.is_dir() or self.canonical_path.is_file()
+        return self.backend.exists()
 
     # -- writing ------------------------------------------------------------------
 
     def add(self, entry: CorpusEntry) -> bool:
         """Persist *entry*; returns False when it was already stored.
 
-        Content-addressed and atomic: concurrent adders of the same
-        sequence converge on one byte-identical file.
+        Content-addressed and atomic on either backend: concurrent
+        adders of the same sequence converge on one stored row/file.
         """
-        self.entries_dir.mkdir(parents=True, exist_ok=True)
-        path = self.entries_dir / f"{entry.entry_id}.json"
-        if path.exists():
-            return False
-        _atomic_write(path, json.dumps(entry_to_dict(entry), sort_keys=True) + "\n")
-        return True
+        return self.backend.add_entry(entry)
 
     # -- reading ------------------------------------------------------------------
 
     def entries(self) -> list[CorpusEntry]:
         """Every stored entry, sorted by ID (deterministic order)."""
-        if not self.entries_dir.is_dir():
-            return []
-        entries = []
-        for path in sorted(self.entries_dir.glob("*.json")):
-            entries.append(dict_to_entry(json.loads(path.read_text(encoding="utf-8"))))
-        return entries
+        return self.backend.entries()
 
     def __len__(self) -> int:
-        if not self.entries_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.entries_dir.glob("*.json"))
+        return self.backend.entry_count()
 
     def coverage(self) -> frozenset[str]:
         """Union of every entry's coverage tokens."""
-        covered: set[str] = set()
-        for entry in self.entries():
-            covered.update(entry.covered)
-        return frozenset(covered)
+        return self.backend.coverage()
 
     def state_frequencies(self) -> dict[str, int]:
         """Per-state entry counts — the cross-campaign visit prior.
 
         How many stored entries exercise each state token; rare states
         score low, which is exactly what the
-        :class:`~repro.corpus.scheduler.EnergyScheduler` boosts.
+        :class:`~repro.corpus.scheduler.EnergyScheduler` boosts. An
+        indexed ``GROUP BY`` on the SQLite backend.
         """
-        return state_frequencies_of(self.entries())
+        return self.backend.state_frequencies()
+
+    def stats(self) -> CorpusStats:
+        """One-shot aggregate view (single pass / single query)."""
+        return self.backend.stats()
 
     # -- minimisation -------------------------------------------------------------
 
@@ -142,49 +124,49 @@ class CorpusStore:
         For every coverage token keep the cheapest entry covering it
         (fewest packets, ties by entry ID); the canonical corpus is the
         deduplicated union, sorted by ID. When *write* is set the result
-        is persisted to ``corpus.jsonl``.
+        is persisted (``corpus.jsonl`` plus a freshness marker on the
+        file backend; the ``canonical`` table on SQLite, where the scan
+        is incremental over entries added since the previous cmin).
         """
-        best: dict[str, CorpusEntry] = {}
-        for entry in self.entries():
-            cost = (entry.packet_count, entry.entry_id)
-            for token in entry.covered:
-                seen = best.get(token)
-                if seen is None or cost < (seen.packet_count, seen.entry_id):
-                    best[token] = entry
-        canonical = sorted(
-            {entry.entry_id: entry for entry in best.values()}.values(),
-            key=lambda entry: entry.entry_id,
-        )
-        if write:
-            self.root.mkdir(parents=True, exist_ok=True)
-            _atomic_write(
-                self.canonical_path,
-                "".join(
-                    json.dumps(entry_to_dict(entry), sort_keys=True) + "\n"
-                    for entry in canonical
-                ),
-            )
-        return canonical
+        return self.backend.minimize(write=write)
 
     def canonical_entries(self) -> list[CorpusEntry]:
-        """The minimised corpus, if one has been written."""
-        if not self.canonical_path.is_file():
-            return []
-        return [
-            dict_to_entry(json.loads(line))
-            for line in self.canonical_path.read_text(encoding="utf-8").splitlines()
-            if line.strip()
-        ]
+        """The minimised corpus, if one has been written.
+
+        May be stale — check :meth:`canonical_is_stale`, or use
+        :meth:`seed_entries` which does.
+        """
+        return self.backend.canonical_entries()
+
+    def canonical_is_stale(self) -> bool:
+        """True when entries were added after the last ``minimize``."""
+        return self.backend.canonical_is_stale()
+
+    def seed_entries(self) -> list[CorpusEntry]:
+        """The best seed set available right now.
+
+        The canonical (minimised) corpus while it still reflects the
+        live entry set; the live entry set itself as soon as the
+        canonical one is stale or absent — guided seeding must never
+        silently run on a snapshot that predates newer coverage.
+        """
+        if not self.canonical_is_stale():
+            canonical = self.canonical_entries()
+            if canonical:
+                return canonical
+        return self.entries()
 
     def export_jsonl(self, path) -> int:
-        """Write the whole corpus (all entries) as one JSONL document."""
+        """Write the whole corpus (all entries) as one JSONL document.
+
+        Published atomically: a crash mid-export can never leave a
+        truncated document at *path*.
+        """
+        from repro.corpus.file_backend import entry_line
+
         entries = self.entries()
-        Path(path).write_text(
-            "".join(
-                json.dumps(entry_to_dict(entry), sort_keys=True) + "\n"
-                for entry in entries
-            ),
-            encoding="utf-8",
+        _atomic_write(
+            Path(path), "".join(entry_line(entry) for entry in entries)
         )
         return len(entries)
 
@@ -199,30 +181,58 @@ def record_campaign(root, profile, fuzzer, report, armed: bool = True) -> dict:
     """
     from repro.corpus.findings import FindingDatabase
 
+    backend = open_backend(root)
     return _record_into(
-        CorpusStore(root), FindingDatabase(root), profile, fuzzer, report, armed
+        CorpusStore(root, backend=backend),
+        FindingDatabase(root, backend=backend),
+        profile,
+        fuzzer,
+        report,
+        armed,
     )
 
 
 def record_campaigns(root, campaigns, armed: bool = True) -> list[dict]:
-    """Batched write-back: many campaigns through one pair of handles.
+    """Batched write-back: many campaigns through one backend handle.
 
     *campaigns* is an iterable of ``(profile, fuzzer, report)`` triples.
-    The store and finding database are opened once for the whole batch —
-    a fleet worker records its entire shard this way instead of paying a
-    handle per campaign. Entry files stay content-addressed and atomic,
-    so batches from parallel workers interleave exactly as safely as
-    individual campaigns always did. Returns one stats dict per
-    campaign, in input order.
+    One backend is opened for the whole batch — a fleet worker records
+    its entire shard this way instead of paying a handle per campaign.
+    Writes stay safe under parallel workers on either backend (atomic
+    content-addressed publishes on the file layout, WAL transactions on
+    SQLite), so batches from concurrent shards interleave exactly as
+    safely as individual campaigns always did. Returns one stats dict
+    per campaign, in input order.
     """
     from repro.corpus.findings import FindingDatabase
 
-    store = CorpusStore(root)
-    database = FindingDatabase(root)
+    backend = open_backend(root)
+    store = CorpusStore(root, backend=backend)
+    database = FindingDatabase(root, backend=backend)
     return [
         _record_into(store, database, profile, fuzzer, report, armed)
         for profile, fuzzer, report in campaigns
     ]
+
+
+def _detection_prefix(sent_entries, finding) -> list:
+    """The fuzzer→target packets that led to *finding*, trigger last.
+
+    Cut by the finding's recorded send index — the number of packets on
+    the wire at detection — so packets transmitted *after* the
+    detection but at the same simulated tick (the detector's liveness
+    probes, auto-reset traffic) never leak into the stored reproducer.
+    Findings recorded before send indices existed fall back to the old
+    timestamp rule (every packet at or before the detection tick).
+    """
+    cut = getattr(finding, "sent_index", None)
+    if cut is None:
+        return [
+            traced.packet
+            for traced in sent_entries
+            if traced.sim_time <= finding.sim_time
+        ]
+    return [traced.packet for traced in sent_entries[:cut]]
 
 
 def _record_into(
@@ -256,11 +266,7 @@ def _record_into(
 
     statuses = {"new": 0, "duplicate": 0}
     for finding in report.findings:
-        prefix = [
-            traced.packet
-            for traced in sent_entries
-            if traced.sim_time <= finding.sim_time
-        ]
+        prefix = _detection_prefix(sent_entries, finding)
         status = record_from_campaign(database, finding, profile, prefix)
         if status in statuses:
             statuses[status] += 1
@@ -275,5 +281,6 @@ __all__ = [
     "CorpusStore",
     "record_campaign",
     "record_campaigns",
+    "state_frequencies_of",
     "transition_token",
 ]

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import types
+
+from repro.core.config import FuzzConfig
 from repro.corpus.entry import entry_from_packets
-from repro.corpus.store import CorpusStore
+from repro.corpus.store import CorpusStore, _detection_prefix
 from repro.l2cap.packets import connection_request, echo_request
+from repro.testbed.profiles import D2
+from repro.testbed.session import FuzzSession
 
 
 def _entry(tokens, packet_count=1, device_id="D2", armed=False, seed=7, ident=1):
@@ -102,6 +107,48 @@ class TestMinimize:
         store.add(_entry(["CLOSED"]))
         store.minimize(write=False)
         assert not store.canonical_path.is_file()
+
+
+class TestDetectionPrefix:
+    """The reproducer prefix is cut by send index, not by timestamp."""
+
+    @staticmethod
+    def _traced(packet, sim_time):
+        return types.SimpleNamespace(packet=packet, sim_time=sim_time)
+
+    def test_cut_excludes_same_tick_post_detection_packets(self):
+        # Five fuzz packets, then two liveness probes the detector put
+        # on the wire at the detection tick itself.
+        sent = [self._traced(f"fuzz-{i}", float(i)) for i in range(5)]
+        sent += [self._traced("probe-echo", 4.0), self._traced("probe-info", 4.0)]
+        finding = types.SimpleNamespace(sim_time=4.0, sent_index=5)
+        assert _detection_prefix(sent, finding) == [
+            "fuzz-0", "fuzz-1", "fuzz-2", "fuzz-3", "fuzz-4",
+        ]
+
+    def test_legacy_finding_falls_back_to_timestamp_rule(self):
+        sent = [self._traced(f"fuzz-{i}", float(i)) for i in range(3)]
+        finding = types.SimpleNamespace(sim_time=1.0, sent_index=None)
+        assert _detection_prefix(sent, finding) == ["fuzz-0", "fuzz-1"]
+
+    def test_campaign_prefix_excludes_diagnose_probes(self):
+        """End-to-end pin: the detector's confirming ping shares the
+        detection tick, so the old ``sim_time <=`` rule leaked it into
+        the stored reproducer; the send-index cut never does."""
+        session = FuzzSession(D2, FuzzConfig(max_packets=50_000))
+        report = session.run()
+        finding = report.findings[0]
+        sent = session.fuzzer.sniffer.sent()
+        assert finding.sent_index is not None
+        same_tick_tail = [
+            traced
+            for traced in sent[finding.sent_index:]
+            if traced.sim_time <= finding.sim_time
+        ]
+        assert same_tick_tail  # the probes the timestamp rule leaked
+        prefix = _detection_prefix(sent, finding)
+        assert len(prefix) == finding.sent_index
+        assert prefix[-1].describe() == finding.trigger
 
 
 class TestExport:

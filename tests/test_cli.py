@@ -351,6 +351,41 @@ class TestCorpusCommands:
         with pytest.raises(SystemExit, match="no corpus"):
             main(["corpus", "stats", str(tmp_path / "empty")])
 
+    def test_migrate_then_all_commands_work(self, corpus_dir, tmp_path, capsys):
+        before = capsys.readouterr()  # noqa: F841 - drain fixture output
+        assert main(["corpus", "stats", str(corpus_dir)]) == 0
+        stats_before = capsys.readouterr().out
+        assert "[file backend]" in stats_before
+
+        assert main(["corpus", "migrate", str(corpus_dir)]) == 0
+        assert "migrated to sqlite" in capsys.readouterr().out
+        assert (corpus_dir / "corpus.sqlite3").is_file()
+        assert not (corpus_dir / "entries").exists()
+
+        # Every corpus command keeps working on the migrated directory,
+        # and stats answers identically (modulo the backend tag).
+        assert main(["corpus", "stats", str(corpus_dir)]) == 0
+        stats_after = capsys.readouterr().out
+        assert "[sqlite backend]" in stats_after
+        assert stats_after.replace("[sqlite backend]", "[file backend]") == (
+            stats_before
+        )
+        assert main(["corpus", "minimize", str(corpus_dir)]) == 0
+        assert "canonical" in capsys.readouterr().out
+        assert main(["corpus", "replay", str(corpus_dir)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        out_path = tmp_path / "migrated.jsonl"
+        assert main(
+            ["corpus", "export", str(corpus_dir), "--output", str(out_path)]
+        ) == 0
+        assert out_path.is_file()
+
+    def test_migrate_twice_exits(self, corpus_dir, capsys):
+        assert main(["corpus", "migrate", str(corpus_dir)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already an SQLite corpus"):
+            main(["corpus", "migrate", str(corpus_dir)])
+
     def test_fleet_corpus_flag(self, tmp_path, capsys):
         root = tmp_path / "fleet-corpus"
         assert main(_FLEET_ARGS + ["--corpus", str(root)]) == 0
