@@ -15,6 +15,8 @@ Quickstart::
     print(report.summary())
 """
 
+import logging
+
 from repro.core.config import FuzzConfig
 from repro.core.fuzzer import L2Fuzz
 from repro.core.report import CampaignReport
@@ -25,6 +27,10 @@ from repro.stack.device import VirtualDevice
 from repro.testbed.session import FuzzSession, run_campaign
 
 __version__ = "1.0.0"
+
+# Library logging etiquette: stay silent unless the application wires a
+# handler. The CLI attaches its own console handlers in repro.cli.main.
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __all__ = [
     "CampaignReport",

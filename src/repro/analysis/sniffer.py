@@ -331,6 +331,21 @@ class PacketSniffer:
             self._pr_samples, self._received, self._rejections, sample_every
         )
 
+    def counters(self) -> dict[str, int]:
+        """One-shot snapshot of every running counter (telemetry view).
+
+        Reads the numbers the sniffer already maintains per observation —
+        no extra hot-path work, just a dict built at the flush point.
+        """
+        return {
+            "sent": self._sent,
+            "malformed": self._malformed,
+            "received": self._received,
+            "rejections": self._rejections,
+            "coverage_states": self._coverage.coverage_count,
+            "coverage_unlocks": len(self._coverage_unlocks),
+        }
+
     def transmitted_count(self) -> int:
         """Total packets the fuzzer transmitted."""
         return self._sent

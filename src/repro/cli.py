@@ -12,12 +12,69 @@ Commands:
 * ``survey`` — run Table VI across all eight devices.
 * ``replay`` — replay a saved JSONL trace against a fresh target.
 * ``corpus`` — inspect, minimise, replay or export a shared corpus.
+* ``runs`` — list, show or live-tail telemetry runs recorded by
+  ``fleet --telemetry``.
+
+All command output flows through stdlib ``logging``: the ``repro.cli``
+logger carries user-facing text to stdout (``--quiet`` keeps warnings
+and errors only), and ``--verbose`` attaches a stderr handler to the
+``repro`` library logger so internal debug diagnostics become visible
+without polluting machine-readable stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+
+_cli_log = logging.getLogger("repro.cli")
+
+
+def _echo(message: object = "") -> None:
+    """Print *message* to the console via the CLI logger.
+
+    Every piece of user-facing command output funnels through here so
+    ``--quiet`` can silence it wholesale and tests can capture it with
+    standard logging fixtures. The INFO level is the CLI's "normal
+    stdout" channel.
+    """
+    _cli_log.info("%s", message)
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Wire console handlers for one ``main()`` invocation.
+
+    Rebuilt (not accumulated) per call so repeated in-process ``main()``
+    invocations — the test suite, REPL experiments — never stack
+    duplicate handlers, and so pytest's ``capsys`` sees the stream
+    objects current at call time.
+    """
+    _cli_log.handlers.clear()
+    _cli_log.setLevel(logging.WARNING if quiet else logging.INFO)
+    _cli_log.propagate = False
+    console = logging.StreamHandler(sys.stdout)
+    console.setFormatter(logging.Formatter("%(message)s"))
+    # A downstream `| head` closing the pipe is normal CLI life, not a
+    # logging error worth a traceback on stderr.
+    console.handleError = lambda record: None
+    _cli_log.addHandler(console)
+
+    library = logging.getLogger("repro")
+    library.handlers[:] = [
+        handler
+        for handler in library.handlers
+        if isinstance(handler, logging.NullHandler)
+    ]
+    if verbose:
+        debug = logging.StreamHandler(sys.stderr)
+        debug.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        library.addHandler(debug)
+        library.setLevel(logging.DEBUG)
+    else:
+        library.setLevel(logging.WARNING)
 
 from repro.analysis.comparison import figure10_bars, run_comparison, table7_rows
 from repro.analysis.state_coverage import coverage_report
@@ -47,7 +104,7 @@ def cmd_devices(_args) -> int:
     """List the testbed."""
     for profile in ALL_PROFILES:
         vulns = ", ".join(v.vulnerability_id for v in profile.vulnerabilities) or "-"
-        print(
+        _echo(
             f"{profile.device_id}  {profile.name:<16} {profile.bt_stack:<14} "
             f"{profile.os_or_fw:<16} ports={len(profile.services):<3} bugs: {vulns}"
         )
@@ -63,15 +120,15 @@ def cmd_scan(args) -> int:
     queue = PacketQueue(link)
     result = TargetScanner(queue, device.inquiry).scan()
     meta = result.meta
-    print(f"{meta.name}  [{meta.mac_address}, OUI {meta.oui}, {meta.device_class}]")
+    _echo(f"{meta.name}  [{meta.mac_address}, OUI {meta.oui}, {meta.device_class}]")
     for probe in result.probes:
         status = (
             "open (no pairing)"
             if probe.connectable
             else ("requires pairing" if probe.requires_pairing else "closed")
         )
-        print(f"  PSM 0x{probe.psm:04X}  {probe.name:<28} {status}")
-    print(f"fuzzing port: 0x{result.primary_psm:04X}")
+        _echo(f"  PSM 0x{probe.psm:04X}  {probe.name:<28} {status}")
+    _echo(f"fuzzing port: 0x{result.primary_psm:04X}")
     return 0
 
 
@@ -98,14 +155,14 @@ def cmd_fuzz(args) -> int:
         target=target,
     )
     report = session.run()
-    print(report.summary())
-    print()
-    print(coverage_report(report.covered_states, target.state_universe()))
+    _echo(report.summary())
+    _echo()
+    _echo(coverage_report(report.covered_states, target.state_universe()))
     if args.save_trace:
         count = save_trace(session.fuzzer.sniffer, args.save_trace)
-        print(f"trace: {count} packets written to {args.save_trace}")
+        _echo(f"trace: {count} packets written to {args.save_trace}")
     if args.show_log:
-        print(session.fuzzer.log.to_jsonl())
+        _echo(session.fuzzer.log.to_jsonl())
     return 0 if (args.disarm or report.vulnerability_found) else 1
 
 
@@ -162,6 +219,8 @@ def cmd_fleet(args) -> int:
             make_target(name)
     except ValueError as error:
         raise SystemExit(str(error)) from None
+    if args.profile and args.telemetry is None:
+        raise SystemExit("--profile requires --telemetry (dumps land in the run dir)")
     orchestrator = FleetOrchestrator(
         profiles=profiles,
         strategies=strategies,
@@ -173,6 +232,8 @@ def cmd_fleet(args) -> int:
         corpus_dir=args.corpus,
         targets=targets,
         batch=args.batch,
+        telemetry_dir=args.telemetry,
+        profile_workers=args.profile,
     )
     with orchestrator:
         report = orchestrator.run()
@@ -180,24 +241,26 @@ def cmd_fleet(args) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
-        print(f"fleet report written to {args.output}")
+        _echo(f"fleet report written to {args.output}")
     else:
-        print(rendered)
+        _echo(rendered)
+    if orchestrator.run_id is not None:
+        _echo(f"telemetry run {orchestrator.run_id}: {orchestrator.run_dir}")
     return 0
 
 
 def cmd_compare(args) -> int:
     """Four-fuzzer comparison (Table VII + Fig. 10)."""
     results = run_comparison(max_packets=args.budget)
-    print(f"{'fuzzer':<11}{'MP%':>8}{'PR%':>8}{'eff%':>8}{'pps':>9}")
+    _echo(f"{'fuzzer':<11}{'MP%':>8}{'PR%':>8}{'eff%':>8}{'pps':>9}")
     for row in table7_rows(results):
-        print(
+        _echo(
             f"{row['fuzzer']:<11}{row['mp_ratio']:>8}{row['pr_ratio']:>8}"
             f"{row['mutation_efficiency']:>8}{row['pps']:>9}"
         )
-    print()
+    _echo()
     for name, count in figure10_bars(results).items():
-        print(f"{name:<11} {count:>2}/19  {'#' * count}")
+        _echo(f"{name:<11} {count:>2}/19  {'#' * count}")
     return 0
 
 
@@ -227,19 +290,19 @@ def cmd_replay(args) -> int:
     factory = profile_target_factory(profile, armed=not args.disarm)
     outcome = replay(packets, factory)
     if outcome.crashed:
-        print(
+        _echo(
             f"crash reproduced after {outcome.frames_replayed} packet(s): "
             f"{outcome.error_message}"
             + (f" [{outcome.crash_id}]" if outcome.crash_id else "")
         )
     else:
-        print(f"no crash: target survived all {outcome.frames_replayed} packet(s)")
+        _echo(f"no crash: target survived all {outcome.frames_replayed} packet(s)")
     if args.minimize:
         if not outcome.crashed:
-            print("nothing to minimise (sequence does not crash the target)")
+            _echo("nothing to minimise (sequence does not crash the target)")
         else:
             minimal = minimize_trigger(packets, factory)
-            print(triage_report(minimal, replay(minimal, factory)))
+            _echo(triage_report(minimal, replay(minimal, factory)))
     return 0 if outcome.crashed else 1
 
 
@@ -261,22 +324,22 @@ def cmd_corpus_stats(args) -> int:
     # file layout, indexed queries on SQLite.
     stats = store.stats()
     canonical_note = " STALE" if stats.canonical_stale else ""
-    print(f"corpus: {args.dir} [{store.backend.name} backend]")
-    print(
+    _echo(f"corpus: {args.dir} [{store.backend.name} backend]")
+    _echo(
         f"entries: {stats.entry_count}"
         f" ({stats.packet_total} packets,"
         f" canonical: {stats.canonical_count}{canonical_note})"
     )
-    print(
+    _echo(
         f"coverage: {len(stats.state_tokens)} state(s),"
         f" {len(stats.transition_tokens)} transition(s)"
     )
     for token, count in sorted(stats.state_frequencies.items()):
-        print(f"  {token:<22} {count}")
+        _echo(f"  {token:<22} {count}")
     records = database.records()
-    print(f"findings: {len(records)} bucket(s)")
+    _echo(f"findings: {len(records)} bucket(s)")
     for record in records:
-        print(
+        _echo(
             f"  [{record.vulnerability_class}] {record.vendor} {record.state}"
             f" x{record.occurrences}"
             + (f" [{record.crash_id}]" if record.crash_id else "")
@@ -291,7 +354,7 @@ def cmd_corpus_minimize(args) -> int:
     before = len(store)
     canonical = store.minimize()
     packets = sum(entry.packet_count for entry in canonical)
-    print(
+    _echo(
         f"minimised {before} entr(ies) to {len(canonical)} canonical"
         f" ({packets} packets) -> {store.backend.describe_canonical()}"
     )
@@ -311,7 +374,7 @@ def cmd_corpus_replay(args) -> int:
     for record in database.records():
         result = replay_finding(record, PROFILES_BY_ID)
         status = "ok" if not result.regression else "REGRESSION"
-        print(
+        _echo(
             f"finding {record.bucket_id} [{record.vulnerability_class}]"
             f" {record.vendor}: {status}"
             + (
@@ -326,13 +389,13 @@ def cmd_corpus_replay(args) -> int:
         # set once entries were added past the last minimize.
         for entry in store.seed_entries():
             result = replay_entry(entry, PROFILES_BY_ID)
-            print(
+            _echo(
                 f"entry {entry.entry_id[:12]} ({entry.device_id}):"
                 f" {result.packets_replayed} packet(s),"
                 f" {len(result.covered_states)} state(s)"
                 + (f", crashed: {result.error_message}" if result.crashed else "")
             )
-    print(f"{len(database)} finding(s), {regressions} regression(s)")
+    _echo(f"{len(database)} finding(s), {regressions} regression(s)")
     return 1 if regressions else 0
 
 
@@ -340,7 +403,7 @@ def cmd_corpus_export(args) -> int:
     """Export every corpus entry as a single JSONL document."""
     store, _ = _corpus_handles(args)
     count = store.export_jsonl(args.output)
-    print(f"{count} entr(ies) exported to {args.output}")
+    _echo(f"{count} entr(ies) exported to {args.output}")
     return 0
 
 
@@ -352,7 +415,7 @@ def cmd_corpus_migrate(args) -> int:
         report = migrate_to_sqlite(args.dir)
     except MigrationError as error:
         raise SystemExit(str(error)) from None
-    print(report.summary())
+    _echo(report.summary())
     return 0
 
 
@@ -363,11 +426,68 @@ def cmd_survey(args) -> int:
         session = FuzzSession(profile, FuzzConfig(max_packets=budget))
         report = session.run()
         row = report.as_table6_row()
-        print(
+        _echo(
             f"{profile.device_id}  {profile.name:<16} vuln={row['vuln']:<4}"
             f"{row['description']:<7} elapsed={row['elapsed']}"
         )
     return 0
+
+
+def cmd_runs_list(args) -> int:
+    """List telemetry runs under a root directory, newest first."""
+    from repro.telemetry import list_runs
+
+    runs = list_runs(args.root)
+    if not runs:
+        _echo(f"no telemetry runs under {args.root!r}")
+        return 0
+    _echo(
+        f"{'run id':<22} {'status':<9} {'workers':>7} {'campaigns':>9}"
+        f" {'packets':>10} {'findings':>8}  started"
+    )
+    for info in runs:
+        _echo(
+            f"{info.run_id:<22} {info.status:<9} {info.workers:>7}"
+            f" {info.campaigns:>9} {info.packets:>10} {info.findings:>8}"
+            f"  {info.started or '-'}"
+        )
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    """One run's manifest, status table and metric exposition paths."""
+    import json
+
+    from repro.telemetry import read_manifest, render_status, resolve_run, run_status
+
+    try:
+        run_dir = resolve_run(args.root, args.run)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error)) from None
+    manifest = read_manifest(run_dir)
+    if manifest is not None:
+        _echo(json.dumps(manifest, indent=2, sort_keys=True))
+        _echo("")
+    _echo(render_status(run_status(run_dir)))
+    for name in ("events.jsonl", "metrics.json", "metrics.prom"):
+        path = run_dir / name
+        if path.exists():
+            _echo(f"{name}: {path}")
+    return 0
+
+
+def cmd_runs_tail(args) -> int:
+    """Follow a live run, re-rendering the fleet status table."""
+    from repro.telemetry import resolve_run, tail_run
+
+    try:
+        run_dir = resolve_run(args.root, args.run)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error)) from None
+    status = tail_run(
+        run_dir, _echo, interval=args.interval, once=args.once
+    )
+    return 1 if status == "aborted" else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -376,6 +496,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="L2Fuzz reproduction: stateful Bluetooth L2CAP fuzzing "
         "against a virtual testbed.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="show library debug diagnostics on stderr",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress normal output (warnings and errors only)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -476,6 +608,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="shared corpus directory to seed from and write back to",
     )
+    fleet.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="runs",
+        default=None,
+        metavar="DIR",
+        help="record a telemetry run (journal + metrics) under DIR "
+        "(default: ./runs); inspect with 'repro runs'",
+    )
+    fleet.add_argument(
+        "--profile",
+        action="store_true",
+        help="dump a cProfile per worker shard into the telemetry run "
+        "directory (requires --telemetry)",
+    )
     fleet.set_defaults(func=cmd_fleet)
 
     replay = commands.add_parser(
@@ -535,6 +682,41 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_migrate.add_argument("dir", help="corpus directory")
     corpus_migrate.set_defaults(func=cmd_corpus_migrate)
 
+    runs = commands.add_parser(
+        "runs", help="list, show or live-tail telemetry runs"
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_commands.add_parser("list", help="list recorded runs")
+    runs_list.add_argument(
+        "--root", default="runs", metavar="DIR", help="telemetry root directory"
+    )
+    runs_list.set_defaults(func=cmd_runs_list)
+
+    runs_show = runs_commands.add_parser(
+        "show", help="manifest, status table and artifact paths for one run"
+    )
+    runs_show.add_argument("run", help="run id (under --root) or run directory")
+    runs_show.add_argument(
+        "--root", default="runs", metavar="DIR", help="telemetry root directory"
+    )
+    runs_show.set_defaults(func=cmd_runs_show)
+
+    runs_tail = runs_commands.add_parser(
+        "tail", help="follow a live run's fleet status table"
+    )
+    runs_tail.add_argument("run", help="run id (under --root) or run directory")
+    runs_tail.add_argument(
+        "--root", default="runs", metavar="DIR", help="telemetry root directory"
+    )
+    runs_tail.add_argument(
+        "--interval", type=float, default=0.5, help="poll interval in seconds"
+    )
+    runs_tail.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    runs_tail.set_defaults(func=cmd_runs_tail)
+
     compare = commands.add_parser("compare", help="four-fuzzer comparison")
     compare.add_argument("--budget", type=int, default=20_000)
     compare.set_defaults(func=cmd_compare)
@@ -550,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    _configure_logging(verbose=args.verbose, quiet=args.quiet)
     return args.func(args)
 
 

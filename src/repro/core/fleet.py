@@ -41,6 +41,8 @@ import copy
 import dataclasses
 import hashlib
 import json
+import logging
+import time
 import warnings
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -58,6 +60,8 @@ from repro.core.strategies import ExplorationStrategy, make_strategy
 from repro.l2cap.states import ChannelState
 from repro.testbed.profiles import DeviceProfile
 from repro.testbed.session import run_campaign
+
+_log = logging.getLogger(__name__)
 
 
 def derive_campaign_seed(fleet_seed: int, index: int) -> int:
@@ -542,6 +546,15 @@ class FleetOrchestrator:
         sweep strategies × protocols.
     :param batch: campaigns per worker shard (the persistent runtime's
         message granularity). None auto-sizes (~4 shards per worker).
+    :param telemetry_dir: telemetry root directory. When set, the fleet
+        records a run under ``<telemetry_dir>/<run_id>/`` — structured
+        event journal (per-worker segments merged at run boundaries),
+        metrics registry with JSON + Prometheus exposition, and a run
+        manifest ``repro runs`` can list/tail. None (the default) runs
+        without any telemetry — observation is strictly opt-in and
+        never perturbs execution.
+    :param profile_workers: dump a cProfile per worker shard under the
+        run's ``profiles/`` directory (requires *telemetry_dir*).
     """
 
     def __init__(
@@ -557,6 +570,8 @@ class FleetOrchestrator:
         retain_trace: bool | None = None,
         targets: Sequence[str] = ("l2cap",),
         batch: int | None = None,
+        telemetry_dir: str | None = None,
+        profile_workers: bool = False,
     ) -> None:
         from repro.targets import make_target
 
@@ -568,6 +583,11 @@ class FleetOrchestrator:
             raise ValueError("fleet needs at least one fuzz target")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if profile_workers and telemetry_dir is None:
+            raise ValueError(
+                "profile_workers dumps land in the telemetry run directory; "
+                "set telemetry_dir too"
+            )
         for name in targets:
             make_target(name)  # fail fast on unknown targets
         self.profiles = tuple(profiles)
@@ -590,6 +610,14 @@ class FleetOrchestrator:
                 "retain_trace=True (or drop corpus_dir)"
             )
         self.batch = batch
+        self.telemetry_dir = telemetry_dir
+        self.profile_workers = profile_workers
+        if telemetry_dir is not None:
+            from repro.telemetry import RunRecorder
+
+            self._recorder = RunRecorder(telemetry_dir, workers=workers)
+        else:
+            self._recorder = None
         self._prior_visits, self._dictionary = load_corpus_seeds(corpus_dir)
         self._profiles_by_id = {
             profile.device_id: profile for profile in self.profiles
@@ -629,8 +657,19 @@ class FleetOrchestrator:
         self._keep_runtime = True
         return self._ensure_runtime()
 
+    @property
+    def run_id(self) -> str | None:
+        """The telemetry run identifier (None without telemetry)."""
+        return self._recorder.run_id if self._recorder is not None else None
+
+    @property
+    def run_dir(self):
+        """The telemetry run directory (None without telemetry)."""
+        return self._recorder.run_dir if self._recorder is not None else None
+
     def _ensure_runtime(self) -> FleetRuntime:
         if self._runtime is None:
+            recorder = self._recorder
             self._runtime = FleetRuntime(
                 context=FleetContext(
                     base_config=self.base_config,
@@ -640,6 +679,11 @@ class FleetOrchestrator:
                     retain_trace=self.retain_trace,
                     prior_visits=tuple(sorted(self._prior_visits.items())),
                     dictionary=self._dictionary,
+                    telemetry_dir=(
+                        str(recorder.root) if recorder is not None else None
+                    ),
+                    run_id=recorder.run_id if recorder is not None else None,
+                    profile_workers=self.profile_workers,
                 ),
                 workers=self.workers,
                 use_processes=self.workers > 1,
@@ -647,10 +691,19 @@ class FleetOrchestrator:
         return self._runtime
 
     def close(self) -> None:
-        """Shut the persistent runtime down (idempotent)."""
+        """Shut the persistent runtime down (idempotent).
+
+        Also finishes the telemetry run: leftover journal segments are
+        merged and the manifest flips to ``finished``. (A recorder that
+        never reaches here — killed process, leaked orchestrator —
+        still flushes via its interpreter-exit finalizer, leaving an
+        ``aborted`` manifest and a readable partial journal.)
+        """
         if self._runtime is not None:
             self._runtime.close()
             self._runtime = None
+        if self._recorder is not None:
+            self._recorder.close()
 
     def __enter__(self) -> "FleetOrchestrator":
         self._keep_runtime = True
@@ -677,6 +730,18 @@ class FleetOrchestrator:
         construction).
         """
         matrix = self._matrix()
+        recorder = self._recorder
+        wall_started = time.perf_counter()
+        if recorder is not None:
+            recorder.run_started(
+                [spec for spec, _ in matrix], self.workers, self.batch
+            )
+        _log.debug(
+            "fleet run: %d campaign(s) over %d worker(s)%s",
+            len(matrix),
+            self.workers,
+            f" [telemetry run {self.run_id}]" if recorder is not None else "",
+        )
         if self._process_safe:
             specs = [spec for spec, _ in matrix]
             try:
@@ -684,8 +749,9 @@ class FleetOrchestrator:
                     iter_shard_specs(specs), batch=self.batch
                 )
             finally:
-                if not self._keep_runtime:
-                    self.close()
+                if not self._keep_runtime and self._runtime is not None:
+                    self._runtime.close()
+                    self._runtime = None
             runs: list = [
                 SummaryRun(spec, summary)
                 for spec, summary in zip(specs, summaries)
@@ -703,9 +769,20 @@ class FleetOrchestrator:
                         lambda job: self._run_spec(*job), matrix
                     )
                 ]
-        return merge_reports(
+        report = merge_reports(
             runs, self._profiles_by_id, self.fleet_seed, self.workers
         )
+        if recorder is not None:
+            recorder.record_run(
+                runs,
+                report,
+                wall_seconds=time.perf_counter() - wall_started,
+                profiles_by_id=self._profiles_by_id,
+                emit_campaign_events=not self._process_safe,
+            )
+            if not self._keep_runtime:
+                recorder.close()
+        return report
 
     def _matrix(self) -> tuple[tuple[CampaignSpec, str | ExplorationStrategy], ...]:
         """Each spec paired with the strategy input that produced it."""

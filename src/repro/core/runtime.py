@@ -38,7 +38,10 @@ worker-independence tests).
 from __future__ import annotations
 
 import dataclasses
+import logging
+import os
 import struct
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
@@ -46,6 +49,8 @@ from repro.analysis.metrics import MutationEfficiency, measure
 from repro.core.config import FuzzConfig
 from repro.core.detection import Finding, VulnerabilityClass
 from repro.core.report import CampaignReport
+
+_log = logging.getLogger(__name__)
 
 #: Format version stamped on every encoded summary blob.
 #: v2 added the per-finding ``sent_index`` (reproducer-prefix cut).
@@ -465,6 +470,13 @@ class FleetContext:
     retain_trace: bool
     prior_visits: tuple[tuple[str, int], ...]
     dictionary: tuple[bytes, ...]
+    #: Telemetry root directory; None runs the fleet without telemetry
+    #: (the default — observation is strictly opt-in).
+    telemetry_dir: str | None = None
+    #: The fleet run every worker journal segment correlates to.
+    run_id: str | None = None
+    #: Dump a cProfile per worker shard under the run's profiles/ dir.
+    profile_workers: bool = False
 
 
 #: Bare campaign coordinates: (index, device_id, strategy, seed, target).
@@ -484,6 +496,62 @@ def _run_shard(shard: Sequence[ShardSpec]) -> list[bytes]:
     return run_shard(_WORKER_CONTEXT, shard)
 
 
+def _open_shard_journal(context: FleetContext, shard: Sequence[ShardSpec]):
+    """The shard's journal segment writer, or None when telemetry is off."""
+    if context.telemetry_dir is None or context.run_id is None:
+        return None
+    from repro.telemetry import shard_journal
+
+    return shard_journal(context.telemetry_dir, context.run_id, shard[0][0])
+
+
+def _emit_campaign_telemetry(
+    journal, index: int, session, report, summary: CampaignSummary, wall: float
+) -> None:
+    """Worker-side campaign events: Logfile bridge, findings, counters.
+
+    Emitted strictly *after* the campaign finished — telemetry reads
+    the session's counters, it never participates in execution, so the
+    campaign stays byte-identical with telemetry on or off (pinned by
+    the telemetry-parity tests).
+    """
+    from repro.telemetry import journal_fuzz_log
+
+    journal_fuzz_log(journal, session.fuzzer.log, campaign=index)
+    for ordinal, finding in enumerate(summary.findings):
+        journal.emit(
+            "finding",
+            campaign=index,
+            finding=ordinal,
+            vulnerability_class=finding.vulnerability_class,
+            state=finding.state,
+            trigger=finding.trigger,
+            target=finding.target,
+            vendor=session.profile.vendor,
+            sim_time=round(finding.sim_time, 6),
+        )
+    journal.emit(
+        "campaign_end",
+        campaign=index,
+        device=session.profile.device_id,
+        strategy=summary.strategy,
+        target=summary.fuzz_target,
+        packets_sent=summary.packets_sent,
+        sweeps=summary.sweeps_completed,
+        elapsed_sim_seconds=round(summary.elapsed_seconds, 6),
+        wall_seconds=round(wall, 6),
+        sent=summary.transmitted,
+        malformed=summary.malformed,
+        received=summary.received,
+        rejections=summary.rejections,
+        covered_states=list(summary.covered_states),
+        state_space=summary.state_space,
+        findings=len(summary.findings),
+        coverage_unlocks=len(summary.coverage_samples),
+        engine_outcomes=session.device.engine.outcome_totals(),
+    )
+
+
 def run_shard(
     context: FleetContext, shard: Sequence[ShardSpec]
 ) -> list[bytes]:
@@ -496,18 +564,49 @@ def run_shard(
     directory's backend — JSON files or SQLite) — one batched
     write-back per shard instead of one open/scan/write cycle per
     campaign.
+
+    With telemetry enabled on the context, the shard writes its own
+    journal segment — shard span events, per-campaign start/end events
+    carrying the sniffer/engine counters, finding events and the
+    bridged Logfile records — to its private segment file, which the
+    orchestrator merges at run boundaries. Same flow as the summary
+    blobs: no new IPC, no locks, nothing on the packet hot path.
     """
     from repro.core.strategies import make_strategy
     from repro.l2cap.states import ChannelState
     from repro.testbed.profiles import PROFILES_BY_ID
     from repro.testbed.session import FuzzSession
 
+    journal = _open_shard_journal(context, shard)
+    profiler = None
+    if context.profile_workers and journal is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    shard_started = time.perf_counter()
+    if journal is not None:
+        journal.emit(
+            "shard_start",
+            specs=[index for index, *_ in shard],
+            campaigns=len(shard),
+        )
     prior_visits = dict(context.prior_visits)
     target_state = ChannelState(context.target_state_value)
     finished = []  # (profile, session, report) for the batched write-back
     blobs: list[bytes] = []
     for index, device_id, strategy_name, seed, target in shard:
         profile = PROFILES_BY_ID[device_id]
+        if journal is not None:
+            journal.emit(
+                "campaign_start",
+                campaign=index,
+                device=device_id,
+                strategy=strategy_name,
+                target=target,
+                seed=seed,
+            )
+        campaign_started = time.perf_counter()
         session = FuzzSession(
             profile=profile,
             config=dataclasses.replace(context.base_config, seed=seed),
@@ -523,6 +622,15 @@ def run_shard(
         )
         report = session.run()
         summary = summarize_session(session, report)
+        if journal is not None:
+            _emit_campaign_telemetry(
+                journal,
+                index,
+                session,
+                report,
+                summary,
+                time.perf_counter() - campaign_started,
+            )
         if context.corpus_dir is not None:
             finished.append((profile, session.fuzzer, report, summary))
         else:
@@ -538,7 +646,17 @@ def run_shard(
             ],
             armed=context.armed,
         )
-        for (_, _, _, summary), campaign_stats in zip(finished, stats):
+        for spec, (_, _, _, summary), campaign_stats in zip(
+            shard, finished, stats
+        ):
+            if journal is not None:
+                journal.emit(
+                    "corpus_writeback",
+                    campaign=spec[0],
+                    entries_added=campaign_stats["entries_added"],
+                    findings_new=campaign_stats["findings_new"],
+                    findings_duplicate=campaign_stats["findings_duplicate"],
+                )
             blobs.append(
                 encode_summary(
                     dataclasses.replace(
@@ -551,6 +669,25 @@ def run_shard(
                     )
                 )
             )
+    if journal is not None:
+        journal.emit(
+            "shard_end",
+            campaigns=len(shard),
+            wall_seconds=round(time.perf_counter() - shard_started, 6),
+        )
+        journal.close()
+    if profiler is not None:
+        profiler.disable()
+        from repro.telemetry import PROFILES_DIRNAME
+        from pathlib import Path
+
+        profile_dir = (
+            Path(context.telemetry_dir) / context.run_id / PROFILES_DIRNAME
+        )
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(
+            profile_dir / f"worker-{os.getpid()}-shard-{shard[0][0]:06d}.prof"
+        )
     return blobs
 
 
@@ -587,6 +724,11 @@ class FleetRuntime:
 
     def _ensure_pool(self):
         if self._pool is None:
+            _log.debug(
+                "starting %s pool with %d worker(s)",
+                "process" if self.use_processes else "thread",
+                self.workers,
+            )
             if self.use_processes:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -630,6 +772,12 @@ class FleetRuntime:
             tuple(specs[start : start + batch])
             for start in range(0, len(specs), batch)
         ]
+        _log.debug(
+            "dispatching %d campaign(s) as %d shard(s) of <=%d",
+            len(specs),
+            len(shards),
+            batch,
+        )
         if self.workers == 1:
             # Inline: no pool, no serialisation tax, same code path the
             # workers run (summaries included) for identical results.

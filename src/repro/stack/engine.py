@@ -159,6 +159,19 @@ class HostStackEngine:
         """Distinct (command, state, outcome) branches exercised so far."""
         return frozenset(self.transition_hits)
 
+    def outcome_totals(self) -> dict[str, int]:
+        """Per-outcome totals of the transition tallies (telemetry view).
+
+        Aggregates the ``(command, state, outcome)`` counters the engine
+        already maintains — ``structural-reject``, ``reject``,
+        ``handled``, ``silent`` — so the telemetry flush reads finished
+        numbers instead of adding anything to the dispatch hot path.
+        """
+        totals: dict[str, int] = {}
+        for (_, _, outcome), hits in self.transition_hits.items():
+            totals[outcome] = totals.get(outcome, 0) + hits
+        return totals
+
     def _record_transition(self, packet: L2capPacket, outcome: str) -> None:
         command = COMMAND_NAME_BY_VALUE.get(packet.code, "UNKNOWN")
         cache = self._ambient_cache

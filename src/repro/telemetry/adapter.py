@@ -1,0 +1,53 @@
+"""Bridge between the paper's Logfile and the fleet event journal.
+
+The paper's only observability artifact is the per-campaign structured
+log (Fig. 5, :mod:`repro.core.fuzz_log`). Rather than forking a second
+schema, each :class:`~repro.core.fuzz_log.LogEntry` is embedded verbatim
+(its :meth:`~repro.core.fuzz_log.LogEntry.as_dict` rendering) as the
+``record`` payload of one ``campaign_log`` journal event — so a
+campaign's Logfile and the fleet telemetry are a single stream, and
+anything that can read the journal can reconstruct the exact paper-era
+log with :func:`log_entries_from_events`.
+"""
+
+from __future__ import annotations
+
+from repro.core.fuzz_log import FuzzLog, LogEntry, LogLevel
+
+#: Journal event type carrying one embedded Logfile record.
+CAMPAIGN_LOG_EVENT = "campaign_log"
+
+
+def journal_fuzz_log(journal, log: FuzzLog, campaign: int) -> int:
+    """Emit every Logfile record of one campaign into *journal*.
+
+    One ``campaign_log`` event per :class:`LogEntry`, correlated to the
+    campaign by spec index. Returns the number of events written.
+    """
+    for entry in log.entries:
+        journal.emit(CAMPAIGN_LOG_EVENT, campaign=campaign, record=entry.as_dict())
+    return len(log.entries)
+
+
+def log_entries_from_events(events, campaign: int | None = None) -> list[LogEntry]:
+    """Reconstruct Logfile entries from journal events (the reverse map).
+
+    :param campaign: restrict to one campaign's stream; None keeps all.
+    """
+    entries = []
+    for event in events:
+        if event.get("event") != CAMPAIGN_LOG_EVENT:
+            continue
+        if campaign is not None and event.get("campaign") != campaign:
+            continue
+        record = event["record"]
+        entries.append(
+            LogEntry(
+                sim_time=record["t"],
+                level=LogLevel(record["level"]),
+                phase=record["phase"],
+                message=record["message"],
+                detail=record.get("detail", {}),
+            )
+        )
+    return entries

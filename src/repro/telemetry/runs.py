@@ -1,0 +1,227 @@
+"""Run introspection: list recorded runs, render live fleet status.
+
+Everything here reads the on-disk telemetry artifacts only — manifest,
+merged journal, live segments — so it works identically against a
+finished run, a run in another process, and a half-written directory a
+killed run left behind. ``repro runs tail`` is a poll loop over
+:func:`run_status` / :func:`render_status`; the same functions are what
+a future control-plane API would serve over HTTP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+
+from repro.telemetry.journal import scan_events
+from repro.telemetry.recorder import MANIFEST_FILENAME, read_manifest
+
+
+@dataclasses.dataclass(frozen=True)
+class RunInfo:
+    """One row of ``repro runs list``."""
+
+    run_id: str
+    path: Path
+    status: str
+    started: str | None
+    finished: str | None
+    workers: int
+    campaigns: int
+    packets: int
+    findings: int
+
+
+def list_runs(root: str | Path) -> list[RunInfo]:
+    """Every run directory under *root* (newest first, by run id)."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    runs = []
+    for entry in sorted(root.iterdir(), reverse=True):
+        manifest = read_manifest(entry)
+        if manifest is None:
+            continue
+        runs.append(
+            RunInfo(
+                run_id=manifest.get("run_id", entry.name),
+                path=entry,
+                status=manifest.get("status", "unknown"),
+                started=manifest.get("started"),
+                finished=manifest.get("finished"),
+                workers=manifest.get("workers", 0),
+                campaigns=manifest.get("campaigns", 0),
+                packets=manifest.get("packets", 0),
+                findings=manifest.get("findings", 0),
+            )
+        )
+    return runs
+
+
+def resolve_run(root: str | Path, ref: str) -> Path:
+    """Resolve a run reference: a run id under *root*, or a direct path.
+
+    :raises FileNotFoundError: when neither resolves to a recorded run.
+    """
+    candidate = Path(root) / ref
+    if (candidate / MANIFEST_FILENAME).exists():
+        return candidate
+    direct = Path(ref)
+    if (direct / MANIFEST_FILENAME).exists():
+        return direct
+    raise FileNotFoundError(
+        f"no recorded run {ref!r} under {root!r} (and {ref!r} is not a run "
+        "directory)"
+    )
+
+
+@dataclasses.dataclass
+class _WorkerRow:
+    shards: int = 0
+    campaigns: int = 0
+    packets: int = 0
+    findings: int = 0
+    busy_seconds: float = 0.0
+    last_event: str = "-"
+
+
+def run_status(run_dir: str | Path) -> dict:
+    """Aggregate a run's journal into one live status structure.
+
+    Reads the merged journal *and* any live worker segments, so the
+    view updates while workers are still mid-shard.
+    """
+    run_dir = Path(run_dir)
+    manifest = read_manifest(run_dir) or {}
+    events = scan_events(run_dir)
+    workers: dict[str, _WorkerRow] = {}
+    total_campaigns: int | None = None
+    coverage: dict[str, set[str]] = {}
+    state_spaces: dict[str, int] = {}
+    open_campaigns: dict[int, str] = {}
+    finished_campaigns = 0
+    packets = 0
+    findings = 0
+    for event in events:
+        kind = event.get("event")
+        worker = str(event.get("worker", "?"))
+        if worker not in ("orchestrator", "finalizer", "?"):
+            row = workers.setdefault(worker, _WorkerRow())
+            campaign = event.get("campaign")
+            row.last_event = (
+                f"{kind} c{campaign}" if campaign is not None else str(kind)
+            )
+        if kind == "run_start":
+            total_campaigns = (total_campaigns or 0) + event.get("campaigns", 0)
+        elif kind == "campaign_start":
+            open_campaigns[event.get("campaign")] = (
+                f"{event.get('device')}/{event.get('target')}"
+                f"/{event.get('strategy')}"
+            )
+        elif kind == "campaign_end":
+            open_campaigns.pop(event.get("campaign"), None)
+            finished_campaigns += 1
+            packets += event.get("packets_sent", 0)
+            target = event.get("target", "?")
+            coverage.setdefault(target, set()).update(
+                event.get("covered_states", ())
+            )
+            if event.get("state_space"):
+                state_spaces.setdefault(target, event["state_space"])
+            if worker in workers:
+                workers[worker].campaigns += 1
+                workers[worker].packets += event.get("packets_sent", 0)
+        elif kind == "finding":
+            findings += 1
+            if worker in workers:
+                workers[worker].findings += 1
+        elif kind == "shard_end":
+            if worker in workers:
+                workers[worker].shards += 1
+                workers[worker].busy_seconds += event.get("wall_seconds", 0.0)
+    return {
+        "run_id": manifest.get("run_id", run_dir.name),
+        "status": manifest.get("status", "unknown"),
+        "workers": workers,
+        "total_campaigns": total_campaigns,
+        "finished_campaigns": finished_campaigns,
+        "in_flight": open_campaigns,
+        "packets": packets,
+        "findings": findings,
+        "coverage": {
+            target: sorted(states) for target, states in sorted(coverage.items())
+        },
+        "state_spaces": state_spaces,
+        "events": len(events),
+    }
+
+
+def render_status(status: dict) -> str:
+    """Render one :func:`run_status` structure as a fleet status table."""
+    total = status["total_campaigns"]
+    progress = (
+        f"{status['finished_campaigns']}/{total}"
+        if total is not None
+        else str(status["finished_campaigns"])
+    )
+    lines = [
+        f"run {status['run_id']} [{status['status']}]  "
+        f"campaigns {progress}  packets {status['packets']}  "
+        f"findings {status['findings']}  events {status['events']}",
+        "",
+        "| worker | shards | campaigns | packets | findings | busy s | last event |",
+        "|--------|--------|-----------|---------|----------|--------|------------|",
+    ]
+    if status["workers"]:
+        for worker, row in sorted(status["workers"].items()):
+            lines.append(
+                f"| {worker} | {row.shards} | {row.campaigns} |"
+                f" {row.packets} | {row.findings} |"
+                f" {row.busy_seconds:.2f} | {row.last_event} |"
+            )
+    else:
+        lines.append("| (no worker events yet) | - | - | - | - | - | - |")
+    if status["in_flight"]:
+        running = ", ".join(
+            f"c{campaign} {label}"
+            for campaign, label in sorted(status["in_flight"].items())
+        )
+        lines += ["", f"in flight: {running}"]
+    if status["coverage"]:
+        spaces = status["state_spaces"]
+        merged = ", ".join(
+            f"{target} {len(states)}"
+            + (f"/{spaces[target]}" if target in spaces else "")
+            for target, states in status["coverage"].items()
+        )
+        lines += ["", f"merged coverage: {merged}"]
+    return "\n".join(lines)
+
+
+def tail_run(
+    run_dir: str | Path,
+    write,
+    interval: float = 0.5,
+    once: bool = False,
+    max_polls: int | None = None,
+) -> str:
+    """Follow a run until it leaves the ``running`` state.
+
+    Renders the fleet status table through *write* on every poll (the
+    CLI passes its console emitter). Returns the final status string.
+    ``once`` renders a single frame; *max_polls* bounds the loop for
+    tests and scripts.
+    """
+    polls = 0
+    while True:
+        status = run_status(run_dir)
+        rendered = render_status(status)
+        write(rendered)
+        polls += 1
+        if once or status["status"] != "running":
+            return status["status"]
+        if max_polls is not None and polls >= max_polls:
+            return status["status"]
+        write("")
+        time.sleep(interval)

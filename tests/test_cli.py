@@ -449,3 +449,86 @@ class TestSequentialRegression:
             strategy="sequential",
         )
         assert default == explicit
+
+
+class TestLoggingFlags:
+    def test_quiet_suppresses_normal_output(self, capsys):
+        assert main(["--quiet", "devices"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_routes_library_debug_to_stderr(self, capsys):
+        assert main(["--verbose", "devices"]) == 0
+        captured = capsys.readouterr()
+        assert "D1" in captured.out  # normal output still on stdout
+
+    def test_repeated_main_calls_do_not_duplicate_output(self, capsys):
+        main(["devices"])
+        first = capsys.readouterr().out
+        main(["devices"])
+        second = capsys.readouterr().out
+        assert first == second
+        assert first.count("D1 ") == 1
+
+
+class TestFleetTelemetry:
+    def test_fleet_records_a_run(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        assert main([
+            "fleet", "--profiles", "1", "--budget", "500",
+            "--workers", "2", "--telemetry", str(root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry run " in out
+        (run_dir,) = root.iterdir()
+        assert (run_dir / "events.jsonl").exists()
+        assert (run_dir / "metrics.prom").exists()
+
+    def test_profile_requires_telemetry(self):
+        with pytest.raises(SystemExit, match="--profile requires"):
+            main(["fleet", "--profiles", "1", "--profile"])
+
+
+class TestRunsCommands:
+    @pytest.fixture()
+    def recorded_root(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        main([
+            "fleet", "--profiles", "1", "--budget", "500",
+            "--workers", "2", "--telemetry", str(root),
+        ])
+        capsys.readouterr()
+        return root
+
+    def test_runs_list(self, recorded_root, capsys):
+        assert main(["runs", "list", "--root", str(recorded_root)]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert "run id" in out
+
+    def test_runs_list_empty_root(self, tmp_path, capsys):
+        assert main(["runs", "list", "--root", str(tmp_path / "none")]) == 0
+        assert "no telemetry runs" in capsys.readouterr().out
+
+    def test_runs_show(self, recorded_root, capsys):
+        (run_dir,) = recorded_root.iterdir()
+        assert main([
+            "runs", "show", run_dir.name, "--root", str(recorded_root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"status": "finished"' in out
+        assert "| worker |" in out
+        assert "metrics.prom" in out
+
+    def test_runs_tail_once(self, recorded_root, capsys):
+        (run_dir,) = recorded_root.iterdir()
+        assert main([
+            "runs", "tail", str(run_dir), "--once",
+            "--root", str(recorded_root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "campaigns 1/1" in out
+
+    def test_runs_show_unknown_run_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no recorded run"):
+            main(["runs", "show", "nope", "--root", str(tmp_path)])
