@@ -21,17 +21,25 @@ run is appended to ``benchmarks/BENCH_fleet_scaling.json`` so the
 scaling trajectory accumulates across PRs. Worker count must never
 change *what* the fleet computes: the merged reports are asserted
 identical across all pool sizes, batch granularities included.
+
+The supervised dispatch loop (deadlines, retry bookkeeping, futures
+instead of ``pool.map``) is also priced here: the same warm fleet is
+dispatched supervised and unsupervised, median of three each, and the
+overhead is gated at <3% (plus a 50 ms absolute allowance for
+sub-second dispatches).
 """
 
 from __future__ import annotations
 
 import datetime
 import json
+import statistics
 import time
 from pathlib import Path
 
 from repro.core.config import FuzzConfig
 from repro.core.fleet import FleetOrchestrator
+from repro.core.runtime import iter_shard_specs
 from repro.testbed.profiles import ALL_PROFILES
 
 from benchmarks.bench_helpers import print_table, run_once, scaled
@@ -44,6 +52,11 @@ WORKER_COUNTS = (1, 2, 4)
 
 #: Required fraction of perfectly linear scaling at 4 workers.
 LINEAR_FLOOR = 0.8
+
+#: Supervision must cost <3% of dispatch wall time (plus a 50 ms
+#: absolute allowance so sub-second dispatches don't gate on noise).
+SUPERVISION_OVERHEAD_FRACTION = 0.03
+SUPERVISION_OVERHEAD_ABS_S = 0.05
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_fleet_scaling.json"
 
@@ -67,6 +80,34 @@ def _run_fleet(workers: int, budget: int):
         orchestrator.run()
         warm = time.perf_counter() - started
     return report, cold, warm
+
+
+def _measure_supervision_overhead(budget: int) -> tuple[float, float]:
+    """Median warm dispatch time: supervised vs bare ``pool.map``.
+
+    Same fleet, same persistent pool, interleaved measurements so CPU
+    frequency drift hits both sides equally. Returns ``(supervised,
+    unsupervised)`` medians over three rounds each.
+    """
+    orchestrator = FleetOrchestrator(
+        profiles=ALL_PROFILES[:4],
+        strategies=STRATEGIES,
+        fleet_seed=FLEET_SEED,
+        workers=2,
+        base_config=FuzzConfig(max_packets=budget),
+        armed=False,
+    )
+    with orchestrator:
+        orchestrator.run()  # warm the pool and prime the worker contexts
+        runtime = orchestrator._ensure_runtime()
+        shard_specs = iter_shard_specs(orchestrator.specs())
+        timings: dict[bool, list[float]] = {True: [], False: []}
+        for _ in range(3):
+            for supervised in (False, True):
+                started = time.perf_counter()
+                runtime.run_specs(shard_specs, supervised=supervised)
+                timings[supervised].append(time.perf_counter() - started)
+    return statistics.median(timings[True]), statistics.median(timings[False])
 
 
 def _load_results() -> dict:
@@ -126,6 +167,15 @@ def bench_fleet_scaling(benchmark, quick):
         f"({linear_fraction:.1%} of linear)"
     )
 
+    supervised_s, unsupervised_s = _measure_supervision_overhead(budget)
+    overhead = (
+        supervised_s / unsupervised_s - 1.0 if unsupervised_s > 0 else 0.0
+    )
+    print(
+        f"supervision overhead: {supervised_s:.2f}s supervised vs "
+        f"{unsupervised_s:.2f}s bare map ({overhead:+.1%})"
+    )
+
     data = _load_results()
     data.setdefault("runs", []).append(
         {
@@ -143,6 +193,9 @@ def bench_fleet_scaling(benchmark, quick):
             ],
             "speedup_1_to_4": round(speedup, 4),
             "linear_fraction_4w": round(linear_fraction, 4),
+            "supervised_dispatch_s": round(supervised_s, 4),
+            "unsupervised_dispatch_s": round(unsupervised_s, 4),
+            "supervision_overhead": round(overhead, 4),
             "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
                 timespec="seconds"
             ),
@@ -154,4 +207,15 @@ def bench_fleet_scaling(benchmark, quick):
     assert speedup >= LINEAR_FLOOR * 4, (
         f"fleet scaling regression: {speedup:.2f}x at 4 workers is below "
         f"the {LINEAR_FLOOR:.0%}-of-linear floor ({LINEAR_FLOOR * 4:.1f}x)"
+    )
+
+    budget_s = (
+        unsupervised_s * (1 + SUPERVISION_OVERHEAD_FRACTION)
+        + SUPERVISION_OVERHEAD_ABS_S
+    )
+    assert supervised_s <= budget_s, (
+        f"supervision overhead regression: {supervised_s:.3f}s supervised "
+        f"vs {unsupervised_s:.3f}s bare map exceeds the "
+        f"{SUPERVISION_OVERHEAD_FRACTION:.0%} + "
+        f"{SUPERVISION_OVERHEAD_ABS_S * 1000:.0f}ms budget ({budget_s:.3f}s)"
     )

@@ -80,8 +80,10 @@ from repro.analysis.comparison import figure10_bars, run_comparison, table7_rows
 from repro.analysis.state_coverage import coverage_report
 from repro.analysis.traceio import save_trace
 from repro.core.config import FuzzConfig
+from repro.core.faults import FAULT_KINDS, seeded_plan
 from repro.core.fleet import FleetOrchestrator
 from repro.core.packet_queue import PacketQueue
+from repro.core.runtime import CHECKPOINTS_DIRNAME, SupervisionPolicy
 from repro.core.strategies import STRATEGY_NAMES, make_strategy
 from repro.core.target_scanning import TargetScanner
 from repro.hci.transport import VirtualLink
@@ -221,22 +223,99 @@ def cmd_fleet(args) -> int:
         raise SystemExit(str(error)) from None
     if args.profile and args.telemetry is None:
         raise SystemExit("--profile requires --telemetry (dumps land in the run dir)")
-    orchestrator = FleetOrchestrator(
-        profiles=profiles,
-        strategies=strategies,
-        fleet_seed=args.seed,
-        workers=workers,
-        base_config=FuzzConfig(max_packets=args.budget),
-        armed=not args.disarm,
-        target_state=target_state,
-        corpus_dir=args.corpus,
-        targets=targets,
-        batch=args.batch,
-        telemetry_dir=args.telemetry,
-        profile_workers=args.profile,
+    chaos_kinds: list[str] = []
+    if args.chaos:
+        chaos_kinds = [kind.strip() for kind in args.chaos.split(",") if kind.strip()]
+        unknown = [kind for kind in chaos_kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise SystemExit(
+                f"unknown --chaos kind(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(FAULT_KINDS)})"
+            )
+        if workers < 2 and {"crash", "hang"} & set(chaos_kinds):
+            raise SystemExit(
+                "--chaos crash/hang needs --workers >= 2: a single worker "
+                "runs shards inline, so there is no supervisor to recover"
+            )
+    if args.resume is not None and args.telemetry is None:
+        raise SystemExit(
+            "--resume requires --telemetry (checkpoints live in the run directory)"
+        )
+    shard_timeout = args.shard_timeout
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise SystemExit("--shard-timeout must be > 0")
+    if shard_timeout is None and "hang" in chaos_kinds:
+        # A hang demo should trip the deadline in seconds, not minutes.
+        shard_timeout = 5.0
+    supervision = (
+        SupervisionPolicy(timeout_floor=shard_timeout)
+        if shard_timeout is not None
+        else None
     )
-    with orchestrator:
-        report = orchestrator.run()
+    chaos_ledger = None
+    fault_plan = None
+    if chaos_kinds:
+        import tempfile
+
+        chaos_ledger = tempfile.mkdtemp(prefix="repro-chaos-")
+        fault_plan = seeded_plan(
+            seed=args.chaos_seed,
+            spec_count=len(profiles) * len(strategies) * len(targets),
+            kinds=chaos_kinds,
+            ledger_dir=chaos_ledger,
+            hang_seconds=(shard_timeout * 4) if shard_timeout else 30.0,
+        )
+    try:
+        orchestrator = FleetOrchestrator(
+            profiles=profiles,
+            strategies=strategies,
+            fleet_seed=args.seed,
+            workers=workers,
+            base_config=FuzzConfig(max_packets=args.budget),
+            armed=not args.disarm,
+            target_state=target_state,
+            corpus_dir=args.corpus,
+            targets=targets,
+            batch=args.batch,
+            telemetry_dir=args.telemetry,
+            profile_workers=args.profile,
+            fault_plan=fault_plan,
+            resume_run_id=args.resume,
+            supervision=supervision,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        try:
+            with orchestrator:
+                report = orchestrator.run()
+        except Exception as error:  # noqa: BLE001 - partial-failure summary
+            _cli_log.error(
+                "fleet run aborted: %s: %s", type(error).__name__, error
+            )
+            if orchestrator.run_dir is not None:
+                checkpoint_dir = orchestrator.run_dir / CHECKPOINTS_DIRNAME
+                completed = (
+                    len(list(checkpoint_dir.glob("campaign-*.bin")))
+                    if checkpoint_dir.is_dir()
+                    else 0
+                )
+                _cli_log.error(
+                    "partial progress: %d campaign checkpoint(s) under %s",
+                    completed,
+                    orchestrator.run_dir,
+                )
+                _cli_log.error(
+                    "resume with: repro fleet --telemetry %s --resume %s",
+                    args.telemetry,
+                    orchestrator.run_id,
+                )
+            return 2
+    finally:
+        if chaos_ledger is not None:
+            import shutil
+
+            shutil.rmtree(chaos_ledger, ignore_errors=True)
     rendered = report.to_json() if args.format == "json" else report.to_markdown()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -246,6 +325,28 @@ def cmd_fleet(args) -> int:
         _echo(rendered)
     if orchestrator.run_id is not None:
         _echo(f"telemetry run {orchestrator.run_id}: {orchestrator.run_dir}")
+    stats = orchestrator.last_supervision
+    if stats is not None and stats.eventful:
+        _echo(
+            "supervision: "
+            f"retries={stats.retries} requeued={stats.requeued} "
+            f"worker_crashes={stats.worker_crashes} timeouts={stats.timeouts} "
+            f"pool_restarts={stats.pool_restarts} "
+            f"decode_failures={stats.decode_failures} "
+            f"bisections={stats.bisections}"
+        )
+    if report.quarantined:
+        for item in report.quarantined:
+            _cli_log.error(
+                "quarantined campaign %d (%s/%s/%s): %s after %d attempt(s)",
+                item.index,
+                item.device_id,
+                item.strategy,
+                item.target,
+                item.reason,
+                item.attempts,
+            )
+        return 1
     return 0
 
 
@@ -622,6 +723,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump a cProfile per worker shard into the telemetry run "
         "directory (requires --telemetry)",
+    )
+    fleet.add_argument(
+        "--chaos",
+        metavar="KINDS",
+        default=None,
+        help="inject deterministic faults to exercise the supervisor: "
+        f"comma-separated kinds from {', '.join(FAULT_KINDS)}",
+    )
+    fleet.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=1202,
+        metavar="N",
+        help="seed for the deterministic fault plan (default: 1202)",
+    )
+    fleet.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="resume an interrupted telemetry run: campaigns already "
+        "checkpointed under RUN_ID are restored, only the rest re-run "
+        "(requires --telemetry pointing at the same directory)",
+    )
+    fleet.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline floor before the supervisor restarts "
+        "the worker pool (default: derived from observed shard latency; "
+        "5s when --chaos includes hang)",
     )
     fleet.set_defaults(func=cmd_fleet)
 

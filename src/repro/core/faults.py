@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the fleet runtime.
+
+Chaos testing only earns its keep when it is reproducible: a recovery
+path that fires on a random 1-in-200 run is a recovery path that rots.
+This module injects faults *deterministically* — a :class:`FaultPlan`
+is a seeded, picklable description of exactly which campaigns get hit
+by exactly which failure, consulted by workers at shard boundaries via
+the ``fault_plan`` hook on :class:`~repro.core.runtime.FleetContext`.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+* ``crash`` — the worker dies mid-shard. In a process-pool worker this
+  is a hard ``os._exit`` (the orchestrator observes
+  ``BrokenProcessPool``); in a thread worker or the inline path it
+  raises :class:`WorkerCrashError`.
+* ``hang`` — the worker sleeps for :attr:`FaultSpec.hang_seconds`
+  before running the shard, exercising the supervisor's deadline and
+  pool-restart path.
+* ``corrupt`` — the shard completes but the target campaign's summary
+  blob comes back truncated, exercising the
+  :class:`~repro.core.runtime.SummaryDecodeError` retry path.
+* ``corpus_io`` — the shard's corpus write-back raises a transient
+  :class:`InjectedFaultError` before anything is written, exercising
+  requeue without double-writing the corpus.
+
+Each fault fires a bounded number of times (:attr:`FaultSpec.times`),
+tracked in a filesystem *ledger* shared by every worker process —
+marker files claimed with ``O_EXCL``, so one occurrence is claimed by
+exactly one worker even under concurrent retries. Once a fault's
+occurrences are exhausted, retried shards run clean; that is what makes
+a chaos run converge to the byte-identical fault-free report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import time
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+
+#: Every fault kind a plan may carry, in documentation order.
+FAULT_KINDS = ("crash", "hang", "corrupt", "corpus_io")
+
+
+class WorkerCrashError(ReproError):
+    """An injected worker crash, raised where a process exit cannot be."""
+
+
+class InjectedFaultError(ReproError):
+    """An injected transient failure (corpus IO, for now)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: *kind* strikes the shard carrying *spec_index*.
+
+    :param kind: one of :data:`FAULT_KINDS`.
+    :param spec_index: the campaign index whose shard is targeted.
+    :param times: how many occurrences fire before the fault goes quiet
+        (retried shards then run clean).
+    :param hang_seconds: sleep duration for ``hang`` faults.
+    """
+
+    kind: str
+    spec_index: int
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}"
+                f" (choose from {', '.join(FAULT_KINDS)})"
+            )
+        if self.times < 1:
+            raise ValueError("fault times must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of planned faults plus their shared ledger.
+
+    The plan ships to workers inside the fleet context; the ledger
+    directory is how occurrences stay bounded across worker restarts —
+    a crashed worker cannot remember it already crashed, but the marker
+    file it claimed before dying can.
+    """
+
+    faults: tuple[FaultSpec, ...]
+    ledger_dir: str
+
+    # -- ledger -------------------------------------------------------------------
+
+    def _claim(self, fault: FaultSpec) -> bool:
+        """Atomically claim one unfired occurrence of *fault*.
+
+        Marker files are created with ``O_CREAT | O_EXCL``: the first
+        claimant of each occurrence wins, every other worker (or retry)
+        moves on. Returns False once all occurrences are spent.
+        """
+        ledger = Path(self.ledger_dir)
+        ledger.mkdir(parents=True, exist_ok=True)
+        name = f"{fault.kind}-{fault.spec_index:06d}"
+        for occurrence in range(fault.times):
+            marker = ledger / f"{name}-{occurrence:03d}"
+            try:
+                os.close(
+                    os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                )
+            except FileExistsError:
+                continue
+            return True
+        return False
+
+    def _armed(self, shard: Sequence, kinds: tuple[str, ...]):
+        indices = {spec[0] for spec in shard}
+        for fault in self.faults:
+            if fault.kind in kinds and fault.spec_index in indices:
+                yield fault
+
+    # -- worker-side hooks ---------------------------------------------------------
+
+    def on_shard_start(self, shard: Sequence, in_process_worker: bool) -> None:
+        """Fire any planned crash/hang for *shard* (shard boundary hook)."""
+        for fault in self._armed(shard, ("hang", "crash")):
+            if not self._claim(fault):
+                continue
+            if fault.kind == "hang":
+                time.sleep(fault.hang_seconds)
+            elif in_process_worker:
+                # A real worker death: skip interpreter teardown so the
+                # orchestrator sees exactly what a SIGKILLed or OOMed
+                # worker process produces — a broken pool.
+                os._exit(2)
+            else:
+                raise WorkerCrashError(
+                    f"injected worker crash on campaign {fault.spec_index}"
+                )
+
+    def on_corpus_writeback(self, shard: Sequence) -> None:
+        """Fire a planned transient corpus IO error, before any write."""
+        for fault in self._armed(shard, ("corpus_io",)):
+            if self._claim(fault):
+                raise InjectedFaultError(
+                    "injected transient corpus IO error on campaign "
+                    f"{fault.spec_index}"
+                )
+
+    def corrupt_blobs(self, shard: Sequence, blobs: list[bytes]) -> list[bytes]:
+        """Truncate the planned campaigns' summary blobs."""
+        corrupt_indices = {
+            fault.spec_index
+            for fault in self._armed(shard, ("corrupt",))
+            if self._claim(fault)
+        }
+        if not corrupt_indices:
+            return blobs
+        return [
+            blob[: max(1, len(blob) // 3)] if spec[0] in corrupt_indices else blob
+            for spec, blob in zip(shard, blobs)
+        ]
+
+
+def seeded_plan(
+    seed: int,
+    spec_count: int,
+    kinds: Sequence[str],
+    ledger_dir: str | Path,
+    faults_per_kind: int = 1,
+    times: int = 1,
+    hang_seconds: float = 30.0,
+) -> FaultPlan:
+    """Derive a deterministic chaos plan over a fleet of *spec_count* campaigns.
+
+    The targeted campaign indices are a pure function of *seed* (and the
+    argument list), so ``repro fleet --chaos`` hits the same campaigns
+    on every machine — a chaos failure in CI reproduces locally.
+    """
+    if spec_count < 1:
+        raise ValueError("spec_count must be >= 1")
+    rng = random.Random(f"chaos:{seed}:{spec_count}")
+    faults = []
+    for kind in kinds:
+        for spec_index in rng.sample(
+            range(spec_count), min(faults_per_kind, spec_count)
+        ):
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    spec_index=spec_index,
+                    times=times,
+                    hang_seconds=hang_seconds,
+                )
+            )
+    return FaultPlan(faults=tuple(faults), ledger_dir=str(ledger_dir))
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "WorkerCrashError",
+    "seeded_plan",
+]

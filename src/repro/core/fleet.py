@@ -46,15 +46,20 @@ import time
 import warnings
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.core.config import FuzzConfig
+from repro.core.faults import FaultPlan
 from repro.core.report import CampaignReport, format_elapsed
 from repro.core.runtime import (
     CampaignSummary,
     FindingSummary,
     FleetContext,
     FleetRuntime,
+    SupervisionPolicy,
+    SupervisionStats,
     iter_shard_specs,
+    load_checkpoints,
 )
 from repro.core.strategies import ExplorationStrategy, make_strategy
 from repro.l2cap.states import ChannelState
@@ -62,6 +67,11 @@ from repro.testbed.profiles import DeviceProfile
 from repro.testbed.session import run_campaign
 
 _log = logging.getLogger(__name__)
+
+#: Per-run snapshot of the corpus-derived campaign inputs (visit prior,
+#: splice dictionary), so a resumed run re-seeds campaigns identically
+#: even after the corpus absorbed part of the interrupted run.
+CONTEXT_SNAPSHOT_FILENAME = "fleet_context.json"
 
 
 def derive_campaign_seed(fleet_seed: int, index: int) -> int:
@@ -168,6 +178,24 @@ class FleetFinding:
 
 
 @dataclasses.dataclass(frozen=True)
+class QuarantinedCampaign:
+    """A campaign the supervised runtime isolated and gave up on.
+
+    A diagnostic, not an abort: the rest of the fleet completed and
+    merged normally; this row says which campaign was bisected out of
+    its shard, confirmed poisonous by a solo re-run, and why.
+    """
+
+    index: int
+    device_id: str
+    strategy: str
+    target: str
+    seed: int
+    attempts: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
 class FleetReport:
     """Merged result of one fleet run.
 
@@ -181,6 +209,9 @@ class FleetReport:
     :param state_spaces: per-target coverage denominators.
     :param simulated_makespan_seconds: fleet duration in simulated time
         under the greedy schedule over *workers* workers.
+    :param quarantined: campaigns the supervisor quarantined instead of
+        completing — empty on every healthy run, so its presence never
+        perturbs report byte-identity.
     """
 
     fleet_seed: int
@@ -190,6 +221,7 @@ class FleetReport:
     coverage_map: tuple[tuple[str, str, int], ...]
     state_spaces: tuple[tuple[str, int], ...]
     simulated_makespan_seconds: float
+    quarantined: tuple[QuarantinedCampaign, ...] = ()
 
     # -- derived ------------------------------------------------------------------
 
@@ -293,6 +325,9 @@ class FleetReport:
             ],
             "state_spaces": {target: space for target, space in self.state_spaces},
             "findings": [dataclasses.asdict(finding) for finding in self.findings],
+            "quarantined": [
+                dataclasses.asdict(campaign) for campaign in self.quarantined
+            ],
             "strategy_table": self.strategy_table(),
             "campaigns": [_campaign_dict(run) for run in self.campaigns],
         }
@@ -368,6 +403,20 @@ class FleetReport:
                     f" {finding.state} |"
                     f" {finding.device_id}/{finding.strategy} |"
                     f" {finding.occurrences} | {finding.trigger} |"
+                )
+        if self.quarantined:
+            lines += [
+                "",
+                "## Quarantined campaigns",
+                "",
+                "| # | device | protocol | strategy | attempts | reason |",
+                "|---|--------|----------|----------|----------|--------|",
+            ]
+            for campaign in self.quarantined:
+                lines.append(
+                    f"| {campaign.index} | {campaign.device_id} |"
+                    f" {campaign.target} | {campaign.strategy} |"
+                    f" {campaign.attempts} | {campaign.reason} |"
                 )
         lines += [
             "",
@@ -452,6 +501,8 @@ def merge_reports(
     profiles_by_id: dict[str, DeviceProfile],
     fleet_seed: int,
     workers: int,
+    *,
+    quarantined: Sequence[QuarantinedCampaign] = (),
 ) -> FleetReport:
     """Merge campaign runs into one :class:`FleetReport`.
 
@@ -516,6 +567,7 @@ def merge_reports(
         ),
         state_spaces=tuple(sorted(state_spaces.items())),
         simulated_makespan_seconds=simulated_makespan(durations, workers),
+        quarantined=tuple(quarantined),
     )
 
 
@@ -555,6 +607,18 @@ class FleetOrchestrator:
         never perturbs execution.
     :param profile_workers: dump a cProfile per worker shard under the
         run's ``profiles/`` directory (requires *telemetry_dir*).
+    :param fault_plan: deterministic fault injection
+        (:class:`~repro.core.faults.FaultPlan`) shipped to the workers —
+        chaos runs and recovery tests only; requires a process-safe
+        fleet.
+    :param resume_run_id: resume an interrupted telemetry run: its
+        shard checkpoints are loaded, only the missing campaigns are
+        dispatched, and the merged report is byte-identical to the
+        uninterrupted run (requires *telemetry_dir*; the fleet must
+        match the original run's recorded signature).
+    :param supervision: :class:`~repro.core.runtime.SupervisionPolicy`
+        override for the runtime's retry/timeout/backoff knobs; None
+        takes the defaults.
     """
 
     def __init__(
@@ -572,6 +636,9 @@ class FleetOrchestrator:
         batch: int | None = None,
         telemetry_dir: str | None = None,
         profile_workers: bool = False,
+        fault_plan: FaultPlan | None = None,
+        resume_run_id: str | None = None,
+        supervision: SupervisionPolicy | None = None,
     ) -> None:
         from repro.targets import make_target
 
@@ -612,13 +679,12 @@ class FleetOrchestrator:
         self.batch = batch
         self.telemetry_dir = telemetry_dir
         self.profile_workers = profile_workers
-        if telemetry_dir is not None:
-            from repro.telemetry import RunRecorder
-
-            self._recorder = RunRecorder(telemetry_dir, workers=workers)
-        else:
-            self._recorder = None
-        self._prior_visits, self._dictionary = load_corpus_seeds(corpus_dir)
+        self.fault_plan = fault_plan
+        self.resume_run_id = resume_run_id
+        self.supervision = supervision
+        #: Supervision stats from the most recent :meth:`run` (None
+        #: before any run, and on the thread-fallback path).
+        self.last_supervision: SupervisionStats | None = None
         self._profiles_by_id = {
             profile.device_id: profile for profile in self.profiles
         }
@@ -636,6 +702,41 @@ class FleetOrchestrator:
                 RuntimeWarning,
                 stacklevel=2,
             )
+        if fault_plan is not None and not self._process_safe:
+            raise ValueError(
+                "fault injection hooks live in the shard workers; use "
+                "registry profiles and strategy names (a process-safe "
+                "fleet) with fault_plan"
+            )
+        if resume_run_id is not None:
+            if telemetry_dir is None:
+                raise ValueError(
+                    "resume_run_id needs telemetry_dir — shard "
+                    "checkpoints live in the telemetry run directory"
+                )
+            if not self._process_safe:
+                raise ValueError(
+                    "resume requires a process-safe fleet (registry "
+                    "profiles and strategy names): only shard workers "
+                    "write checkpoints"
+                )
+        self._signature = self._fleet_signature()
+        if resume_run_id is not None:
+            self._validate_resume()
+        if telemetry_dir is not None:
+            from repro.telemetry import RunRecorder
+
+            self._recorder = RunRecorder(
+                telemetry_dir,
+                workers=workers,
+                run_id=resume_run_id,
+                fleet_signature=self._signature,
+                resumed=resume_run_id is not None,
+            )
+        else:
+            self._recorder = None
+        self._prior_visits, self._dictionary = load_corpus_seeds(corpus_dir)
+        self._sync_context_snapshot()
         self._runtime: FleetRuntime | None = None
         self._keep_runtime = False
 
@@ -684,9 +785,12 @@ class FleetOrchestrator:
                     ),
                     run_id=recorder.run_id if recorder is not None else None,
                     profile_workers=self.profile_workers,
+                    fault_plan=self.fault_plan,
                 ),
                 workers=self.workers,
                 use_processes=self.workers > 1,
+                policy=self.supervision,
+                on_event=recorder.emit if recorder is not None else None,
             )
         return self._runtime
 
@@ -742,36 +846,79 @@ class FleetOrchestrator:
             self.workers,
             f" [telemetry run {self.run_id}]" if recorder is not None else "",
         )
-        if self._process_safe:
-            specs = [spec for spec, _ in matrix]
-            try:
-                summaries = self._ensure_runtime().run_specs(
-                    iter_shard_specs(specs), batch=self.batch
+        quarantined: list[QuarantinedCampaign] = []
+        try:
+            if self._process_safe:
+                specs = [spec for spec, _ in matrix]
+                by_index: dict[int, CampaignSummary] = (
+                    self._load_resume_checkpoints(specs)
+                    if self.resume_run_id is not None
+                    else {}
                 )
-            finally:
-                if not self._keep_runtime and self._runtime is not None:
-                    self._runtime.close()
-                    self._runtime = None
-            runs: list = [
-                SummaryRun(spec, summary)
-                for spec, summary in zip(specs, summaries)
-            ]
-        elif self.workers == 1:
-            runs = [
-                self._run_spec(spec, strategy_input)
-                for spec, strategy_input in matrix
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                runs = [
-                    run
-                    for run in pool.map(
-                        lambda job: self._run_spec(*job), matrix
-                    )
+                missing = [
+                    spec for spec in specs if spec.index not in by_index
                 ]
-        report = merge_reports(
-            runs, self._profiles_by_id, self.fleet_seed, self.workers
-        )
+                runtime = self._ensure_runtime()
+                try:
+                    summaries = runtime.run_specs(
+                        iter_shard_specs(missing), batch=self.batch
+                    )
+                finally:
+                    self.last_supervision = runtime.last_supervision
+                    if not self._keep_runtime and self._runtime is not None:
+                        self._runtime.close()
+                        self._runtime = None
+                for spec, summary in zip(missing, summaries):
+                    if summary is not None:
+                        by_index[spec.index] = summary
+                if self.last_supervision is not None:
+                    for item in self.last_supervision.quarantined:
+                        index, device_id, strategy, seed, target = item.spec
+                        quarantined.append(
+                            QuarantinedCampaign(
+                                index=index,
+                                device_id=device_id,
+                                strategy=strategy,
+                                target=target,
+                                seed=seed,
+                                attempts=item.attempts,
+                                reason=item.reason,
+                            )
+                        )
+                runs: list = [
+                    SummaryRun(spec, by_index[spec.index])
+                    for spec in specs
+                    if spec.index in by_index
+                ]
+            elif self.workers == 1:
+                self.last_supervision = None
+                runs = [
+                    self._run_spec(spec, strategy_input)
+                    for spec, strategy_input in matrix
+                ]
+            else:
+                self.last_supervision = None
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    runs = [
+                        run
+                        for run in pool.map(
+                            lambda job: self._run_spec(*job), matrix
+                        )
+                    ]
+            report = merge_reports(
+                runs,
+                self._profiles_by_id,
+                self.fleet_seed,
+                self.workers,
+                quarantined=tuple(quarantined),
+            )
+        except BaseException as error:
+            # Abort path (includes KeyboardInterrupt — a killed run must
+            # leave a resumable trail): record why, keep the completed
+            # shards' checkpoints on disk, re-raise.
+            if recorder is not None:
+                recorder.record_failure(f"{type(error).__name__}: {error}")
+            raise
         if recorder is not None:
             recorder.record_run(
                 runs,
@@ -779,6 +926,7 @@ class FleetOrchestrator:
                 wall_seconds=time.perf_counter() - wall_started,
                 profiles_by_id=self._profiles_by_id,
                 emit_campaign_events=not self._process_safe,
+                supervision=self.last_supervision,
             )
             if not self._keep_runtime:
                 recorder.close()
@@ -817,6 +965,109 @@ class FleetOrchestrator:
             PROFILES_BY_ID.get(profile.device_id) is profile
             for profile in self.profiles
         ) and all(isinstance(strategy, str) for strategy in self.strategies)
+
+    # -- resume ---------------------------------------------------------------------
+
+    def _fleet_signature(self) -> str:
+        """Digest of everything that shapes campaign *results*.
+
+        Two fleets with the same signature produce the same summaries
+        campaign for campaign, so their checkpoints are exchangeable.
+        Workers, batch size and telemetry settings are deliberately
+        excluded — they cannot change results (pinned by the
+        worker-independence tests), and a resume may legitimately use a
+        different pool size than the interrupted run.
+        """
+        payload = json.dumps(
+            {
+                "fleet_seed": self.fleet_seed,
+                "armed": self.armed,
+                "config": repr(self.base_config),
+                "target_state": self.target_state.value,
+                "retain_trace": self.retain_trace,
+                "specs": [list(spec) for spec in iter_shard_specs(self.specs())],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _validate_resume(self) -> None:
+        """Refuse to merge checkpoints from a different fleet."""
+        from repro.telemetry import read_manifest
+
+        run_dir = Path(self.telemetry_dir) / self.resume_run_id
+        manifest = read_manifest(run_dir)
+        if manifest is None:
+            raise ValueError(
+                f"no resumable run at {run_dir} "
+                "(missing or unreadable run.json)"
+            )
+        recorded = manifest.get("fleet_signature")
+        if recorded is not None and recorded != self._signature:
+            raise ValueError(
+                f"fleet does not match run {self.resume_run_id} "
+                "(different seed, matrix, or config); refusing to merge "
+                "its checkpoints into a different fleet"
+            )
+
+    def _sync_context_snapshot(self) -> None:
+        """Pin corpus-derived campaign inputs across resume boundaries.
+
+        The visit prior and splice dictionary are read from the live
+        corpus at construction — but a corpus that partially absorbed
+        the interrupted run's write-back would seed resumed campaigns
+        differently and break resume's byte-identity. The first run
+        snapshots exactly what it used into the run directory; a resume
+        loads the snapshot instead of re-reading the corpus.
+        """
+        if self._recorder is None:
+            return
+        path = self._recorder.run_dir / CONTEXT_SNAPSHOT_FILENAME
+        if self.resume_run_id is not None and path.exists():
+            data = json.loads(path.read_text(encoding="utf-8"))
+            self._prior_visits = {
+                token: count for token, count in data["prior_visits"]
+            }
+            self._dictionary = tuple(
+                bytes.fromhex(chunk) for chunk in data["dictionary"]
+            )
+            return
+        path.write_text(
+            json.dumps(
+                {
+                    "prior_visits": sorted(self._prior_visits.items()),
+                    "dictionary": [
+                        chunk.hex() for chunk in self._dictionary
+                    ],
+                }
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def _load_resume_checkpoints(self, specs) -> dict[int, CampaignSummary]:
+        """Checkpointed summaries of the interrupted run, by spec index.
+
+        Only indices that exist in this fleet's matrix count (the
+        signature already guarantees the matrices match; this guards
+        against stray files); undecodable checkpoints were already
+        skipped by the tolerant loader and simply re-run.
+        """
+        valid = {spec.index for spec in specs}
+        restored = {
+            index: summary
+            for index, summary in load_checkpoints(
+                Path(self.telemetry_dir) / self.resume_run_id
+            ).items()
+            if index in valid
+        }
+        _log.info(
+            "resume %s: %d of %d campaign(s) restored from checkpoints",
+            self.resume_run_id,
+            len(restored),
+            len(specs),
+        )
+        return restored
 
     def _run_spec(
         self, spec: CampaignSpec, strategy_input: str | ExplorationStrategy

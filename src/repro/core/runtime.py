@@ -33,6 +33,21 @@ campaigns are pure functions of their derived seed, and results are
 re-ordered by spec index — the merged fleet report is byte-identical
 for any worker count and any batch size (pinned by the
 worker-independence tests).
+
+**Supervision** (the multi-worker default) dispatches shards as
+individual futures instead of one ``pool.map``: each in-flight shard
+carries a deadline derived from observed shard latency, worker death
+(``BrokenProcessPool``) and hangs restart the pool and requeue the lost
+shards with capped exponential backoff, and a shard that keeps failing
+is bisected until the single poison campaign is isolated, confirmed by
+a solo re-run, and quarantined — reported as a diagnostic in the fleet
+report rather than aborting the run. Because campaigns are pure
+functions of their seeds and merges are associative, none of this
+perturbs results: a run that weathered crashes, hangs and requeues
+merges to the byte-identical report of a fault-free run (pinned by the
+fault-tolerance tests). Completed shards checkpoint their summary blobs
+into the telemetry run directory, so an interrupted run can be resumed
+re-running only the missing shards.
 """
 
 from __future__ import annotations
@@ -42,13 +57,23 @@ import logging
 import os
 import struct
 import time
-from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from pathlib import Path
+from statistics import median
 
 from repro.analysis.metrics import MutationEfficiency, measure
 from repro.core.config import FuzzConfig
 from repro.core.detection import Finding, VulnerabilityClass
+from repro.core.faults import FaultPlan, WorkerCrashError
 from repro.core.report import CampaignReport
+from repro.errors import ReproError
 
 _log = logging.getLogger(__name__)
 
@@ -358,17 +383,43 @@ def encode_summary(summary: CampaignSummary) -> bytes:
     return b"".join(parts)
 
 
+class SummaryDecodeError(ReproError, ValueError):
+    """A campaign-summary blob that cannot be decoded.
+
+    Raised for truncated, corrupt, or unknown-version blobs — the
+    typed signal the supervision layer retries on and the checkpoint
+    loader skips tolerantly (a partial checkpoint file from a killed
+    worker must read as "missing", never crash the resume). Subclasses
+    :class:`ValueError` for compatibility with callers that caught the
+    old untyped version error.
+    """
+
+
 def decode_summary(blob: bytes) -> CampaignSummary:
     """Decode one :func:`encode_summary` blob.
 
-    :raises ValueError: on an unknown format version.
+    :raises SummaryDecodeError: on an empty, truncated, corrupt, or
+        unknown-version blob.
     """
+    if not blob:
+        raise SummaryDecodeError("empty campaign-summary blob")
     version = blob[0]
     if version != SUMMARY_FORMAT_VERSION:
-        raise ValueError(
+        raise SummaryDecodeError(
             f"unknown campaign-summary format version {version} "
             f"(expected {SUMMARY_FORMAT_VERSION})"
         )
+    try:
+        summary = _decode_summary_body(blob)
+    except (struct.error, IndexError, UnicodeDecodeError) as error:
+        raise SummaryDecodeError(
+            f"truncated or corrupt campaign-summary blob "
+            f"({len(blob)} bytes): {error}"
+        ) from error
+    return summary
+
+
+def _decode_summary_body(blob: bytes) -> CampaignSummary:
     reader = _Reader(blob)
     reader.offset = 1
     target_name = reader.text()
@@ -426,6 +477,13 @@ def decode_summary(blob: bytes) -> CampaignSummary:
     coverage_samples = tuple(
         (reader.size(), reader.u32()) for _ in range(reader.size())
     )
+    if reader.offset != len(blob):
+        # Over-read happens when a truncated tail was absorbed by a
+        # short slice instead of raising; under-read is trailing junk.
+        raise SummaryDecodeError(
+            f"campaign-summary decode consumed {reader.offset} of "
+            f"{len(blob)} bytes"
+        )
     return CampaignSummary(
         target_name=target_name,
         fuzz_target=fuzz_target,
@@ -477,6 +535,9 @@ class FleetContext:
     run_id: str | None = None
     #: Dump a cProfile per worker shard under the run's profiles/ dir.
     profile_workers: bool = False
+    #: Deterministic fault injection (chaos runs and recovery tests);
+    #: None — the production default — injects nothing.
+    fault_plan: FaultPlan | None = None
 
 
 #: Bare campaign coordinates: (index, device_id, strategy, seed, target).
@@ -493,7 +554,7 @@ def _worker_init(context: FleetContext) -> None:
 
 def _run_shard(shard: Sequence[ShardSpec]) -> list[bytes]:
     """Process-pool task: run one shard against the initialised context."""
-    return run_shard(_WORKER_CONTEXT, shard)
+    return run_shard(_WORKER_CONTEXT, shard, in_process_worker=True)
 
 
 def _open_shard_journal(context: FleetContext, shard: Sequence[ShardSpec]):
@@ -553,7 +614,9 @@ def _emit_campaign_telemetry(
 
 
 def run_shard(
-    context: FleetContext, shard: Sequence[ShardSpec]
+    context: FleetContext,
+    shard: Sequence[ShardSpec],
+    in_process_worker: bool = False,
 ) -> list[bytes]:
     """Run every campaign of *shard* back to back; return summary blobs.
 
@@ -577,6 +640,11 @@ def run_shard(
     from repro.testbed.profiles import PROFILES_BY_ID
     from repro.testbed.session import FuzzSession
 
+    if context.fault_plan is not None:
+        # Shard-boundary fault injection: planned crashes die and hangs
+        # stall *here*, before any journal or corpus side effect, so a
+        # requeued shard re-runs from a clean slate.
+        context.fault_plan.on_shard_start(shard, in_process_worker)
     journal = _open_shard_journal(context, shard)
     profiler = None
     if context.profile_workers and journal is not None:
@@ -638,6 +706,10 @@ def run_shard(
     if context.corpus_dir is not None:
         from repro.corpus.store import record_campaigns
 
+        if context.fault_plan is not None:
+            # Transient corpus-IO faults fire before anything is
+            # written, so the requeued shard cannot double-write.
+            context.fault_plan.on_corpus_writeback(shard)
         stats = record_campaigns(
             context.corpus_dir,
             [
@@ -679,7 +751,6 @@ def run_shard(
     if profiler is not None:
         profiler.disable()
         from repro.telemetry import PROFILES_DIRNAME
-        from pathlib import Path
 
         profile_dir = (
             Path(context.telemetry_dir) / context.run_id / PROFILES_DIRNAME
@@ -688,36 +759,206 @@ def run_shard(
         profiler.dump_stats(
             profile_dir / f"worker-{os.getpid()}-shard-{shard[0][0]:06d}.prof"
         )
+    if context.fault_plan is not None:
+        blobs = context.fault_plan.corrupt_blobs(shard, blobs)
+    if context.telemetry_dir is not None and context.run_id is not None:
+        write_checkpoints(
+            Path(context.telemetry_dir) / context.run_id, shard, blobs
+        )
     return blobs
 
 
 # ---------------------------------------------------------------------------
-# Orchestrator side
+# Shard checkpoints
+# ---------------------------------------------------------------------------
+
+#: Per-run directory holding one summary blob per completed campaign.
+CHECKPOINTS_DIRNAME = "checkpoints"
+
+
+def _checkpoint_path(run_dir: Path, index: int) -> Path:
+    return run_dir / CHECKPOINTS_DIRNAME / f"campaign-{index:06d}.bin"
+
+
+def write_checkpoints(
+    run_dir: Path, shard: Sequence[ShardSpec], blobs: Sequence[bytes]
+) -> None:
+    """Persist a completed shard's summary blobs, one file per campaign.
+
+    Writes are atomic (pid-unique temp file + ``os.replace``): a reader
+    — or a resumed run — sees either a whole blob or no file, never a
+    torn one; a worker killed mid-write leaves at worst a stale temp
+    file. A retried shard simply overwrites its campaigns' files with
+    the identical bytes (campaigns are pure functions of their seeds).
+    """
+    checkpoint_dir = run_dir / CHECKPOINTS_DIRNAME
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    for spec, blob in zip(shard, blobs):
+        final = _checkpoint_path(run_dir, spec[0])
+        scratch = final.with_suffix(f".{os.getpid()}.tmp")
+        scratch.write_bytes(blob)
+        os.replace(scratch, final)
+
+
+def load_checkpoints(run_dir: Path) -> dict[int, CampaignSummary]:
+    """Read every decodable shard checkpoint under *run_dir*.
+
+    Tolerant by design, mirroring the journal's torn-line handling: a
+    truncated or corrupt checkpoint (worker killed mid-run, injected
+    corruption) is skipped — it reads as "campaign not done", and the
+    resumed run re-executes it.
+    """
+    checkpoint_dir = Path(run_dir) / CHECKPOINTS_DIRNAME
+    summaries: dict[int, CampaignSummary] = {}
+    if not checkpoint_dir.is_dir():
+        return summaries
+    for path in sorted(checkpoint_dir.glob("campaign-*.bin")):
+        try:
+            index = int(path.stem.split("-")[1])
+        except (IndexError, ValueError):
+            continue
+        try:
+            summaries[index] = decode_summary(path.read_bytes())
+        except SummaryDecodeError:
+            _log.warning("skipping undecodable checkpoint %s", path.name)
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator side: supervision
 # ---------------------------------------------------------------------------
 
 
+@dataclasses.dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs for the supervised dispatch loop.
+
+    :param max_attempts: failures a shard absorbs before it is bisected
+        (multi-campaign shards) or escalated to a solo-confirmation run
+        (singletons).
+    :param backoff_base: first-retry delay; doubles per attempt.
+    :param backoff_cap: ceiling on the retry delay.
+    :param timeout_floor: minimum per-shard deadline — also the whole
+        deadline until the first shard completes and calibrates the
+        latency estimate.
+    :param timeout_factor: deadline multiplier over the observed median
+        per-campaign latency (generous on purpose: it must absorb queue
+        wait behind the in-flight cap and honest stragglers; only a
+        genuinely wedged worker should trip it).
+    :param poll_interval: how often the supervisor wakes to scan
+        deadlines while futures are outstanding.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    timeout_floor: float = 60.0
+    timeout_factor: float = 8.0
+    poll_interval: float = 0.05
+
+    def backoff(self, attempts: int) -> float:
+        """Capped exponential delay before attempt *attempts* + 1."""
+        return min(
+            self.backoff_cap, self.backoff_base * (2 ** max(0, attempts - 1))
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QuarantinedShard:
+    """A campaign the supervisor gave up on, and why."""
+
+    spec: ShardSpec
+    attempts: int
+    reason: str
+
+
+@dataclasses.dataclass
+class SupervisionStats:
+    """What the supervisor had to do during one :meth:`run_specs`."""
+
+    retries: int = 0
+    requeued: int = 0
+    worker_crashes: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    decode_failures: int = 0
+    bisections: int = 0
+    quarantined: list[QuarantinedShard] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def eventful(self) -> bool:
+        return any(
+            (
+                self.retries,
+                self.requeued,
+                self.worker_crashes,
+                self.timeouts,
+                self.pool_restarts,
+                self.decode_failures,
+                self.bisections,
+                self.quarantined,
+            )
+        )
+
+
+@dataclasses.dataclass
+class _ShardJob:
+    """One shard's place in the supervised queue."""
+
+    shard: tuple[ShardSpec, ...]
+    attempts: int = 0
+    not_before: float = 0.0
+    #: Set once a singleton exhausts its attempts: the next run gets the
+    #: pool to itself, so a failure is attributable to the campaign and
+    #: a success exonerates it (it may have been a crashed neighbour's
+    #: victim every time).
+    require_solo: bool = False
+
+
 class FleetRuntime:
-    """A persistent pool of campaign workers.
+    """A persistent, supervised pool of campaign workers.
 
     Created once per fleet context and reused across any number of
     :meth:`run_specs` calls — the pool (and each worker's initialised
     context) survives between runs, so repeated fleets pay the process
     start-up and context shipping cost once.
 
+    Multi-worker dispatch is supervised by default: per-shard deadlines,
+    pool restart on worker death or hang, capped-backoff requeue, and
+    bisect-to-quarantine for poison campaigns (see the module
+    docstring). The runtime stays usable after any recovery — including
+    after :meth:`close` — because the pool is rebuilt on demand.
+
     :param context: the per-worker campaign context.
     :param workers: pool size.
     :param use_processes: real process parallelism (registry-only
         fleets); False uses threads (custom in-process objects).
+    :param policy: supervision knobs; None takes the defaults.
+    :param on_event: optional callable ``(event, **fields)`` receiving
+        supervision events (``worker_crash``, ``shard_retry``,
+        ``shard_timeout``, ``shard_quarantined``) — the orchestrator
+        wires the telemetry journal in here.
     """
 
     def __init__(
-        self, context: FleetContext, workers: int, use_processes: bool = True
+        self,
+        context: FleetContext,
+        workers: int,
+        use_processes: bool = True,
+        policy: SupervisionPolicy | None = None,
+        on_event: Callable | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.context = context
         self.workers = workers
         self.use_processes = use_processes
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.on_event = on_event
+        #: Stats from the most recent :meth:`run_specs` call.
+        self.last_supervision: SupervisionStats | None = None
         self._pool = None
 
     # -- lifecycle -----------------------------------------------------------------
@@ -739,6 +980,27 @@ class FleetRuntime:
                 self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _restart_pool(self, stats: SupervisionStats | None = None) -> None:
+        """Tear the pool down hard — killing its workers — and forget it.
+
+        The next :meth:`_ensure_pool` builds a fresh one. Used when the
+        pool is broken (a worker died) or wedged (a shard blew its
+        deadline); queued work is cancelled, and it is the caller's job
+        to requeue whatever was in flight.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if stats is not None:
+            stats.pool_restarts += 1
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.kill()
+            except (OSError, ValueError):  # already reaped
+                pass
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
@@ -754,15 +1016,26 @@ class FleetRuntime:
     # -- execution -----------------------------------------------------------------
 
     def run_specs(
-        self, specs: Sequence[ShardSpec], batch: int | None = None
-    ) -> list[CampaignSummary]:
+        self,
+        specs: Sequence[ShardSpec],
+        batch: int | None = None,
+        supervised: bool = True,
+    ) -> list["CampaignSummary | None"]:
         """Run *specs* over the pool; summaries come back in spec order.
+
+        A quarantined campaign's slot holds ``None`` (fault-free runs
+        never quarantine, so every slot is a summary on the happy
+        path); :attr:`last_supervision` carries the diagnostics.
 
         :param batch: campaigns per worker message. None auto-sizes so
             every worker gets work without starving the tail: roughly
             four shards per worker, minimum one campaign per shard.
+        :param supervised: False bypasses the supervision loop for bare
+            ``pool.map`` dispatch — no deadlines, no retry, first
+            failure propagates. Kept for overhead benchmarking.
         """
         if not specs:
+            self.last_supervision = SupervisionStats()
             return []
         if batch is None:
             batch = self.shard_size(len(specs))
@@ -778,36 +1051,290 @@ class FleetRuntime:
             len(shards),
             batch,
         )
+        stats = SupervisionStats()
+        self.last_supervision = stats
         if self.workers == 1:
             # Inline: no pool, no serialisation tax, same code path the
             # workers run (summaries included) for identical results.
+            # Nothing to supervise — a failure propagates to the caller.
             blobs: list[bytes] = []
             for shard in shards:
                 blobs.extend(run_shard(self.context, shard))
-        elif self.use_processes:
+            return [decode_summary(blob) for blob in blobs]
+        if not supervised:
             pool = self._ensure_pool()
-            blobs = [
-                blob
-                for shard_blobs in pool.map(_run_shard, shards)
-                for blob in shard_blobs
-            ]
-        else:
-            pool = self._ensure_pool()
-            context = self.context
-            blobs = [
-                blob
-                for shard_blobs in pool.map(
+            if self.use_processes:
+                shard_results = pool.map(_run_shard, shards)
+            else:
+                context = self.context
+                shard_results = pool.map(
                     lambda shard: run_shard(context, shard), shards
                 )
+            return [
+                decode_summary(blob)
+                for shard_blobs in shard_results
                 for blob in shard_blobs
             ]
-        return [decode_summary(blob) for blob in blobs]
+        results = self._run_supervised(shards, stats)
+        return [results.get(spec[0]) for spec in specs]
 
     def shard_size(self, spec_count: int) -> int:
         """Auto batch size: ~4 shards per worker, at least 1 campaign."""
         if self.workers == 1:
             return max(1, spec_count)
         return max(1, spec_count // (self.workers * 4) or 1)
+
+    # -- supervised dispatch -------------------------------------------------------
+
+    def _submit(self, job: _ShardJob):
+        pool = self._ensure_pool()
+        if self.use_processes:
+            return pool.submit(_run_shard, job.shard)
+        return pool.submit(run_shard, self.context, job.shard)
+
+    def _emit(self, event: str, **fields) -> None:
+        _log.info(
+            "supervision: %s %s",
+            event,
+            " ".join(f"{key}={value}" for key, value in fields.items()),
+        )
+        if self.on_event is not None:
+            self.on_event(event, **fields)
+
+    def _run_supervised(
+        self, shards: list[tuple[ShardSpec, ...]], stats: SupervisionStats
+    ) -> dict[int, CampaignSummary]:
+        """Dispatch *shards* as individual futures under supervision.
+
+        The loop keeps at most ``workers * 2`` shards in flight (so
+        deadlines, measured from submission, track execution rather
+        than queue depth), polls for completions, and reacts:
+
+        * **success** — decode, record, feed the latency estimator;
+        * **decode failure** — the shard ran but returned garbage
+          (truncated blob, wrong count): requeue with backoff;
+        * **worker exception** (thread pool) — requeue with backoff;
+        * **broken pool** (process worker died) — restart the pool,
+          requeue the shard that surfaced the break with a bumped
+          attempt count, requeue innocent in-flight shards unbumped;
+        * **deadline blown** — same as a break, for hangs.
+
+        A shard that exhausts ``max_attempts`` is bisected; a singleton
+        is re-run with the pool to itself (``require_solo``) and only
+        quarantined if it fails *alone* — otherwise it is exonerated.
+        """
+        policy = self.policy
+        pending: list[_ShardJob] = [_ShardJob(shard) for shard in shards]
+        in_flight: dict = {}
+        results: dict[int, CampaignSummary] = {}
+        latencies: list[float] = []
+        max_inflight = self.workers * 2
+        solo_active = False
+
+        def deadline_budget(shard_len: int) -> float:
+            if not latencies:
+                return policy.timeout_floor
+            return max(
+                policy.timeout_floor,
+                policy.timeout_factor * median(latencies) * shard_len,
+            )
+
+        def record_success(job: _ShardJob, blobs, wall: float) -> None:
+            if len(blobs) != len(job.shard):
+                raise SummaryDecodeError(
+                    f"shard returned {len(blobs)} summaries "
+                    f"for {len(job.shard)} campaign(s)"
+                )
+            decoded = [decode_summary(blob) for blob in blobs]
+            for spec, summary in zip(job.shard, decoded):
+                results[spec[0]] = summary
+            latencies.append(wall / len(job.shard))
+
+        def quarantine(job: _ShardJob, reason: str) -> None:
+            for spec in job.shard:
+                stats.quarantined.append(
+                    QuarantinedShard(
+                        spec=spec, attempts=job.attempts, reason=reason
+                    )
+                )
+                self._emit(
+                    "shard_quarantined",
+                    specs=[spec[0]],
+                    attempts=job.attempts,
+                    reason=reason,
+                )
+
+        def requeue_failed(job: _ShardJob, reason: str, now: float) -> None:
+            """The shard implicated in a failure: bump and re-plan."""
+            job.attempts += 1
+            stats.retries += 1
+            self._emit(
+                "shard_retry",
+                specs=[spec[0] for spec in job.shard],
+                attempts=job.attempts,
+                reason=reason,
+            )
+            if job.require_solo:
+                # It had the pool to itself and still failed: the
+                # campaign is the poison, not a crashed neighbour.
+                quarantine(job, reason)
+                return
+            if job.attempts >= policy.max_attempts:
+                if len(job.shard) > 1:
+                    # Bisect: halve the blast radius each round until
+                    # the poison campaign stands alone.
+                    stats.bisections += 1
+                    mid = len(job.shard) // 2
+                    pending.append(
+                        _ShardJob(job.shard[:mid], not_before=now)
+                    )
+                    pending.append(
+                        _ShardJob(job.shard[mid:], not_before=now)
+                    )
+                else:
+                    job.require_solo = True
+                    job.not_before = now + policy.backoff(job.attempts)
+                    pending.append(job)
+            else:
+                job.not_before = now + policy.backoff(job.attempts)
+                pending.append(job)
+
+        def requeue_victims(jobs, now: float) -> None:
+            """Innocent in-flight shards lost to a restart: no bump."""
+            for job in jobs:
+                stats.requeued += 1
+                job.not_before = now
+                pending.append(job)
+
+        while pending or in_flight:
+            now = time.monotonic()
+            while (
+                pending and not solo_active and len(in_flight) < max_inflight
+            ):
+                index = next(
+                    (
+                        position
+                        for position, job in enumerate(pending)
+                        if job.not_before <= now
+                    ),
+                    None,
+                )
+                if index is None:
+                    break
+                if pending[index].require_solo and in_flight:
+                    # Submission barrier: drain the pool so the solo
+                    # run's verdict is attributable.
+                    break
+                job = pending.pop(index)
+                future = self._submit(job)
+                in_flight[future] = (job, time.monotonic())
+                if job.require_solo:
+                    solo_active = True
+            if not in_flight:
+                wake = min(job.not_before for job in pending)
+                time.sleep(
+                    max(
+                        0.001,
+                        min(
+                            policy.poll_interval, wake - time.monotonic()
+                        ),
+                    )
+                )
+                continue
+            done, _ = wait(
+                tuple(in_flight),
+                timeout=policy.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            broke: "tuple[_ShardJob, str] | None" = None
+            victims: list[_ShardJob] = []
+            for future in done:
+                job, submitted = in_flight.pop(future)
+                if job.require_solo:
+                    solo_active = False
+                try:
+                    blobs = future.result()
+                except BrokenExecutor as error:
+                    # A dead worker breaks every in-flight future at
+                    # once; only the first to surface takes the blame.
+                    if broke is None:
+                        broke = (
+                            job,
+                            f"worker process died ({type(error).__name__})",
+                        )
+                    else:
+                        victims.append(job)
+                    continue
+                except Exception as error:  # noqa: BLE001 — worker raised
+                    if isinstance(error, WorkerCrashError):
+                        stats.worker_crashes += 1
+                        self._emit(
+                            "worker_crash",
+                            specs=[spec[0] for spec in job.shard],
+                            reason=str(error),
+                        )
+                    requeue_failed(
+                        job, f"{type(error).__name__}: {error}", now
+                    )
+                    continue
+                try:
+                    record_success(job, blobs, now - submitted)
+                except SummaryDecodeError as error:
+                    stats.decode_failures += 1
+                    requeue_failed(
+                        job, f"{type(error).__name__}: {error}", now
+                    )
+            if broke is not None:
+                offender, reason = broke
+                stats.worker_crashes += 1
+                self._emit(
+                    "worker_crash",
+                    specs=[spec[0] for spec in offender.shard],
+                    reason=reason,
+                )
+                victims.extend(job for job, _ in in_flight.values())
+                in_flight.clear()
+                solo_active = False
+                self._restart_pool(stats)
+                requeue_failed(offender, reason, now)
+                requeue_victims(victims, now)
+                continue
+            expired = next(
+                (
+                    (future, job, submitted)
+                    for future, (job, submitted) in in_flight.items()
+                    if now - submitted > deadline_budget(len(job.shard))
+                ),
+                None,
+            )
+            if expired is not None:
+                hung_future, hung, submitted = expired
+                stats.timeouts += 1
+                reason = (
+                    f"shard exceeded its "
+                    f"{deadline_budget(len(hung.shard)):.1f}s deadline"
+                )
+                self._emit(
+                    "shard_timeout",
+                    specs=[spec[0] for spec in hung.shard],
+                    elapsed=round(now - submitted, 3),
+                    reason=reason,
+                )
+                bystanders = [
+                    job
+                    for future, (job, _) in in_flight.items()
+                    if future is not hung_future
+                ]
+                in_flight.clear()
+                solo_active = False
+                # The hung worker holds a pool slot hostage — and with
+                # a process pool there is no task-level kill. Restart,
+                # losing (and requeueing) the innocent in-flight work.
+                self._restart_pool(stats)
+                requeue_failed(hung, reason, now)
+                requeue_victims(bystanders, now)
+        return results
 
 
 def iter_shard_specs(specs: Iterable) -> tuple[ShardSpec, ...]:

@@ -30,8 +30,10 @@ writers and vice versa.
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
 import threading
+import time
 from pathlib import Path
 
 from repro.corpus.backend import (
@@ -43,11 +45,56 @@ from repro.corpus.backend import (
 from repro.corpus.entry import CorpusEntry, dict_to_entry
 from repro.corpus.findings import FindingRecord, dict_to_record, record_to_dict
 
+_log = logging.getLogger(__name__)
+
 #: Schema version stamped into ``meta`` on creation.
 SCHEMA_VERSION = 1
 
 #: How long a writer waits on a locked database before giving up (ms).
 BUSY_TIMEOUT_MS = 30_000
+
+#: Total tries a write transaction gets on a locked database.
+WRITE_RETRY_ATTEMPTS = 6
+
+#: First-retry sleep (doubles per retry) and its ceiling, in seconds.
+WRITE_RETRY_BASE_SECONDS = 0.02
+WRITE_RETRY_CAP_SECONDS = 0.5
+
+
+def _is_lock_error(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def _write_with_retry(operation, describe: str):
+    """Run a write transaction, retrying lock contention with backoff.
+
+    The busy timeout already absorbs waits *within* a statement, but a
+    writer can still surface ``database is locked`` when it loses the
+    upgrade race for the write lock (or the timeout elapses under
+    pathological contention). Shard corpus write-back must survive
+    that transient instead of failing a whole shard, so locked/busy
+    errors are retried with capped exponential backoff; any other
+    operational error propagates untouched.
+    """
+    for attempt in range(1, WRITE_RETRY_ATTEMPTS + 1):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not _is_lock_error(error) or attempt == WRITE_RETRY_ATTEMPTS:
+                raise
+            delay = min(
+                WRITE_RETRY_CAP_SECONDS,
+                WRITE_RETRY_BASE_SECONDS * (2 ** (attempt - 1)),
+            )
+            _log.debug(
+                "%s hit a locked database (attempt %d/%d); retrying in %.3fs",
+                describe,
+                attempt,
+                WRITE_RETRY_ATTEMPTS,
+                delay,
+            )
+            time.sleep(delay)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -151,6 +198,11 @@ class SqliteCorpusBackend(CorpusBackend):
     # -- entries ------------------------------------------------------------------
 
     def add_entry(self, entry: CorpusEntry) -> bool:
+        return _write_with_retry(
+            lambda: self._add_entry_once(entry), "add_entry"
+        )
+
+    def _add_entry_once(self, entry: CorpusEntry) -> bool:
         from repro.corpus.file_backend import entry_line
 
         connection = self._connect(create=True)
@@ -252,6 +304,14 @@ class SqliteCorpusBackend(CorpusBackend):
         persisting the fold, so it re-scans from the stored cursor but
         leaves the cursor untouched.
         """
+        # Retried as a unit: the fold is associative and the entries
+        # table is append-only, so a rerun after a lock error computes
+        # the identical winner map.
+        return _write_with_retry(
+            lambda: self._minimize_once(write), "minimize"
+        )
+
+    def _minimize_once(self, write: bool) -> list[CorpusEntry]:
         connection = self._connect(create=write)
         if connection is None:
             return []
@@ -343,6 +403,11 @@ class SqliteCorpusBackend(CorpusBackend):
         count-or-create decision and the increment are atomic — exact
         occurrence totals under arbitrarily parallel ingestion.
         """
+        return _write_with_retry(
+            lambda: self._record_finding_once(record), "record_finding"
+        )
+
+    def _record_finding_once(self, record: FindingRecord) -> str:
         connection = self._connect(create=True)
         with connection:
             cursor = connection.execute(
@@ -462,4 +527,9 @@ class SqliteCorpusBackend(CorpusBackend):
         )
 
 
-__all__ = ["BUSY_TIMEOUT_MS", "SCHEMA_VERSION", "SqliteCorpusBackend"]
+__all__ = [
+    "BUSY_TIMEOUT_MS",
+    "SCHEMA_VERSION",
+    "WRITE_RETRY_ATTEMPTS",
+    "SqliteCorpusBackend",
+]

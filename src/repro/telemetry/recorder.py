@@ -124,7 +124,12 @@ class RunRecorder:
     """Records one fleet run: journal, manifest, metrics, exposition."""
 
     def __init__(
-        self, root: str | Path, workers: int, run_id: str | None = None
+        self,
+        root: str | Path,
+        workers: int,
+        run_id: str | None = None,
+        fleet_signature: str | None = None,
+        resumed: bool = False,
     ) -> None:
         self.run_id = run_id if run_id is not None else new_run_id()
         self.root = Path(root)
@@ -151,6 +156,9 @@ class RunRecorder:
             "pid": os.getpid(),
             "workers": workers,
             "runs_recorded": 0,
+            "fleet_signature": fleet_signature,
+            "resumed": resumed,
+            "failure_reason": None,
             **self._totals,
         }
         self._write_manifest()
@@ -174,6 +182,29 @@ class RunRecorder:
         self._write_manifest()
         self._finalizer.detach()
         _log.debug("run %s closed", self.run_id)
+
+    def record_failure(self, reason: str) -> None:
+        """Terminally mark the run ``aborted``, with a cause.
+
+        The crash-safety finalizer already flips an abandoned run to
+        ``aborted``, but silently; this is the orchestrator-side path
+        for a failure it actually caught — the manifest gets the
+        exception text, the journal a ``run_abort`` event, and the
+        completed shards' checkpoints stay on disk for ``--resume``.
+        Idempotent with :meth:`close`: whichever runs first wins.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        merge_segments(self.run_dir)
+        self._journal.emit("run_abort", reason=reason)
+        self._journal.close()
+        self._manifest["status"] = "aborted"
+        self._manifest["failure_reason"] = reason
+        self._manifest["finished"] = _utc_now()
+        self._write_manifest()
+        self._finalizer.detach()
+        _log.debug("run %s aborted: %s", self.run_id, reason)
 
     def __enter__(self) -> "RunRecorder":
         return self
@@ -216,6 +247,7 @@ class RunRecorder:
         wall_seconds: float,
         profiles_by_id: dict,
         emit_campaign_events: bool = False,
+        supervision=None,
     ) -> None:
         """Fold one finished fleet run into journal + metrics.
 
@@ -223,6 +255,11 @@ class RunRecorder:
             orchestrator-side — used by the thread-fallback path, where
             no worker segments exist. The process path's campaign events
             come from the workers' own journal segments.
+        :param supervision: the runtime's
+            :class:`~repro.core.runtime.SupervisionStats` for this run,
+            folded into retry/requeue counters. Deliberately *not* part
+            of the fleet report — supervision activity varies with
+            faults, the report must not.
         """
         if emit_campaign_events:
             for run in runs:
@@ -231,6 +268,8 @@ class RunRecorder:
         self._fold_worker_events(merged)
         for run in runs:
             self._fold_campaign(run, profiles_by_id)
+        if supervision is not None:
+            self._fold_supervision(supervision)
         self._fold_fleet_report(fleet_report, wall_seconds)
         self._totals["campaigns"] += len(fleet_report.campaigns)
         self._totals["packets"] += fleet_report.total_packets
@@ -443,6 +482,28 @@ class RunRecorder:
             metrics.set_gauge(
                 "repro_straggler_lag_seconds", round(ordered[-1] - median, 6)
             )
+
+    def _fold_supervision(self, supervision) -> None:
+        """Supervisor activity counters — zero on a healthy run."""
+        metrics = self.metrics
+        for name, value in (
+            ("repro_shard_retries_total", supervision.retries),
+            ("repro_shards_requeued_total", supervision.requeued),
+            ("repro_worker_crashes_total", supervision.worker_crashes),
+            ("repro_shard_timeouts_total", supervision.timeouts),
+            ("repro_pool_restarts_total", supervision.pool_restarts),
+            (
+                "repro_summary_decode_failures_total",
+                supervision.decode_failures,
+            ),
+            ("repro_shard_bisections_total", supervision.bisections),
+            (
+                "repro_quarantined_campaigns_total",
+                len(supervision.quarantined),
+            ),
+        ):
+            if value:
+                metrics.inc(name, value)
 
     def _fold_fleet_report(self, fleet_report, wall_seconds: float) -> None:
         metrics = self.metrics

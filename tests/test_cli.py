@@ -128,6 +128,7 @@ class TestFleet:
             "coverage_map",
             "state_spaces",
             "findings",
+            "quarantined",
             "strategy_table",
             "campaigns",
         }
