@@ -1,0 +1,186 @@
+"""Control-plane overhead gate: the service must cost ~nothing.
+
+Two numbers, both against a live in-process control plane with a
+pre-warmed pool:
+
+* **submit → first shard**: wall time from the submit call returning
+  until the job's telemetry run shows its first journal event — the
+  queueing + dispatch latency a tenant pays before fuzzing starts.
+* **service vs direct**: the same spec run end-to-end through the HTTP
+  service (submit, poll, fetch report) versus straight through
+  :class:`FleetOrchestrator` on an equally warm pool. The full-mode
+  gate is the ISSUE's <5% overhead budget; ``--quick`` only catches
+  blowups, since sub-second jobs cannot amortise the fixed HTTP and
+  scheduling cost.
+
+Every run appends to ``benchmarks/BENCH_service.json`` (same shape as
+the other BENCH files: first run kept as baseline, last 50 runs).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import FuzzConfig
+from repro.core.fleet import FleetOrchestrator
+from repro.service import ControlPlaneThread, ServiceClient, ServiceConfig
+from repro.testbed.profiles import PROFILES_BY_ID
+
+from benchmarks.bench_helpers import print_table, run_once, scaled
+
+BUDGET = 20_000
+QUICK_BUDGET = 600
+
+POOL_WORKERS = 2
+PROFILES = ("D1", "D2")
+STRATEGIES = ("sequential", "targeted")
+
+#: The ISSUE's budget: running through the service may not cost more
+#: than this fraction over the direct orchestrator run.
+OVERHEAD_TOLERANCE = 0.05
+
+#: Smoke-mode tolerance: a sub-second job pays the same fixed HTTP +
+#: dispatch cost against far too little work to amortise it.
+QUICK_TOLERANCE = 1.00
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def _spec(budget: int, seed: int) -> dict:
+    # Disarmed: armed campaigns stop at the injected bug, so only a
+    # disarmed run actually spends the budget being measured.
+    return {
+        "profiles": list(PROFILES),
+        "strategies": list(STRATEGIES),
+        "budget": budget,
+        "seed": seed,
+        "armed": False,
+    }
+
+
+def _direct_wall(budget: int, seed: int) -> float:
+    """The same matrix straight through the orchestrator (warm pool
+    excluded from the measurement by running inside one context)."""
+    orchestrator = FleetOrchestrator(
+        profiles=[PROFILES_BY_ID[d] for d in PROFILES],
+        strategies=list(STRATEGIES),
+        fleet_seed=seed,
+        workers=POOL_WORKERS,
+        base_config=FuzzConfig(max_packets=budget),
+        armed=False,
+    )
+    with orchestrator:
+        start = time.perf_counter()
+        orchestrator.run()
+        return time.perf_counter() - start
+
+
+def _submit_to_first_event(client: ServiceClient, budget: int) -> float:
+    """Seconds from submit returning until the run journals anything."""
+    record = client.submit(_spec(budget, seed=97))
+    job_id = record["job_id"]
+    start = time.perf_counter()
+    deadline = start + 120
+    while time.perf_counter() < deadline:
+        job = client.job(job_id)
+        if job["run_id"] is not None:
+            status = client.status(job_id)
+            if status["events"] > 0:
+                latency = time.perf_counter() - start
+                client.wait(job_id, timeout=300)
+                return latency
+        if job["status"] not in ("queued", "running"):
+            raise RuntimeError(f"job ended {job['status']}: {job['error']}")
+        time.sleep(0.002)
+    raise TimeoutError("no journal event within 120s of submit")
+
+
+def _service_wall(client: ServiceClient, budget: int, seed: int) -> float:
+    """Submit → poll to completion → fetch report, as a tenant would."""
+    start = time.perf_counter()
+    record = client.submit(_spec(budget, seed))
+    final = client.wait(record["job_id"], timeout=600)
+    assert final["status"] == "finished", final["error"]
+    client.report_text(record["job_id"])
+    return time.perf_counter() - start
+
+
+def _measure(budget: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as data_dir:
+        config = ServiceConfig(
+            data_dir=data_dir, port=0, pool_workers=POOL_WORKERS
+        )
+        with ControlPlaneThread(config) as server:
+            client = ServiceClient(server.base_url, tenant="bench")
+            # Warm the shared pool (and the direct-run process caches)
+            # so both arms measure steady-state dispatch, not start-up.
+            client.wait(
+                client.submit(_spec(min(budget, 500), seed=1))["job_id"],
+                timeout=300,
+            )
+            first_shard = _submit_to_first_event(client, min(budget, 500))
+            service_wall = _service_wall(client, budget, seed=42)
+    direct_wall = _direct_wall(budget, seed=42)
+    return {
+        "first_shard_seconds": first_shard,
+        "service_wall_seconds": service_wall,
+        "direct_wall_seconds": direct_wall,
+    }
+
+
+def _load_results() -> dict:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    return {"baseline": {}, "runs": []}
+
+
+def bench_service_overhead(benchmark, quick):
+    budget = scaled(quick, BUDGET, QUICK_BUDGET)
+    measured = run_once(benchmark, lambda: _measure(budget))
+    overhead = (
+        measured["service_wall_seconds"] - measured["direct_wall_seconds"]
+    ) / measured["direct_wall_seconds"]
+    mode = "quick" if quick else "full"
+    entry = {
+        "mode": mode,
+        "budget": budget,
+        "pool_workers": POOL_WORKERS,
+        "campaigns": len(PROFILES) * len(STRATEGIES),
+        "first_shard_seconds": round(measured["first_shard_seconds"], 4),
+        "service_wall_seconds": round(measured["service_wall_seconds"], 4),
+        "direct_wall_seconds": round(measured["direct_wall_seconds"], 4),
+        "overhead_pct": round(100.0 * overhead, 2),
+        "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+    data = _load_results()
+    data.setdefault("runs", []).append(entry)
+    data["runs"] = data["runs"][-50:]
+    baseline = data.setdefault("baseline", {}).get(mode)
+    if baseline is None:
+        data["baseline"][mode] = entry
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    rows = [entry]
+    if baseline is not None:
+        rows.append({**baseline, "mode": f"{mode} (first recorded)"})
+    print_table("service — control-plane overhead vs direct run", rows)
+
+    assert measured["first_shard_seconds"] < 5.0, (
+        "submit→first-shard latency "
+        f"{measured['first_shard_seconds']:.2f}s; dispatch onto the warm "
+        "pool should be near-instant"
+    )
+    tolerance = QUICK_TOLERANCE if quick else OVERHEAD_TOLERANCE
+    assert overhead <= tolerance, (
+        f"service overhead {overhead:.1%} exceeds the {tolerance:.0%} "
+        f"budget (service {measured['service_wall_seconds']:.3f}s vs "
+        f"direct {measured['direct_wall_seconds']:.3f}s); the control "
+        "plane must stay a thin layer over the warm fleet runtime"
+    )

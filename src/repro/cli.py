@@ -14,6 +14,9 @@ Commands:
 * ``corpus`` — inspect, minimise, replay or export a shared corpus.
 * ``runs`` — list, show or live-tail telemetry runs recorded by
   ``fleet --telemetry``.
+* ``serve`` — run the fuzzing-as-a-service control plane.
+* ``jobs`` — submit/list/show/cancel/resume jobs on a running control
+  plane over HTTP.
 
 All command output flows through stdlib ``logging``: the ``repro.cli``
 logger carries user-facing text to stdout (``--quiet`` keeps warnings
@@ -536,9 +539,14 @@ def cmd_survey(args) -> int:
 
 def cmd_runs_list(args) -> int:
     """List telemetry runs under a root directory, newest first."""
-    from repro.telemetry import list_runs
+    import json
+
+    from repro.telemetry import list_runs, run_info_dict
 
     runs = list_runs(args.root)
+    if args.json:
+        _echo(json.dumps([run_info_dict(info) for info in runs], indent=2))
+        return 0
     if not runs:
         _echo(f"no telemetry runs under {args.root!r}")
         return 0
@@ -547,11 +555,14 @@ def cmd_runs_list(args) -> int:
         f" {'packets':>10} {'findings':>8}  started"
     )
     for info in runs:
+        flags = " (resumed)" if info.resumed else ""
         _echo(
             f"{info.run_id:<22} {info.status:<9} {info.workers:>7}"
             f" {info.campaigns:>9} {info.packets:>10} {info.findings:>8}"
-            f"  {info.started or '-'}"
+            f"  {info.started or '-'}{flags}"
         )
+        if info.failure_reason:
+            _echo(f"  failure: {info.failure_reason}")
     return 0
 
 
@@ -559,12 +570,25 @@ def cmd_runs_show(args) -> int:
     """One run's manifest, status table and metric exposition paths."""
     import json
 
-    from repro.telemetry import read_manifest, render_status, resolve_run, run_status
+    from repro.telemetry import (
+        read_manifest,
+        render_status,
+        resolve_run,
+        run_status,
+        status_to_dict,
+    )
 
     try:
         run_dir = resolve_run(args.root, args.run)
     except FileNotFoundError as error:
         raise SystemExit(str(error)) from None
+    if args.json:
+        _echo(
+            json.dumps(
+                status_to_dict(run_status(run_dir)), indent=2, sort_keys=True
+            )
+        )
+        return 0
     manifest = read_manifest(run_dir)
     if manifest is not None:
         _echo(json.dumps(manifest, indent=2, sort_keys=True))
@@ -589,6 +613,160 @@ def cmd_runs_tail(args) -> int:
         run_dir, _echo, interval=args.interval, once=args.once
     )
     return 1 if status == "aborted" else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the fuzzing-as-a-service control plane (blocking)."""
+    from repro.core.runtime import SupervisionPolicy
+    from repro.service import ControlPlane, ServiceConfig
+
+    supervision = None
+    if args.shard_deadline is not None:
+        supervision = SupervisionPolicy(shard_deadline=args.shard_deadline)
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        pool_workers=args.workers,
+        max_active_jobs=args.max_active_jobs,
+        packet_budget=args.packet_budget,
+        supervision=supervision,
+    )
+    app = ControlPlane(config)
+    _echo(f"control plane data dir: {args.data_dir}")
+    _echo(f"listening on http://{args.host}:{args.port}")
+    app.run()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url, tenant=args.tenant)
+
+
+def _print_job(record: dict) -> None:
+    import json
+
+    _echo(json.dumps(record, indent=2, sort_keys=True))
+
+
+def cmd_jobs_submit(args) -> int:
+    """Submit a fleet job to a running control plane."""
+    from repro.service import ServiceError
+
+    def _csv(text: str, upper: bool = False) -> list[str]:
+        parts = [part.strip() for part in text.split(",") if part.strip()]
+        return [part.upper() for part in parts] if upper else parts
+
+    spec = {
+        "profiles": _csv(args.profiles, upper=True),
+        "strategies": _csv(args.strategies),
+        "targets": _csv(args.targets),
+        "budget": args.budget,
+        "seed": args.seed,
+        "armed": not args.disarm,
+        "priority": args.priority,
+        "use_corpus": args.corpus,
+        "target_state": args.state.upper(),
+    }
+    if args.batch is not None:
+        spec["batch"] = args.batch
+    client = _service_client(args)
+    try:
+        record = client.submit(spec)
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+    if args.wait:
+        record = client.wait(record["job_id"], timeout=args.timeout)
+    if args.json:
+        _print_job(record)
+    else:
+        _echo(f"job {record['job_id']} [{record['status']}]")
+        if record.get("error"):
+            _echo(f"  error: {record['error']}")
+    return 0 if record["status"] in ("queued", "running", "finished") else 1
+
+
+def cmd_jobs_list(args) -> int:
+    """List this tenant's jobs on a control plane."""
+    import json
+
+    from repro.service import ServiceError
+
+    try:
+        jobs = _service_client(args).jobs()
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+    if args.json:
+        _echo(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        _echo(f"no jobs for tenant {args.tenant!r}")
+        return 0
+    _echo(
+        f"{'job id':<30} {'status':<10} {'priority':>8} {'campaigns':>9}"
+        f" {'packets':>10} {'findings':>8}  created"
+    )
+    for record in jobs:
+        _echo(
+            f"{record['job_id']:<30} {record['status']:<10}"
+            f" {record['spec']['priority']:>8} {record['campaigns']:>9}"
+            f" {record['packets']:>10} {record['findings']:>8}"
+            f"  {record.get('created_at') or '-'}"
+        )
+    return 0
+
+
+def cmd_jobs_show(args) -> int:
+    """One job's record (``--report`` adds the merged fleet report)."""
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        record = client.job(args.job_id)
+        _print_job(record)
+        if args.report:
+            _echo(client.report_text(args.job_id).rstrip("\n"))
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
+def cmd_jobs_cancel(args) -> int:
+    """Cancel a queued or running job."""
+    from repro.service import ServiceError
+
+    try:
+        record = _service_client(args).cancel(args.job_id)
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+    if args.json:
+        _print_job(record)
+    else:
+        _echo(f"job {record['job_id']} [{record['status']}]")
+    return 0
+
+
+def cmd_jobs_resume(args) -> int:
+    """Resume a cancelled/aborted job from its checkpoints."""
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        record = client.resume(args.job_id)
+        if args.wait:
+            record = client.wait(record["job_id"], timeout=args.timeout)
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+    if args.json:
+        _print_job(record)
+    else:
+        _echo(
+            f"job {record['job_id']} [{record['status']}]"
+            f" (resumes {record['resume_of']})"
+        )
+    return 0 if record["status"] in ("queued", "running", "finished") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -823,6 +1001,9 @@ def build_parser() -> argparse.ArgumentParser:
     runs_list.add_argument(
         "--root", default="runs", metavar="DIR", help="telemetry root directory"
     )
+    runs_list.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     runs_list.set_defaults(func=cmd_runs_list)
 
     runs_show = runs_commands.add_parser(
@@ -831,6 +1012,9 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("run", help="run id (under --root) or run directory")
     runs_show.add_argument(
         "--root", default="runs", metavar="DIR", help="telemetry root directory"
+    )
+    runs_show.add_argument(
+        "--json", action="store_true", help="machine-readable live status"
     )
     runs_show.set_defaults(func=cmd_runs_show)
 
@@ -857,6 +1041,147 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--budget", type=int, default=40_000)
     survey.add_argument("--d8-budget", type=int, default=250_000)
     survey.set_defaults(func=cmd_survey)
+
+    serve = commands.add_parser(
+        "serve", help="run the fuzzing-as-a-service control plane"
+    )
+    serve.add_argument(
+        "--data-dir",
+        default="service-data",
+        metavar="DIR",
+        help="service state root (job manifests, tenant runs and corpora)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8979)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="shared warm worker-pool size",
+    )
+    serve.add_argument(
+        "--max-active-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant queued+running job limit",
+    )
+    serve.add_argument(
+        "--packet-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant cumulative worst-case packet budget",
+    )
+    serve.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervision deadline per shard attempt",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    jobs = commands.add_parser(
+        "jobs", help="submit and manage jobs on a running control plane"
+    )
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _jobs_common(subparser) -> None:
+        subparser.add_argument(
+            "--url",
+            default="http://127.0.0.1:8979",
+            help="control plane base URL",
+        )
+        subparser.add_argument(
+            "--tenant", required=True, help="tenant namespace to act as"
+        )
+        subparser.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    jobs_submit = jobs_commands.add_parser("submit", help="submit a fleet job")
+    _jobs_common(jobs_submit)
+    jobs_submit.add_argument(
+        "--profiles",
+        default="D1",
+        help="comma-separated testbed device ids (e.g. D1,D2)",
+    )
+    jobs_submit.add_argument(
+        "--strategies",
+        default="sequential",
+        help=f"comma-separated strategies: {', '.join(STRATEGY_NAMES)}",
+    )
+    jobs_submit.add_argument(
+        "--targets",
+        default="l2cap",
+        help=f"comma-separated protocol targets: {', '.join(target_names())}",
+    )
+    jobs_submit.add_argument(
+        "--budget", type=int, default=600, help="packet budget per campaign"
+    )
+    jobs_submit.add_argument("--seed", type=int, default=7)
+    jobs_submit.add_argument(
+        "--disarm", action="store_true", help="disable injected bugs"
+    )
+    jobs_submit.add_argument(
+        "--priority",
+        type=int,
+        default=5,
+        help="0 (most urgent) to 9; FIFO within a priority",
+    )
+    jobs_submit.add_argument(
+        "--corpus",
+        action="store_true",
+        help="seed from and write back to the tenant's corpus namespace",
+    )
+    jobs_submit.add_argument(
+        "--state", default="OPEN", help="focus state for targeted strategies"
+    )
+    jobs_submit.add_argument(
+        "--batch", type=int, default=None, help="campaigns per worker shard"
+    )
+    jobs_submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    jobs_submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout seconds"
+    )
+    jobs_submit.set_defaults(func=cmd_jobs_submit)
+
+    jobs_list = jobs_commands.add_parser("list", help="list this tenant's jobs")
+    _jobs_common(jobs_list)
+    jobs_list.set_defaults(func=cmd_jobs_list)
+
+    jobs_show = jobs_commands.add_parser("show", help="one job's record")
+    _jobs_common(jobs_show)
+    jobs_show.add_argument("job_id")
+    jobs_show.add_argument(
+        "--report",
+        action="store_true",
+        help="also print the merged fleet report JSON",
+    )
+    jobs_show.set_defaults(func=cmd_jobs_show)
+
+    jobs_cancel = jobs_commands.add_parser(
+        "cancel", help="cancel a queued or running job"
+    )
+    _jobs_common(jobs_cancel)
+    jobs_cancel.add_argument("job_id")
+    jobs_cancel.set_defaults(func=cmd_jobs_cancel)
+
+    jobs_resume = jobs_commands.add_parser(
+        "resume", help="resume a cancelled/aborted job from its checkpoints"
+    )
+    _jobs_common(jobs_resume)
+    jobs_resume.add_argument("job_id")
+    jobs_resume.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    jobs_resume.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout seconds"
+    )
+    jobs_resume.set_defaults(func=cmd_jobs_resume)
 
     return parser
 

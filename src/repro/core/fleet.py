@@ -44,7 +44,7 @@ import json
 import logging
 import time
 import warnings
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -619,6 +619,21 @@ class FleetOrchestrator:
     :param supervision: :class:`~repro.core.runtime.SupervisionPolicy`
         override for the runtime's retry/timeout/backoff knobs; None
         takes the defaults.
+    :param runtime: attach to an externally owned, already-warm
+        :class:`~repro.core.runtime.FleetRuntime` instead of building a
+        private one — the control plane's path, where one shared pool
+        serves every job. The fleet's context ships with each dispatch
+        call (so the pool's initialised context is irrelevant), the
+        orchestrator never closes the runtime, and its supervision
+        policy governs (*supervision* here is ignored). Requires a
+        process-safe fleet whose *workers* matches the runtime's pool
+        size (``workers`` is recorded in the merged report, so a job
+        must be attributed to the pool that actually ran it).
+    :param abort_check: polled between dispatch steps; when it returns
+        True the run raises
+        :class:`~repro.core.runtime.AbortRequested` after recording the
+        failure on the manifest — completed shards keep their
+        checkpoints, so the aborted run is resumable.
     """
 
     def __init__(
@@ -639,6 +654,8 @@ class FleetOrchestrator:
         fault_plan: FaultPlan | None = None,
         resume_run_id: str | None = None,
         supervision: SupervisionPolicy | None = None,
+        runtime: FleetRuntime | None = None,
+        abort_check: Callable[[], bool] | None = None,
     ) -> None:
         from repro.targets import make_target
 
@@ -720,6 +737,21 @@ class FleetOrchestrator:
                     "profiles and strategy names): only shard workers "
                     "write checkpoints"
                 )
+        self._external_runtime = runtime
+        self.abort_check = abort_check
+        if runtime is not None:
+            if not self._process_safe:
+                raise ValueError(
+                    "an external runtime ships the fleet context with "
+                    "every shard; use registry profiles and strategy "
+                    "names (a process-safe fleet)"
+                )
+            if runtime.workers != workers:
+                raise ValueError(
+                    f"external runtime has {runtime.workers} worker(s) "
+                    f"but the fleet declares {workers}; the report "
+                    "records the pool that actually ran it"
+                )
         self._signature = self._fleet_signature()
         if resume_run_id is not None:
             self._validate_resume()
@@ -768,25 +800,32 @@ class FleetOrchestrator:
         """The telemetry run directory (None without telemetry)."""
         return self._recorder.run_dir if self._recorder is not None else None
 
+    def _build_context(self) -> FleetContext:
+        """The worker-side campaign context this fleet runs under."""
+        recorder = self._recorder
+        return FleetContext(
+            base_config=self.base_config,
+            armed=self.armed,
+            target_state_value=self.target_state.value,
+            corpus_dir=self.corpus_dir,
+            retain_trace=self.retain_trace,
+            prior_visits=tuple(sorted(self._prior_visits.items())),
+            dictionary=self._dictionary,
+            telemetry_dir=(
+                str(recorder.root) if recorder is not None else None
+            ),
+            run_id=recorder.run_id if recorder is not None else None,
+            profile_workers=self.profile_workers,
+            fault_plan=self.fault_plan,
+        )
+
     def _ensure_runtime(self) -> FleetRuntime:
+        if self._external_runtime is not None:
+            return self._external_runtime
         if self._runtime is None:
             recorder = self._recorder
             self._runtime = FleetRuntime(
-                context=FleetContext(
-                    base_config=self.base_config,
-                    armed=self.armed,
-                    target_state_value=self.target_state.value,
-                    corpus_dir=self.corpus_dir,
-                    retain_trace=self.retain_trace,
-                    prior_visits=tuple(sorted(self._prior_visits.items())),
-                    dictionary=self._dictionary,
-                    telemetry_dir=(
-                        str(recorder.root) if recorder is not None else None
-                    ),
-                    run_id=recorder.run_id if recorder is not None else None,
-                    profile_workers=self.profile_workers,
-                    fault_plan=self.fault_plan,
-                ),
+                context=self._build_context(),
                 workers=self.workers,
                 use_processes=self.workers > 1,
                 policy=self.supervision,
@@ -859,9 +898,22 @@ class FleetOrchestrator:
                     spec for spec in specs if spec.index not in by_index
                 ]
                 runtime = self._ensure_runtime()
+                dispatch_kwargs: dict = {}
+                if self.abort_check is not None:
+                    dispatch_kwargs["should_abort"] = self.abort_check
+                if self._external_runtime is not None:
+                    # A shared pool was initialised with someone else's
+                    # context: ship this fleet's own with every shard,
+                    # and route supervision events to this run's
+                    # journal for the duration of the call.
+                    dispatch_kwargs["context"] = self._build_context()
+                    if recorder is not None:
+                        dispatch_kwargs["on_event"] = recorder.emit
                 try:
                     summaries = runtime.run_specs(
-                        iter_shard_specs(missing), batch=self.batch
+                        iter_shard_specs(missing),
+                        batch=self.batch,
+                        **dispatch_kwargs,
                     )
                 finally:
                     self.last_supervision = runtime.last_supervision

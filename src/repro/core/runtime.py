@@ -56,6 +56,7 @@ import dataclasses
 import logging
 import os
 import struct
+import threading
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import (
@@ -383,6 +384,18 @@ def encode_summary(summary: CampaignSummary) -> bytes:
     return b"".join(parts)
 
 
+class AbortRequested(ReproError):
+    """A :meth:`FleetRuntime.run_specs` call stopped on caller request.
+
+    Raised when the caller's ``should_abort`` hook fires mid-dispatch —
+    the control plane's cancel path. Pending shards are dropped without
+    being dispatched; shards already on workers run to completion (a
+    process-pool task cannot be interrupted) and still write their
+    checkpoints, which is exactly the resume trail a cancelled job
+    needs.
+    """
+
+
 class SummaryDecodeError(ReproError, ValueError):
     """A campaign-summary blob that cannot be decoded.
 
@@ -552,9 +565,21 @@ def _worker_init(context: FleetContext) -> None:
     _WORKER_CONTEXT = context
 
 
-def _run_shard(shard: Sequence[ShardSpec]) -> list[bytes]:
-    """Process-pool task: run one shard against the initialised context."""
-    return run_shard(_WORKER_CONTEXT, shard, in_process_worker=True)
+def _run_shard(
+    shard: Sequence[ShardSpec], context: FleetContext | None = None
+) -> list[bytes]:
+    """Process-pool task: run one shard against the initialised context.
+
+    *context*, when given, overrides the pool-initialised context for
+    this task only — the control plane ships each job's context with
+    its shards so one warm pool serves jobs with different configs,
+    corpus namespaces and telemetry run directories.
+    """
+    return run_shard(
+        context if context is not None else _WORKER_CONTEXT,
+        shard,
+        in_process_worker=True,
+    )
 
 
 def _open_shard_journal(context: FleetContext, shard: Sequence[ShardSpec]):
@@ -960,6 +985,11 @@ class FleetRuntime:
         #: Stats from the most recent :meth:`run_specs` call.
         self.last_supervision: SupervisionStats | None = None
         self._pool = None
+        # Dispatch is exclusive: the supervision loop owns the pool
+        # (deadlines, restarts). Concurrent run_specs callers — service
+        # jobs racing a dispatcher bug — serialise here instead of
+        # corrupting each other's in-flight bookkeeping.
+        self._dispatch_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -1020,6 +1050,10 @@ class FleetRuntime:
         specs: Sequence[ShardSpec],
         batch: int | None = None,
         supervised: bool = True,
+        *,
+        context: FleetContext | None = None,
+        on_event: Callable | None = None,
+        should_abort: Callable[[], bool] | None = None,
     ) -> list["CampaignSummary | None"]:
         """Run *specs* over the pool; summaries come back in spec order.
 
@@ -1033,6 +1067,18 @@ class FleetRuntime:
         :param supervised: False bypasses the supervision loop for bare
             ``pool.map`` dispatch — no deadlines, no retry, first
             failure propagates. Kept for overhead benchmarking.
+        :param context: per-call context override, shipped with every
+            shard message instead of relying on the pool-initialised
+            context. This is how the control plane runs many jobs —
+            each with its own config, corpus namespace and telemetry
+            run — on one warm pool. None uses the initialised context.
+        :param on_event: per-call supervision-event sink, restored to
+            the constructor-time sink when the call returns.
+        :param should_abort: polled between dispatch steps; when it
+            returns True the call raises :class:`AbortRequested` —
+            pending shards are dropped undispatched, in-flight shards
+            finish on their workers (and still checkpoint), and the
+            pool stays warm for the next call.
         """
         if not specs:
             self.last_supervision = SupervisionStats()
@@ -1051,32 +1097,68 @@ class FleetRuntime:
             len(shards),
             batch,
         )
+        with self._dispatch_lock:
+            saved_on_event = self.on_event
+            if on_event is not None:
+                self.on_event = on_event
+            try:
+                return self._dispatch(
+                    specs, shards, supervised, context, should_abort
+                )
+            finally:
+                self.on_event = saved_on_event
+
+    def _dispatch(
+        self,
+        specs: Sequence[ShardSpec],
+        shards: list[tuple[ShardSpec, ...]],
+        supervised: bool,
+        context: FleetContext | None,
+        should_abort: Callable[[], bool] | None,
+    ) -> list["CampaignSummary | None"]:
         stats = SupervisionStats()
         self.last_supervision = stats
+        active = context if context is not None else self.context
         if self.workers == 1:
             # Inline: no pool, no serialisation tax, same code path the
             # workers run (summaries included) for identical results.
             # Nothing to supervise — a failure propagates to the caller.
             blobs: list[bytes] = []
             for shard in shards:
-                blobs.extend(run_shard(self.context, shard))
+                self._check_abort(should_abort, pending=len(shards))
+                blobs.extend(run_shard(active, shard))
             return [decode_summary(blob) for blob in blobs]
         if not supervised:
             pool = self._ensure_pool()
             if self.use_processes:
-                shard_results = pool.map(_run_shard, shards)
+                if context is not None:
+                    shard_results = pool.map(
+                        _run_shard, shards, [active] * len(shards)
+                    )
+                else:
+                    shard_results = pool.map(_run_shard, shards)
             else:
-                context = self.context
                 shard_results = pool.map(
-                    lambda shard: run_shard(context, shard), shards
+                    lambda shard: run_shard(active, shard), shards
                 )
             return [
                 decode_summary(blob)
                 for shard_blobs in shard_results
                 for blob in shard_blobs
             ]
-        results = self._run_supervised(shards, stats)
+        results = self._run_supervised(
+            shards, stats, context=context, should_abort=should_abort
+        )
         return [results.get(spec[0]) for spec in specs]
+
+    def _check_abort(
+        self, should_abort: Callable[[], bool] | None, pending: int
+    ) -> None:
+        if should_abort is not None and should_abort():
+            self._emit("dispatch_abort", pending=pending)
+            raise AbortRequested(
+                f"fleet dispatch aborted with {pending} shard(s) pending"
+            )
 
     def shard_size(self, spec_count: int) -> int:
         """Auto batch size: ~4 shards per worker, at least 1 campaign."""
@@ -1086,11 +1168,17 @@ class FleetRuntime:
 
     # -- supervised dispatch -------------------------------------------------------
 
-    def _submit(self, job: _ShardJob):
+    def _submit(self, job: _ShardJob, context: FleetContext | None = None):
         pool = self._ensure_pool()
         if self.use_processes:
+            if context is not None:
+                return pool.submit(_run_shard, job.shard, context)
             return pool.submit(_run_shard, job.shard)
-        return pool.submit(run_shard, self.context, job.shard)
+        return pool.submit(
+            run_shard,
+            context if context is not None else self.context,
+            job.shard,
+        )
 
     def _emit(self, event: str, **fields) -> None:
         _log.info(
@@ -1102,7 +1190,11 @@ class FleetRuntime:
             self.on_event(event, **fields)
 
     def _run_supervised(
-        self, shards: list[tuple[ShardSpec, ...]], stats: SupervisionStats
+        self,
+        shards: list[tuple[ShardSpec, ...]],
+        stats: SupervisionStats,
+        context: FleetContext | None = None,
+        should_abort: Callable[[], bool] | None = None,
     ) -> dict[int, CampaignSummary]:
         """Dispatch *shards* as individual futures under supervision.
 
@@ -1207,6 +1299,12 @@ class FleetRuntime:
                 pending.append(job)
 
         while pending or in_flight:
+            # Abort drops pending shards undispatched and abandons the
+            # in-flight ones — a process-pool task cannot be cancelled,
+            # so they run to completion on their workers (writing their
+            # checkpoints, which the cancelled job's resume picks up)
+            # while the pool stays healthy for the next job.
+            self._check_abort(should_abort, pending=len(pending))
             now = time.monotonic()
             while (
                 pending and not solo_active and len(in_flight) < max_inflight
@@ -1226,7 +1324,7 @@ class FleetRuntime:
                     # run's verdict is attributable.
                     break
                 job = pending.pop(index)
-                future = self._submit(job)
+                future = self._submit(job, context)
                 in_flight[future] = (job, time.monotonic())
                 if job.require_solo:
                     solo_active = True

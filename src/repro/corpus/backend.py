@@ -38,6 +38,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import os
+import re
 import threading
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -53,6 +54,11 @@ BACKEND_NAMES = ("sqlite", "file")
 
 #: Database file whose presence marks a directory as SQLite-backed.
 SQLITE_FILE = "corpus.sqlite3"
+
+#: Legal corpus namespace names: a path-safe single segment. Separators
+#: and a leading dot are excluded by construction, so a namespace can
+#: never escape its root or shadow the root's own layout files.
+NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -244,6 +250,17 @@ class CorpusBackend(abc.ABC):
                     tails.add(bytes(packet.garbage))
         return tuple(sorted(tails))
 
+    def initialize(self) -> None:
+        """Materialise the storage so autodetection recognises it.
+
+        The base implementation creates the corpus directory; the
+        SQLite backend additionally creates its (otherwise lazily
+        created) database file, so a namespace carved out for a tenant
+        keeps its chosen backend even when the first writer opens it
+        via layout autodetection.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+
     def close(self) -> None:
         """Release any held resources (connections, locks)."""
 
@@ -304,12 +321,54 @@ def open_backend(root, spec: "str | CorpusBackend | None" = None) -> CorpusBacke
     )
 
 
+def namespace_root(root, namespace: str) -> Path:
+    """The directory serving *namespace* under the corpus root *root*.
+
+    Namespaces are the multi-tenant unit: each one is an independent
+    corpus directory (its own backend, entries, findings) living at
+    ``<root>/<namespace>``. Names are validated against
+    :data:`NAMESPACE_RE` — a single path-safe segment — so a namespace
+    can never resolve outside *root*.
+
+    :raises ValueError: on a name that fails validation.
+    """
+    if not NAMESPACE_RE.match(namespace):
+        raise ValueError(
+            f"invalid corpus namespace {namespace!r}: use 1-64 letters, "
+            "digits, '.', '_' or '-', starting with a letter or digit"
+        )
+    return Path(root) / namespace
+
+
+def open_namespace(
+    root, namespace: str, spec: "str | None" = "sqlite"
+) -> CorpusBackend:
+    """Open (creating on first use) the corpus namespace *namespace*.
+
+    New namespaces are materialised immediately — including the SQLite
+    database file when *spec* selects (or defaults to) the SQLite
+    backend — so later opens that autodetect from the directory layout
+    (the fleet workers' write-back path) land on the same backend the
+    namespace was created with. An existing namespace is opened by
+    autodetection, ignoring *spec*: the on-disk layout is the truth.
+    """
+    target = namespace_root(root, namespace)
+    if target.is_dir():
+        return open_backend(target)
+    backend = open_backend(target, spec)
+    backend.initialize()
+    return backend
+
+
 __all__ = [
     "BACKEND_NAMES",
     "CorpusBackend",
     "CorpusStats",
+    "NAMESPACE_RE",
     "SQLITE_FILE",
     "cmin_update",
     "detect_backend_name",
+    "namespace_root",
     "open_backend",
+    "open_namespace",
 ]

@@ -183,6 +183,17 @@ class SqliteCorpusBackend(CorpusBackend):
         self._local.connection = connection
         return connection
 
+    def initialize(self) -> None:
+        """Create the database (and schema) eagerly.
+
+        The connection path creates lazily, on first write — fine for a
+        solo corpus, wrong for a tenant namespace whose later writers
+        autodetect the backend from the directory layout: without the
+        database file they would land on the file backend. Namespace
+        creation calls this to pin the layout up front.
+        """
+        self._connect(create=True)
+
     def close(self) -> None:
         connection = getattr(self._local, "connection", None)
         if connection is not None:

@@ -1,0 +1,226 @@
+"""Stdlib HTTP client for the control plane.
+
+The ``repro jobs`` CLI, the service tests and the benchmark all speak
+through this thin :mod:`http.client` wrapper — one connection per
+request (the server answers ``Connection: close``), tenant identity in
+the ``X-Repro-Tenant`` header, JSON in/out, and error payloads raised
+as :class:`ServiceError` with the HTTP status attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from collections.abc import Iterator
+from urllib.parse import urlencode, urlsplit
+
+from repro.errors import ReproError
+from repro.service.jobs import JOB_STATUSES
+
+TENANT_HEADER = "X-Repro-Tenant"
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure from the control plane."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one control plane on behalf of one tenant."""
+
+    def __init__(
+        self, base_url: str, tenant: str | None = None, timeout: float = 30.0
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"base_url must be an http://host:port URL, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers[TENANT_HEADER] = self.tenant
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> tuple[int, bytes, str]:
+        if query:
+            filtered = {k: v for k, v in query.items() if v is not None}
+            if filtered:
+                path = f"{path}?{urlencode(filtered)}"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = self._headers()
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            content_type = response.getheader("Content-Type", "")
+            return response.status, data, content_type
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> dict:
+        status, data, _ = self._request(method, path, body=body, query=query)
+        try:
+            payload = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                status, f"undecodable response body: {error}"
+            ) from error
+        if status >= 400:
+            message = (
+                payload.get("error", data.decode("utf-8", "replace"))
+                if isinstance(payload, dict)
+                else str(payload)
+            )
+            raise ServiceError(status, message)
+        return payload
+
+    def _raw(self, path: str, query: dict | None = None) -> bytes:
+        status, data, _ = self._request("GET", path, query=query)
+        if status >= 400:
+            try:
+                message = json.loads(data.decode("utf-8")).get("error", "")
+            except (ValueError, AttributeError):
+                message = data.decode("utf-8", "replace")
+            raise ServiceError(status, message)
+        return data
+
+    # -- endpoints -----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec; returns the created job record."""
+        return self._json("POST", "/v1/jobs", body=spec)
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def resume(self, job_id: str) -> dict:
+        """Resume a cancelled/aborted job; returns the new job record."""
+        return self._json("POST", f"/v1/jobs/{job_id}/resume")
+
+    def report_text(self, job_id: str) -> str:
+        """The merged FleetReport JSON, byte-for-byte as stored."""
+        return self._raw(f"/v1/jobs/{job_id}/report").decode("utf-8")
+
+    def report(self, job_id: str) -> dict:
+        return json.loads(self.report_text(job_id))
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/status")
+
+    def run_metrics(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/metrics")
+
+    def run_metrics_prometheus(self, job_id: str) -> str:
+        return self._raw(f"/v1/jobs/{job_id}/metrics.prom").decode("utf-8")
+
+    def service_metrics(self) -> str:
+        return self._raw("/metrics").decode("utf-8")
+
+    def runs(self) -> list[dict]:
+        return self._json("GET", f"/v1/tenants/{self.tenant}/runs")["runs"]
+
+    def findings(self, **filters: str | None) -> list[dict]:
+        return self._json(
+            "GET", f"/v1/tenants/{self.tenant}/findings", query=filters
+        )["findings"]
+
+    def corpus(self) -> dict:
+        return self._json("GET", f"/v1/tenants/{self.tenant}/corpus")
+
+    def corpus_entry(self, entry_id: str) -> dict:
+        return self._json(
+            "GET", f"/v1/tenants/{self.tenant}/corpus/{entry_id}"
+        )
+
+    def shutdown(self) -> dict:
+        return self._json("POST", "/v1/admin/shutdown")
+
+    def events(self, job_id: str, follow: bool = False) -> Iterator[dict]:
+        """Stream the job's journal events (chunked NDJSON) as dicts."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            path = f"/v1/jobs/{job_id}/events"
+            if follow:
+                path += "?follow=1"
+            connection.request("GET", path, headers=self._headers())
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data.decode("utf-8"))["error"]
+                except (ValueError, KeyError):
+                    message = data.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            buffer = b""
+            # http.client de-chunks for us; reassemble NDJSON lines.
+            while True:
+                piece = response.read(65536)
+                if not piece:
+                    break
+                buffer += piece
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            connection.close()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> dict:
+        """Poll until the job reaches a terminal status."""
+        terminal = set(JOB_STATUSES) - {"queued", "running"}
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in terminal:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']} after {timeout}s"
+                )
+            time.sleep(0.05)

@@ -1,0 +1,228 @@
+"""Minimal asyncio HTTP/1.1 server primitives (stdlib only).
+
+Just enough HTTP for a control plane: request-line + header parsing
+over ``StreamReader``, Content-Length bodies, JSON helpers, fixed and
+chunked (streaming) responses, connection-per-request semantics
+(``Connection: close`` on every response — the clients here are curl,
+Prometheus and the CLI, none of which need keep-alive to a localhost
+service).
+
+Handlers signal failures by raising :class:`HttpError`; the server
+renders them as ``{"error": ...}`` JSON with the carried status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from collections.abc import AsyncIterator
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ReproError
+
+#: Upper bounds that keep a misbehaving client from ballooning memory.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(ReproError):
+    """A handler-level failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclasses.dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object.
+
+        :raises HttpError: 400 on malformed or non-object JSON.
+        """
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"malformed JSON body: {error}") from error
+        if not isinstance(data, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return data
+
+
+@dataclasses.dataclass
+class Response:
+    """A fully materialised response."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def json_response(cls, payload, status: int = 200) -> "Response":
+        return cls(
+            status=status,
+            body=(json.dumps(payload, indent=2) + "\n").encode("utf-8"),
+        )
+
+    @classmethod
+    def text(
+        cls, text: str, status: int = 200, content_type: str = "text/plain"
+    ) -> "Response":
+        return cls(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type=f"{content_type}; charset=utf-8",
+        )
+
+
+@dataclasses.dataclass
+class StreamingResponse:
+    """A chunked (Transfer-Encoding: chunked) response.
+
+    *chunks* is an async iterator of ``bytes``/``str`` pieces; each
+    piece becomes one HTTP chunk, so line-oriented consumers (``curl``,
+    ``tail``-style scripts) see journal events as they happen.
+    """
+
+    chunks: AsyncIterator
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+
+
+def error_response(status: int, message: str) -> Response:
+    return Response.json_response({"error": message}, status=status)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Request | None:
+    """Parse one request off *reader*; None on clean EOF.
+
+    :raises HttpError: on malformed or oversized requests.
+    """
+    try:
+        raw_header = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request") from error
+    except asyncio.LimitOverrunError as error:
+        raise HttpError(431, "request header too large") from error
+    if len(raw_header) > MAX_HEADER_BYTES:
+        raise HttpError(431, "request header too large")
+    try:
+        header_text = raw_header.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request header") from error
+    request_line, _, header_block = header_text.partition("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    headers: dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise HttpError(400, "malformed Content-Length") from error
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(400, "unacceptable Content-Length")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise HttpError(400, "truncated request body") from error
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _status_line(status: int) -> bytes:
+    text = STATUS_TEXT.get(status, "Unknown")
+    return f"HTTP/1.1 {status} {text}\r\n".encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: "Response | StreamingResponse"
+) -> None:
+    """Serialise *response* (fixed or chunked) onto *writer*."""
+    if isinstance(response, StreamingResponse):
+        writer.write(
+            _status_line(response.status)
+            + f"Content-Type: {response.content_type}\r\n".encode("latin-1")
+            + b"Transfer-Encoding: chunked\r\n"
+            + b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        async for chunk in response.chunks:
+            data = chunk.encode("utf-8") if isinstance(chunk, str) else chunk
+            if not data:
+                continue
+            writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+            writer.write(data + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return
+    headers = {
+        "Content-Type": response.content_type,
+        "Content-Length": str(len(response.body)),
+        "Connection": "close",
+        **response.headers,
+    }
+    header_block = "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    writer.write(
+        _status_line(response.status)
+        + header_block.encode("latin-1")
+        + b"\r\n"
+        + response.body
+    )
+    await writer.drain()

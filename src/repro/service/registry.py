@@ -1,0 +1,173 @@
+"""Session registry: every job's lifecycle, persisted and recoverable.
+
+One JSON manifest per job under ``<data_dir>/jobs/``, written
+atomically (same tmp + ``os.replace`` discipline as the telemetry
+manifests) so a poll or a crashed service never reads a torn record.
+The in-memory map is the hot path; disk is the durability story:
+:meth:`SessionRegistry.recover` reloads every manifest at start-up,
+marks jobs that were ``running`` when the service died as ``aborted``
+(their run directories keep the checkpoints, so they are resumable)
+and hands ``queued`` jobs back to the scheduler for re-enqueue.
+
+Finished jobs also persist their merged :class:`FleetReport` JSON next
+to the manifest — the byte-exact artifact the report endpoint serves.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.service.jobs import JobRecord, JobSpec, UnknownJobError, new_job_id
+
+_log = logging.getLogger(__name__)
+
+JOBS_DIRNAME = "jobs"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class SessionRegistry:
+    """Thread-safe job store backed by one manifest file per job."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / JOBS_DIRNAME
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, JobRecord] = {}
+
+    # -- persistence ---------------------------------------------------------------
+
+    def _manifest_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _report_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.report.json"
+
+    def _persist(self, record: JobRecord) -> None:
+        _atomic_write(
+            self._manifest_path(record.job_id),
+            json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    def recover(self) -> list[JobRecord]:
+        """Load every persisted job; returns jobs to re-enqueue.
+
+        Jobs found ``running`` were interrupted by a service death:
+        they flip to ``aborted`` (resumable — their checkpoints are on
+        disk) rather than silently resurrecting mid-flight. ``queued``
+        jobs are returned for the scheduler to re-enqueue in original
+        submission order.
+        """
+        requeue: list[JobRecord] = []
+        with self._lock:
+            for path in sorted(self.jobs_dir.glob("job-*.json")):
+                if path.name.endswith(".report.json"):
+                    continue
+                try:
+                    record = JobRecord.from_dict(
+                        json.loads(path.read_text(encoding="utf-8"))
+                    )
+                except (OSError, ValueError, KeyError):
+                    _log.warning("skipping unreadable job manifest %s", path)
+                    continue
+                if record.status == "running":
+                    record.status = "aborted"
+                    record.error = "service restarted while job was running"
+                    record.finished = time.time()
+                    self._persist(record)
+                self._jobs[record.job_id] = record
+                if record.status == "queued":
+                    requeue.append(record)
+        return sorted(requeue, key=lambda record: record.created)
+
+    # -- CRUD ----------------------------------------------------------------------
+
+    def create(self, spec: JobSpec, resume_of: str | None = None) -> JobRecord:
+        record = JobRecord(
+            job_id=new_job_id(),
+            spec=spec,
+            created=time.time(),
+            resume_of=resume_of,
+        )
+        with self._lock:
+            while record.job_id in self._jobs:  # same-second collision
+                record.job_id = new_job_id()
+            self._jobs[record.job_id] = record
+            self._persist(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise UnknownJobError(job_id)
+        return record
+
+    def update(self, job_id: str, **fields) -> JobRecord:
+        """Apply *fields* to the job and persist the new manifest."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise UnknownJobError(job_id)
+            for key, value in fields.items():
+                setattr(record, key, value)
+            self._persist(record)
+        return record
+
+    def jobs(self, tenant: str | None = None) -> list[JobRecord]:
+        """Snapshot of every job (optionally one tenant's), by creation."""
+        with self._lock:
+            records = list(self._jobs.values())
+        if tenant is not None:
+            records = [
+                record for record in records if record.spec.tenant == tenant
+            ]
+        return sorted(records, key=lambda record: (record.created, record.job_id))
+
+    # -- quota inputs --------------------------------------------------------------
+
+    def active_count(self, tenant: str) -> int:
+        """Jobs currently holding a concurrency slot (queued + running)."""
+        with self._lock:
+            return sum(
+                1
+                for record in self._jobs.values()
+                if record.spec.tenant == tenant and record.active
+            )
+
+    def packets_committed(self, tenant: str) -> int:
+        """Cumulative worst-case packet spend across the tenant's jobs.
+
+        Resume jobs charge nothing — their packets were charged when
+        the original job was admitted, and a resume re-runs at most
+        what the original would have.
+        """
+        with self._lock:
+            return sum(
+                record.spec.packets_requested
+                for record in self._jobs.values()
+                if record.spec.tenant == tenant and record.resume_of is None
+            )
+
+    # -- reports -------------------------------------------------------------------
+
+    def save_report(self, job_id: str, report_json: str) -> None:
+        """Persist the merged fleet report verbatim (byte-exact)."""
+        _atomic_write(self._report_path(job_id), report_json)
+
+    def report_text(self, job_id: str) -> str | None:
+        """The stored report JSON, byte-exact, or None when absent."""
+        try:
+            return self._report_path(job_id).read_text(encoding="utf-8")
+        except OSError:
+            return None

@@ -1,0 +1,56 @@
+"""Path routing: ``/v1/jobs/{job_id}/cancel`` patterns to handlers.
+
+Patterns are literal segments plus ``{name}`` captures (one path
+segment each, compiled to regexes once at registration). Dispatch
+distinguishes 404 (no pattern matches the path) from 405 (a pattern
+matches but not with this method), which is the difference between a
+typo and a misuse.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+from repro.service.http import HttpError
+
+_CAPTURE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile(pattern: str) -> re.Pattern:
+    parts = []
+    position = 0
+    for match in _CAPTURE.finditer(pattern):
+        parts.append(re.escape(pattern[position : match.start()]))
+        parts.append(f"(?P<{match.group(1)}>[^/]+)")
+        position = match.end()
+    parts.append(re.escape(pattern[position:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+class Router:
+    """Ordered (method, pattern) → handler table."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, Callable]] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        self._routes.append((method.upper(), _compile(pattern), handler))
+
+    def route(self, method: str, path: str) -> tuple[Callable, dict[str, str]]:
+        """Resolve a request to ``(handler, path_params)``.
+
+        :raises HttpError: 404 on unknown path, 405 on known path with
+            the wrong method.
+        """
+        path_matched = False
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if route_method == method:
+                return handler, match.groupdict()
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no route for {path}")

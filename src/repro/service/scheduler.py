@@ -1,0 +1,392 @@
+"""Job scheduler: FIFO-within-priority onto one shared warm pool.
+
+The scheduler owns the only :class:`~repro.core.runtime.FleetRuntime`
+in the service. Worker processes are started once (initialised with an
+inert bootstrap context) and stay warm across jobs; each job's real
+:class:`~repro.core.runtime.FleetContext` — its config, corpus
+namespace, telemetry run — ships with its shard messages via the
+runtime's per-call context override. Jobs therefore pay zero pool
+start-up after the first, which is the entire point of fronting the
+runtime with a service.
+
+Dispatch is a single thread draining a priority heap ordered by
+``(priority, submission sequence)`` — strict FIFO within a priority
+band. One job runs at a time: the supervised dispatch loop assumes
+exclusive pool ownership (deadlines, restarts), so job concurrency is
+queueing concurrency, exactly like a CI runner with one executor.
+
+**Quotas** are enforced exactly at submit time under the scheduler
+lock: a tenant's queued+running job count must stay within
+``max_active_jobs`` and its cumulative worst-case packet spend within
+``packet_budget`` — both computed from the registry, which the same
+lock serialises against concurrent submits.
+
+**Cancel** sets the job's abort event. A queued job flips to
+``cancelled`` immediately; a running one is interrupted at the
+runtime's next dispatch step (in-flight shards finish and checkpoint
+— the resume trail), surfaces as
+:class:`~repro.core.runtime.AbortRequested`, and the orchestrator's
+failure path records an ``aborted`` manifest before the job lands in
+``cancelled``.
+
+**Resume** submits a new job that reuses the terminal job's spec and
+telemetry run id; the orchestrator's checkpoint/resume machinery
+re-runs only the missing campaigns and merges byte-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import threading
+import time
+
+from repro.core.config import FuzzConfig
+from repro.core.fleet import FleetOrchestrator
+from repro.core.runtime import (
+    AbortRequested,
+    FleetContext,
+    FleetRuntime,
+    SupervisionPolicy,
+)
+from repro.l2cap.states import ChannelState
+from repro.service.jobs import (
+    JobRecord,
+    JobSpec,
+    JobStateError,
+    QuotaExceededError,
+    UnknownJobError,
+)
+from repro.service.registry import SessionRegistry
+from repro.service.tenants import TenantManager
+from repro.telemetry import MetricsRegistry
+
+_log = logging.getLogger(__name__)
+
+
+def _bootstrap_context() -> FleetContext:
+    """The inert context the shared pool's workers initialise with.
+
+    Never used to run anything — every job overrides it per call — but
+    the pool initializer needs *a* context, and making it obviously
+    harmless (disarmed, one packet) beats making it somebody's job.
+    """
+    return FleetContext(
+        base_config=FuzzConfig(max_packets=1),
+        armed=False,
+        target_state_value=ChannelState.OPEN.value,
+        corpus_dir=None,
+        retain_trace=False,
+        prior_visits=(),
+        dictionary=(),
+    )
+
+
+class JobScheduler:
+    """Priority queue + dispatcher thread + shared warm runtime."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        tenants: TenantManager,
+        pool_workers: int = 2,
+        supervision: SupervisionPolicy | None = None,
+    ) -> None:
+        if pool_workers < 1:
+            raise ValueError("pool_workers must be >= 1")
+        self.registry = registry
+        self.tenants = tenants
+        self.pool_workers = pool_workers
+        self.supervision = supervision
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, str]] = []
+        self._sequence = 0
+        self._abort_events: dict[str, threading.Event] = {}
+        self._runtime: FleetRuntime | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._current_job: str | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Recover persisted jobs and start the dispatcher thread."""
+        for record in self.registry.recover():
+            with self._lock:
+                self._push(record)
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="job-dispatcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, abort_running: bool = True, timeout: float = 30.0) -> None:
+        """Stop dispatching; optionally abort the in-flight job.
+
+        With ``abort_running`` (the default) the running job's abort
+        event fires — it lands in ``cancelled`` with checkpoints on
+        disk. Without it, the dispatcher finishes the current job
+        before exiting (queued jobs stay queued; they re-enqueue on the
+        next start via the registry).
+        """
+        with self._lock:
+            self._stop.set()
+            if abort_running and self._current_job is not None:
+                event = self._abort_events.get(self._current_job)
+                if event is not None:
+                    event.set()
+            self._wakeup.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def _ensure_runtime(self) -> FleetRuntime:
+        if self._runtime is None:
+            self._runtime = FleetRuntime(
+                context=_bootstrap_context(),
+                workers=self.pool_workers,
+                use_processes=self.pool_workers > 1,
+                policy=self.supervision,
+            )
+        return self._runtime
+
+    # -- submission ----------------------------------------------------------------
+
+    def _push(self, record: JobRecord) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (record.spec.priority, self._sequence, record.job_id)
+        )
+        self._wakeup.notify_all()
+
+    def _check_quota(self, spec: JobSpec, charge_packets: bool) -> None:
+        quota = self.tenants.quota(spec.tenant)
+        active = self.registry.active_count(spec.tenant)
+        if active >= quota.max_active_jobs:
+            raise QuotaExceededError(
+                f"tenant {spec.tenant!r} already has {active} active job(s) "
+                f"(limit {quota.max_active_jobs})"
+            )
+        if charge_packets:
+            committed = self.registry.packets_committed(spec.tenant)
+            if committed + spec.packets_requested > quota.packet_budget:
+                raise QuotaExceededError(
+                    f"tenant {spec.tenant!r} packet budget exhausted: "
+                    f"{committed} committed + {spec.packets_requested} "
+                    f"requested > {quota.packet_budget}"
+                )
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Validate, admit against quotas, persist, enqueue."""
+        spec.validate()
+        with self._lock:
+            # Quota check and job creation under one lock: two racing
+            # submits cannot both pass a last-slot check.
+            self._check_quota(spec, charge_packets=True)
+            record = self.registry.create(spec)
+            self._abort_events[record.job_id] = threading.Event()
+            self._push(record)
+        self.metrics.inc("service_jobs_submitted_total", tenant=spec.tenant)
+        self._update_queue_gauge()
+        return record
+
+    def resume(self, job_id: str, tenant: str) -> JobRecord:
+        """Submit a continuation of a cancelled/aborted job."""
+        original = self.registry.get(job_id)
+        if original.spec.tenant != tenant:
+            raise UnknownJobError(job_id)
+        if not original.resumable:
+            raise JobStateError(
+                f"job {job_id} is {original.status} and has "
+                f"{'a' if original.run_id else 'no'} recorded run; only "
+                "cancelled/aborted jobs with a run can be resumed"
+            )
+        with self._lock:
+            self._check_quota(original.spec, charge_packets=False)
+            record = self.registry.create(original.spec, resume_of=job_id)
+            # The continuation records into the *same* telemetry run:
+            # that is where the checkpoints live.
+            self.registry.update(record.job_id, run_id=original.run_id)
+            self._abort_events[record.job_id] = threading.Event()
+            self._push(record)
+        self.metrics.inc("service_jobs_resumed_total", tenant=tenant)
+        self._update_queue_gauge()
+        return self.registry.get(record.job_id)
+
+    def cancel(self, job_id: str, tenant: str) -> JobRecord:
+        """Cancel a queued or running job (idempotent per state)."""
+        record = self.registry.get(job_id)
+        if record.spec.tenant != tenant:
+            raise UnknownJobError(job_id)
+        with self._lock:
+            record = self.registry.get(job_id)
+            if record.status == "queued":
+                record = self.registry.update(
+                    job_id,
+                    status="cancelled",
+                    error="cancelled while queued",
+                    finished=time.time(),
+                )
+            elif record.status == "running":
+                self._abort_events[job_id].set()
+            else:
+                raise JobStateError(
+                    f"job {job_id} is already {record.status}"
+                )
+        self.metrics.inc("service_jobs_cancelled_total", tenant=tenant)
+        self._update_queue_gauge()
+        return record
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _next_job(self) -> JobRecord | None:
+        """Pop the next runnable job; None when stopping."""
+        with self._lock:
+            while True:
+                if self._stop.is_set():
+                    return None
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    try:
+                        record = self.registry.get(job_id)
+                    except UnknownJobError:
+                        continue
+                    if record.status != "queued":
+                        continue  # cancelled while queued
+                    self._current_job = job_id
+                    return record
+                self._wakeup.wait(timeout=0.2)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            record = self._next_job()
+            if record is None:
+                return
+            try:
+                self._execute(record)
+            except Exception:  # noqa: BLE001 — dispatcher must survive
+                _log.exception("job %s dispatch failed", record.job_id)
+            finally:
+                with self._lock:
+                    self._current_job = None
+                self._update_queue_gauge()
+
+    def _execute(self, record: JobRecord) -> None:
+        from repro.testbed.profiles import PROFILES_BY_ID
+
+        spec = record.spec
+        abort_event = self._abort_events.setdefault(
+            record.job_id, threading.Event()
+        )
+        if abort_event.is_set():
+            self.registry.update(
+                record.job_id,
+                status="cancelled",
+                error="cancelled before dispatch",
+                finished=time.time(),
+            )
+            return
+        started = time.time()
+        self.registry.update(record.job_id, status="running", started=started)
+        self.metrics.inc("service_jobs_started_total", tenant=spec.tenant)
+        orchestrator = FleetOrchestrator(
+            profiles=[PROFILES_BY_ID[device_id] for device_id in spec.profiles],
+            strategies=list(spec.strategies),
+            fleet_seed=spec.seed,
+            workers=self.pool_workers,
+            base_config=FuzzConfig(max_packets=spec.budget),
+            armed=spec.armed,
+            target_state=ChannelState(spec.target_state),
+            corpus_dir=(
+                str(self.tenants.corpus_dir(spec.tenant))
+                if spec.use_corpus
+                else None
+            ),
+            targets=list(spec.targets),
+            batch=spec.batch,
+            telemetry_dir=str(self.tenants.runs_dir(spec.tenant)),
+            resume_run_id=record.run_id if record.resume_of else None,
+            runtime=self._ensure_runtime(),
+            abort_check=abort_event.is_set,
+        )
+        # Publish the run id before dispatch so status/cancel/resume can
+        # find the run directory while the job runs.
+        self.registry.update(record.job_id, run_id=orchestrator.run_id)
+        try:
+            report = orchestrator.run()
+        except AbortRequested:
+            self.registry.update(
+                record.job_id,
+                status="cancelled",
+                error="cancelled by request",
+                finished=time.time(),
+            )
+            self.metrics.inc(
+                "service_jobs_finished_total",
+                tenant=spec.tenant,
+                status="cancelled",
+            )
+            return
+        except BaseException as error:  # noqa: BLE001 — record, keep serving
+            self.registry.update(
+                record.job_id,
+                status="aborted",
+                error=f"{type(error).__name__}: {error}",
+                finished=time.time(),
+            )
+            self.metrics.inc(
+                "service_jobs_finished_total",
+                tenant=spec.tenant,
+                status="aborted",
+            )
+            return
+        finally:
+            orchestrator.close()
+        self.registry.save_report(record.job_id, report.to_json())
+        self.registry.update(
+            record.job_id,
+            status="finished",
+            finished=time.time(),
+            campaigns=len(report.campaigns),
+            packets=report.total_packets,
+            findings=len(report.findings),
+            merged_state_count=report.merged_state_count,
+        )
+        self.metrics.inc(
+            "service_jobs_finished_total", tenant=spec.tenant, status="finished"
+        )
+        self.metrics.inc(
+            "service_packets_total", report.total_packets, tenant=spec.tenant
+        )
+        self.metrics.observe(
+            "service_job_wall_seconds",
+            time.time() - started,
+            buckets=(0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def _update_queue_gauge(self) -> None:
+        records = self.registry.jobs()
+        for status in ("queued", "running"):
+            self.metrics.set_gauge(
+                "service_jobs_active",
+                sum(1 for record in records if record.status == status),
+                status=status,
+            )
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
+        """Poll until the job reaches a terminal status (tests, CLI)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.registry.get(job_id)
+            if not record.active:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.status} after {timeout}s"
+                )
+            time.sleep(0.02)

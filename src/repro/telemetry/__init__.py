@@ -46,9 +46,13 @@ from repro.telemetry.recorder import (
 from repro.telemetry.runs import (
     RunInfo,
     list_runs,
+    load_manifest,
     render_status,
     resolve_run,
+    run_info,
+    run_info_dict,
     run_status,
+    status_to_dict,
     tail_run,
 )
 
@@ -66,6 +70,7 @@ __all__ = [
     "SEGMENTS_DIRNAME",
     "journal_fuzz_log",
     "list_runs",
+    "load_manifest",
     "log_entries_from_events",
     "merge_segments",
     "new_run_id",
@@ -73,8 +78,11 @@ __all__ = [
     "read_manifest",
     "render_status",
     "resolve_run",
+    "run_info",
+    "run_info_dict",
     "run_status",
     "scan_events",
     "shard_journal",
+    "status_to_dict",
     "tail_run",
 ]

@@ -31,6 +31,63 @@ class RunInfo:
     campaigns: int
     packets: int
     findings: int
+    failure_reason: str | None = None
+    resumed: bool = False
+    fleet_signature: str | None = None
+
+
+def load_manifest(
+    run_dir: str | Path, attempts: int = 5, delay: float = 0.04
+) -> dict | None:
+    """:func:`read_manifest` with a mid-write retry guard.
+
+    The recorder publishes ``run.json`` atomically, but not every
+    writer of a run directory is the recorder (external tools, tests,
+    NFS-style filesystems where rename atomicity is weaker), and the
+    service polls manifests continuously while the orchestrator updates
+    them. A manifest *file that exists but fails to parse* is treated
+    as mid-write and re-read up to *attempts* times; a missing file is
+    returned as None immediately (that is a real state, not a race).
+    """
+    path = Path(run_dir) / MANIFEST_FILENAME
+    for attempt in range(attempts):
+        manifest = read_manifest(run_dir)
+        if manifest is not None:
+            return manifest
+        if not path.exists() or attempt == attempts - 1:
+            return None
+        time.sleep(delay)
+    return None
+
+
+def run_info(manifest: dict, path: Path) -> RunInfo:
+    """Build one :class:`RunInfo` row from a parsed manifest."""
+    return RunInfo(
+        run_id=manifest.get("run_id", path.name),
+        path=path,
+        status=manifest.get("status", "unknown"),
+        started=manifest.get("started"),
+        finished=manifest.get("finished"),
+        workers=manifest.get("workers", 0),
+        campaigns=manifest.get("campaigns", 0),
+        packets=manifest.get("packets", 0),
+        findings=manifest.get("findings", 0),
+        failure_reason=manifest.get("failure_reason"),
+        resumed=bool(manifest.get("resumed", False)),
+        fleet_signature=manifest.get("fleet_signature"),
+    )
+
+
+def run_info_dict(info: RunInfo) -> dict:
+    """JSON-safe rendering of one run row.
+
+    The single serializer behind ``repro runs list --json`` and the
+    service's run-listing endpoint — scripting against either sees the
+    same shape.
+    """
+    data = dataclasses.asdict(info)
+    data["path"] = str(info.path)
+    return data
 
 
 def list_runs(root: str | Path) -> list[RunInfo]:
@@ -40,36 +97,37 @@ def list_runs(root: str | Path) -> list[RunInfo]:
         return []
     runs = []
     for entry in sorted(root.iterdir(), reverse=True):
-        manifest = read_manifest(entry)
+        manifest = load_manifest(entry, attempts=2)
         if manifest is None:
             continue
-        runs.append(
-            RunInfo(
-                run_id=manifest.get("run_id", entry.name),
-                path=entry,
-                status=manifest.get("status", "unknown"),
-                started=manifest.get("started"),
-                finished=manifest.get("finished"),
-                workers=manifest.get("workers", 0),
-                campaigns=manifest.get("campaigns", 0),
-                packets=manifest.get("packets", 0),
-                findings=manifest.get("findings", 0),
-            )
-        )
+        runs.append(run_info(manifest, entry))
     return runs
 
 
 def resolve_run(root: str | Path, ref: str) -> Path:
     """Resolve a run reference: a run id under *root*, or a direct path.
 
+    Tolerates a manifest that is briefly missing or mid-write: a run
+    directory that exists but has no readable ``run.json`` yet (the
+    recorder creates the directory before its first atomic manifest
+    publish; non-atomic external writers have a wider window) is
+    retried for a few polls before the reference is declared unknown.
+
     :raises FileNotFoundError: when neither resolves to a recorded run.
     """
     candidate = Path(root) / ref
-    if (candidate / MANIFEST_FILENAME).exists():
-        return candidate
     direct = Path(ref)
-    if (direct / MANIFEST_FILENAME).exists():
-        return direct
+    for attempt in range(3):
+        if (candidate / MANIFEST_FILENAME).exists():
+            return candidate
+        if (direct / MANIFEST_FILENAME).exists():
+            return direct
+        # Only a directory that exists without its manifest suggests a
+        # write in progress; an absent directory is a genuine miss.
+        if not candidate.is_dir() and not direct.is_dir():
+            break
+        if attempt < 2:
+            time.sleep(0.05)
     raise FileNotFoundError(
         f"no recorded run {ref!r} under {root!r} (and {ref!r} is not a run "
         "directory)"
@@ -93,7 +151,7 @@ def run_status(run_dir: str | Path) -> dict:
     view updates while workers are still mid-shard.
     """
     run_dir = Path(run_dir)
-    manifest = read_manifest(run_dir) or {}
+    manifest = load_manifest(run_dir) or {}
     events = scan_events(run_dir)
     workers: dict[str, _WorkerRow] = {}
     total_campaigns: int | None = None
@@ -143,6 +201,9 @@ def run_status(run_dir: str | Path) -> dict:
     return {
         "run_id": manifest.get("run_id", run_dir.name),
         "status": manifest.get("status", "unknown"),
+        "failure_reason": manifest.get("failure_reason"),
+        "resumed": bool(manifest.get("resumed", False)),
+        "fleet_signature": manifest.get("fleet_signature"),
         "workers": workers,
         "total_campaigns": total_campaigns,
         "finished_campaigns": finished_campaigns,
@@ -157,6 +218,25 @@ def run_status(run_dir: str | Path) -> dict:
     }
 
 
+def status_to_dict(status: dict) -> dict:
+    """JSON-safe rendering of one :func:`run_status` structure.
+
+    The worker rows are dataclasses (convenient for
+    :func:`render_status`); this flattens them — the single serializer
+    behind ``repro runs show --json`` and the service's status
+    endpoint.
+    """
+    data = dict(status)
+    data["workers"] = {
+        worker: dataclasses.asdict(row)
+        for worker, row in status["workers"].items()
+    }
+    data["in_flight"] = {
+        str(campaign): label for campaign, label in status["in_flight"].items()
+    }
+    return data
+
+
 def render_status(status: dict) -> str:
     """Render one :func:`run_status` structure as a fleet status table."""
     total = status["total_campaigns"]
@@ -165,10 +245,15 @@ def render_status(status: dict) -> str:
         if total is not None
         else str(status["finished_campaigns"])
     )
+    resumed = " (resumed)" if status.get("resumed") else ""
     lines = [
-        f"run {status['run_id']} [{status['status']}]  "
+        f"run {status['run_id']} [{status['status']}]{resumed}  "
         f"campaigns {progress}  packets {status['packets']}  "
         f"findings {status['findings']}  events {status['events']}",
+    ]
+    if status.get("failure_reason"):
+        lines.append(f"failure: {status['failure_reason']}")
+    lines += [
         "",
         "| worker | shards | campaigns | packets | findings | busy s | last event |",
         "|--------|--------|-----------|---------|----------|--------|------------|",

@@ -1,0 +1,147 @@
+"""Unit tests for the HTTP parsing primitives and the router."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    Request,
+    Response,
+    read_request,
+)
+from repro.service.router import Router
+
+
+def parse(raw: bytes) -> Request | None:
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_run())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        body = b'{"a": 1}'
+        raw = (
+            b"POST /v1/jobs?x=1&empty= HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Repro-Tenant: alpha\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/jobs"
+        assert request.query == {"x": "1", "empty": ""}
+        assert request.header("x-repro-tenant") == "alpha"
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET /healthz HTT")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_percent_encoding_decoded(self):
+        request = parse(b"GET /v1/jobs/job%2D1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/jobs/job-1"
+
+
+class TestRequestJson:
+    def test_malformed_json_is_400(self):
+        request = Request(
+            method="POST", path="/", query={}, headers={}, body=b"{nope"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        request = Request(
+            method="POST", path="/", query={}, headers={}, body=b"[1, 2]"
+        )
+        with pytest.raises(HttpError):
+            request.json()
+
+    def test_empty_body_is_empty_object(self):
+        request = Request(
+            method="POST", path="/", query={}, headers={}, body=b""
+        )
+        assert request.json() == {}
+
+
+class TestResponse:
+    def test_json_response_round_trips(self):
+        response = Response.json_response({"jobs": []}, status=202)
+        assert response.status == 202
+        assert json.loads(response.body) == {"jobs": []}
+        assert response.body.endswith(b"\n")
+
+
+class TestRouter:
+    def _router(self):
+        router = Router()
+        router.add("GET", "/v1/jobs", lambda: "list")
+        router.add("POST", "/v1/jobs", lambda: "submit")
+        router.add("GET", "/v1/jobs/{job_id}", lambda: "get")
+        router.add(
+            "POST", "/v1/jobs/{job_id}/cancel", lambda: "cancel"
+        )
+        router.add(
+            "GET",
+            "/v1/tenants/{tenant}/corpus/{entry_id}",
+            lambda: "entry",
+        )
+        return router
+
+    def test_static_and_parameterised_routes(self):
+        router = self._router()
+        handler, params = router.route("GET", "/v1/jobs")
+        assert handler() == "list" and params == {}
+        handler, params = router.route("GET", "/v1/jobs/job-123")
+        assert handler() == "get" and params == {"job_id": "job-123"}
+        handler, params = router.route(
+            "GET", "/v1/tenants/alpha/corpus/entry-9"
+        )
+        assert params == {"tenant": "alpha", "entry_id": "entry-9"}
+
+    def test_method_mismatch_is_405(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._router().route("DELETE", "/v1/jobs")
+        assert excinfo.value.status == 405
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._router().route("GET", "/v1/nothing")
+        assert excinfo.value.status == 404
+
+    def test_captures_do_not_span_segments(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._router().route("GET", "/v1/jobs/a/b/c")
+        assert excinfo.value.status == 404

@@ -1,0 +1,163 @@
+"""Unit tests for the job model and the session registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    JobRecord,
+    JobSpec,
+    JobValidationError,
+    new_job_id,
+)
+from repro.service.registry import SessionRegistry
+
+
+def spec(**overrides) -> JobSpec:
+    fields = dict(tenant="alpha", profiles=("D1",))
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestJobSpec:
+    def test_valid_spec_passes(self):
+        spec(
+            profiles=("D1", "D2"),
+            strategies=("sequential", "targeted"),
+            targets=("l2cap", "rfcomm"),
+        ).validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"tenant": "../escape"},
+            {"tenant": ""},
+            {"profiles": ()},
+            {"profiles": ("D99",)},
+            {"strategies": ("warp-speed",)},
+            {"targets": ("telnet",)},
+            {"budget": 0},
+            {"priority": 10},
+            {"priority": -1},
+            {"batch": 0},
+            {"target_state": "IMAGINED"},
+        ],
+    )
+    def test_bad_specs_rejected(self, overrides):
+        with pytest.raises(JobValidationError):
+            spec(**overrides).validate()
+
+    def test_matrix_arithmetic(self):
+        matrix = spec(
+            profiles=("D1", "D2", "D3"),
+            strategies=("sequential", "targeted"),
+            targets=("l2cap",),
+            budget=500,
+        )
+        assert matrix.campaigns == 6
+        assert matrix.packets_requested == 3000
+
+    def test_round_trip(self):
+        original = spec(
+            profiles=("D1", "D2"), budget=123, priority=2, batch=3
+        )
+        assert JobSpec.from_dict(original.to_dict()) == original
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(JobValidationError):
+            JobSpec.from_dict({"profiles": ["D1"]})  # no tenant
+        with pytest.raises(JobValidationError):
+            JobSpec.from_dict({"tenant": "a", "profiles": ["D1"], "budget": "lots"})
+
+
+class TestJobRecord:
+    def test_round_trip_preserves_everything(self):
+        record = JobRecord(
+            job_id=new_job_id(),
+            spec=spec(),
+            status="finished",
+            created=100.0,
+            started=101.0,
+            finished=105.0,
+            run_id="20260101-000000-abc123",
+            campaigns=4,
+            packets=400,
+            findings=2,
+            merged_state_count=9,
+        )
+        clone = JobRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert clone == record
+
+    def test_resumable_needs_terminal_failure_and_run(self):
+        record = JobRecord(job_id="job-x", spec=spec())
+        assert not record.resumable  # queued
+        record.status = "cancelled"
+        assert not record.resumable  # no run recorded
+        record.run_id = "r1"
+        assert record.resumable
+        record.status = "finished"
+        assert not record.resumable
+
+
+class TestSessionRegistry:
+    def test_create_get_update_listing(self, tmp_path):
+        registry = SessionRegistry(tmp_path)
+        a = registry.create(spec())
+        b = registry.create(spec(tenant="beta"))
+        assert registry.get(a.job_id).status == "queued"
+        registry.update(a.job_id, status="running", started=1.0)
+        assert registry.get(a.job_id).status == "running"
+        assert [r.job_id for r in registry.jobs("alpha")] == [a.job_id]
+        assert {r.job_id for r in registry.jobs()} == {a.job_id, b.job_id}
+
+    def test_recover_marks_running_as_aborted(self, tmp_path):
+        registry = SessionRegistry(tmp_path)
+        running = registry.create(spec())
+        registry.update(running.job_id, status="running", run_id="r1")
+        queued = registry.create(spec())
+        done = registry.create(spec())
+        registry.update(done.job_id, status="finished")
+
+        fresh = SessionRegistry(tmp_path)
+        requeue = fresh.recover()
+        assert [r.job_id for r in requeue] == [queued.job_id]
+        recovered = fresh.get(running.job_id)
+        assert recovered.status == "aborted"
+        assert "restarted" in recovered.error
+        assert recovered.resumable
+        assert fresh.get(done.job_id).status == "finished"
+
+    def test_quota_inputs(self, tmp_path):
+        registry = SessionRegistry(tmp_path)
+        first = registry.create(spec(budget=100))
+        registry.create(spec(budget=50))
+        registry.create(spec(tenant="beta", budget=10))
+        assert registry.active_count("alpha") == 2
+        assert registry.packets_committed("alpha") == 150
+        # Resumes are charged at original admission, not again.
+        resume = registry.create(spec(budget=100), resume_of=first.job_id)
+        assert registry.packets_committed("alpha") == 150
+        assert resume.resume_of == first.job_id
+        registry.update(first.job_id, status="cancelled")
+        assert registry.active_count("alpha") == 2  # resume + second
+
+    def test_report_round_trips_byte_exact(self, tmp_path):
+        registry = SessionRegistry(tmp_path)
+        record = registry.create(spec())
+        payload = '{"fleet": 1,\n "campaigns": []}'
+        registry.save_report(record.job_id, payload)
+        assert registry.report_text(record.job_id) == payload
+        assert registry.report_text("job-nope") is None
+
+    def test_report_files_not_confused_with_manifests(self, tmp_path):
+        registry = SessionRegistry(tmp_path)
+        record = registry.create(spec())
+        registry.save_report(record.job_id, "{}")
+        fresh = SessionRegistry(tmp_path)
+        fresh.recover()
+        assert fresh.get(record.job_id).job_id == record.job_id
+        assert len(fresh.jobs()) == 1

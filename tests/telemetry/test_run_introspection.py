@@ -1,0 +1,162 @@
+"""Satellite coverage: mid-write manifest tolerance and --json output."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import (
+    list_runs,
+    load_manifest,
+    resolve_run,
+    run_info,
+    run_info_dict,
+    run_status,
+    status_to_dict,
+)
+
+MANIFEST = {
+    "run_id": "20260101-000000-aaaaaa",
+    "status": "aborted",
+    "started": "2026-01-01T00:00:00+00:00",
+    "finished": "2026-01-01T00:00:09+00:00",
+    "workers": 2,
+    "campaigns": 4,
+    "packets": 1234,
+    "findings": 1,
+    "failure_reason": "RuntimeError: pool exploded",
+    "resumed": True,
+    "fleet_signature": "deadbeef",
+}
+
+
+def write_manifest(run_dir, manifest=MANIFEST) -> None:
+    run_dir.mkdir(parents=True, exist_ok=True)
+    (run_dir / "run.json").write_text(json.dumps(manifest), encoding="utf-8")
+
+
+class TestLoadManifest:
+    def test_missing_file_is_none_immediately(self, tmp_path):
+        start = time.monotonic()
+        assert load_manifest(tmp_path / "nope") is None
+        assert time.monotonic() - start < 0.1
+
+    def test_torn_write_retried_until_readable(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "run.json").write_text('{"run_id": "x", "sta')
+
+        def finish_write():
+            time.sleep(0.06)
+            write_manifest(run_dir)
+
+        fixer = threading.Thread(target=finish_write)
+        fixer.start()
+        try:
+            manifest = load_manifest(run_dir, attempts=20, delay=0.02)
+        finally:
+            fixer.join()
+        assert manifest is not None
+        assert manifest["run_id"] == MANIFEST["run_id"]
+
+    def test_persistent_garbage_gives_up(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "run.json").write_text("{never json")
+        assert load_manifest(run_dir, attempts=2, delay=0.01) is None
+
+
+class TestResolveRun:
+    def test_tolerates_directory_ahead_of_manifest(self, tmp_path):
+        """A run dir created before its run.json lands still resolves."""
+        run_dir = tmp_path / "20260101-000000-aaaaaa"
+        run_dir.mkdir()
+
+        def late_manifest():
+            time.sleep(0.04)
+            write_manifest(run_dir)
+
+        writer = threading.Thread(target=late_manifest)
+        writer.start()
+        try:
+            resolved = resolve_run(tmp_path, run_dir.name)
+        finally:
+            writer.join()
+        assert resolved == run_dir
+
+    def test_genuinely_missing_run_still_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_run(tmp_path, "20991231-000000-ffffff")
+
+
+class TestSerializers:
+    def test_run_info_surfaces_failure_resume_and_signature(self, tmp_path):
+        run_dir = tmp_path / MANIFEST["run_id"]
+        write_manifest(run_dir)
+        info = list_runs(tmp_path)[0]
+        assert info.failure_reason == "RuntimeError: pool exploded"
+        assert info.resumed is True
+        assert info.fleet_signature == "deadbeef"
+
+        rendered = run_info_dict(info)
+        assert rendered["path"] == str(run_dir)
+        assert rendered["failure_reason"] == info.failure_reason
+        json.dumps(rendered)  # fully JSON-safe
+
+    def test_run_status_carries_the_same_fields(self, tmp_path):
+        run_dir = tmp_path / MANIFEST["run_id"]
+        write_manifest(run_dir)
+        status = run_status(run_dir)
+        assert status["failure_reason"] == MANIFEST["failure_reason"]
+        assert status["resumed"] is True
+        assert status["fleet_signature"] == "deadbeef"
+        json.dumps(status_to_dict(status))
+
+    def test_run_info_matches_manifest_round_trip(self, tmp_path):
+        run_dir = tmp_path / MANIFEST["run_id"]
+        write_manifest(run_dir)
+        info = run_info(MANIFEST, run_dir)
+        assert run_info_dict(info)["run_id"] == MANIFEST["run_id"]
+
+
+class TestRunsCliJson:
+    def test_runs_list_json_is_machine_readable(self, tmp_path, capsys):
+        write_manifest(tmp_path / MANIFEST["run_id"])
+        assert main(["runs", "list", "--root", str(tmp_path), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["run_id"] == MANIFEST["run_id"]
+        assert rows[0]["failure_reason"] == MANIFEST["failure_reason"]
+        assert rows[0]["resumed"] is True
+
+    def test_runs_list_table_shows_failure_and_resume(
+        self, tmp_path, capsys
+    ):
+        write_manifest(tmp_path / MANIFEST["run_id"])
+        assert main(["runs", "list", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(resumed)" in out
+        assert "failure: RuntimeError: pool exploded" in out
+
+    def test_runs_show_json_is_the_status_structure(self, tmp_path, capsys):
+        write_manifest(tmp_path / MANIFEST["run_id"])
+        assert (
+            main(
+                [
+                    "runs",
+                    "show",
+                    MANIFEST["run_id"],
+                    "--root",
+                    str(tmp_path),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        status = json.loads(capsys.readouterr().out)
+        assert status["run_id"] == MANIFEST["run_id"]
+        assert status["fleet_signature"] == "deadbeef"
+        assert status["workers"] == {}
