@@ -100,10 +100,19 @@ def _submit_to_first_event(client: ServiceClient, budget: int) -> float:
 
 
 def _service_wall(client: ServiceClient, budget: int, seed: int) -> float:
-    """Submit → poll to completion → fetch report, as a tenant would."""
+    """Submit → poll to completion → fetch report, as a tenant would.
+
+    The poll bounds are pinned tight: the default ``wait()`` cadence
+    backs off toward 1 s (kind to a shared service, but up to a second
+    of completion-detection latency), which would be measured as fake
+    "overhead". The gate is about what the *service* costs, at the
+    measurement resolution the old fixed 50 ms poll gave it.
+    """
     start = time.perf_counter()
     record = client.submit(_spec(budget, seed))
-    final = client.wait(record["job_id"], timeout=600)
+    final = client.wait(
+        record["job_id"], timeout=600, poll_floor=0.005, poll_cap=0.05
+    )
     assert final["status"] == "finished", final["error"]
     client.report_text(record["job_id"])
     return time.perf_counter() - start
@@ -111,8 +120,17 @@ def _service_wall(client: ServiceClient, budget: int, seed: int) -> float:
 
 def _measure(budget: int) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-service-") as data_dir:
+        # Everything on: WAL-intent durability is unconditional, and the
+        # watchdog + wedge detection + auto-resume supervision all run
+        # while the overhead is measured — the <5% budget is for the
+        # crash-safe configuration, not a stripped-down one.
         config = ServiceConfig(
-            data_dir=data_dir, port=0, pool_workers=POOL_WORKERS
+            data_dir=data_dir,
+            port=0,
+            pool_workers=POOL_WORKERS,
+            watchdog_interval=1.0,
+            wedge_deadline=120.0,
+            auto_resume=True,
         )
         with ControlPlaneThread(config) as server:
             client = ServiceClient(server.base_url, tenant="bench")

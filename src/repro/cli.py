@@ -617,9 +617,11 @@ def cmd_runs_tail(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the fuzzing-as-a-service control plane (blocking)."""
+    from repro.core.faults import install_service_faults_from_env
     from repro.core.runtime import SupervisionPolicy
     from repro.service import ControlPlane, ServiceConfig
 
+    install_service_faults_from_env()  # chaos harnesses only; no-op otherwise
     supervision = None
     if args.shard_deadline is not None:
         supervision = SupervisionPolicy(shard_deadline=args.shard_deadline)
@@ -631,6 +633,10 @@ def cmd_serve(args) -> int:
         max_active_jobs=args.max_active_jobs,
         packet_budget=args.packet_budget,
         supervision=supervision,
+        max_queue_depth=args.max_queue_depth,
+        wedge_deadline=args.wedge_deadline,
+        auto_resume=args.auto_resume,
+        auto_resume_max_attempts=args.auto_resume_max_attempts,
     )
     app = ControlPlane(config)
     _echo(f"control plane data dir: {args.data_dir}")
@@ -674,7 +680,7 @@ def cmd_jobs_submit(args) -> int:
         spec["batch"] = args.batch
     client = _service_client(args)
     try:
-        record = client.submit(spec)
+        record = client.submit(spec, idempotency_key=args.idempotency_key)
     except ServiceError as error:
         raise SystemExit(str(error)) from None
     if args.wait:
@@ -1080,6 +1086,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="supervision deadline per shard attempt",
     )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="global queued-job bound; a full queue answers 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--wedge-deadline",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="watchdog aborts (resumable) a running job with no observable "
+        "progress for this long",
+    )
+    serve.add_argument(
+        "--auto-resume",
+        action="store_true",
+        help="automatically resume aborted(resumable) jobs on start-up and "
+        "after watchdog aborts, with capped retries",
+    )
+    serve.add_argument(
+        "--auto-resume-max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="automatic resume attempts per job chain before giving up",
+    )
     serve.set_defaults(func=cmd_serve)
 
     jobs = commands.add_parser(
@@ -1140,6 +1174,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs_submit.add_argument(
         "--batch", type=int, default=None, help="campaigns per worker shard"
+    )
+    jobs_submit.add_argument(
+        "--idempotency-key",
+        default=None,
+        metavar="KEY",
+        help="deduplication key: resubmitting with the same key returns the "
+        "original job and charges nothing (makes the submit retry-safe)",
     )
     jobs_submit.add_argument(
         "--wait", action="store_true", help="block until the job finishes"

@@ -40,6 +40,26 @@ class ServiceError(ReproError):
     """Service (PSM) lookup or registration failure."""
 
 
+class JournalWriteError(ReproError):
+    """A durability write (telemetry journal append, registry manifest
+    or write-ahead intent) failed at the OS level — ENOSPC, EIO, a
+    read-only filesystem.
+
+    Carries the path and errno so the service layer can mark the
+    affected job ``aborted`` with a typed ``failure_reason`` instead of
+    surfacing a raw traceback; the run's checkpoints stay on disk, so
+    the job remains resumable once the disk recovers.
+    """
+
+    def __init__(self, path, error: OSError) -> None:
+        self.path = str(path)
+        self.errno = error.errno
+        super().__init__(
+            f"journal write failed for {self.path}: "
+            f"{error.strerror or error} (errno {error.errno})"
+        )
+
+
 class TransportError(ReproError):
     """Base class for link-level failures observed by the fuzzer.
 

@@ -33,11 +33,13 @@ from repro.service.jobs import (
     JobStateError,
     JobValidationError,
     QuotaExceededError,
+    ServiceSaturatedError,
     UnknownJobError,
 )
 from repro.service.registry import SessionRegistry
 from repro.service.scheduler import JobScheduler
 from repro.service.tenants import TenantManager, TenantQuota
+from repro.service.watchdog import Watchdog
 
 __all__ = [
     "JOB_STATUSES",
@@ -53,8 +55,10 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceSaturatedError",
     "SessionRegistry",
     "TenantManager",
     "TenantQuota",
     "UnknownJobError",
+    "Watchdog",
 ]

@@ -54,18 +54,21 @@ from repro.service.http import (
     read_request,
     write_response,
 )
+from repro.errors import JournalWriteError
 from repro.service.jobs import (
     JobRecord,
     JobSpec,
     JobStateError,
     JobValidationError,
     QuotaExceededError,
+    ServiceSaturatedError,
     UnknownJobError,
 )
 from repro.service.registry import SessionRegistry
 from repro.service.router import Router
 from repro.service.scheduler import JobScheduler
 from repro.service.tenants import TenantManager, TenantQuota
+from repro.service.watchdog import Watchdog
 from repro.telemetry import (
     list_runs,
     load_manifest,
@@ -96,6 +99,18 @@ class ServiceConfig:
     packet_budget: int | None = None
     stream_interval: float = 0.25
     supervision: SupervisionPolicy | None = None
+    #: Global bounded admission queue; a full queue answers 503 with
+    #: ``Retry-After``. None removes the bound.
+    max_queue_depth: int | None = 256
+    #: Watchdog tick period; 0 disables the watchdog thread entirely.
+    watchdog_interval: float = 1.0
+    #: Abort a running job whose run directory shows no change for this
+    #: many seconds (wedged worker/pool). None disables the check.
+    wedge_deadline: float | None = 120.0
+    #: Automatically resume ``aborted(resumable)`` jobs — on start-up
+    #: and after watchdog aborts — under the capped retry policy.
+    auto_resume: bool = False
+    auto_resume_max_attempts: int = 3
 
 
 class ControlPlane:
@@ -119,7 +134,18 @@ class ControlPlane:
             self.tenants,
             pool_workers=config.pool_workers,
             supervision=config.supervision,
+            queue_depth=config.max_queue_depth,
+            auto_resume=config.auto_resume,
+            auto_resume_max_attempts=config.auto_resume_max_attempts,
         )
+        self.watchdog: Watchdog | None = None
+        if config.watchdog_interval > 0:
+            self.watchdog = Watchdog(
+                self.scheduler,
+                self.tenants,
+                interval=config.watchdog_interval,
+                wedge_deadline=config.wedge_deadline,
+            )
         self.router = Router()
         self._register_routes()
         self._server: asyncio.base_events.Server | None = None
@@ -200,7 +226,11 @@ class ControlPlane:
         for record in records:
             counts[record.status] = counts.get(record.status, 0) + 1
         return Response.json_response(
-            {"status": "ok", "jobs": counts, "pool_workers": self.config.pool_workers}
+            {
+                "status": "draining" if self.scheduler.draining else "ok",
+                "jobs": counts,
+                "pool_workers": self.config.pool_workers,
+            }
         )
 
     async def _handle_service_metrics(self, request: Request) -> Response:
@@ -210,8 +240,12 @@ class ControlPlane:
         )
 
     async def _handle_shutdown(self, request: Request) -> Response:
+        # Stop admission *before* acknowledging: a submit that races the
+        # shutdown either lands durably or gets a clean 503, never an
+        # accepted job the dying service silently drops.
+        self.scheduler.begin_drain()
         self._shutdown.set()
-        return Response.json_response({"status": "shutting-down"}, status=202)
+        return Response.json_response({"status": "draining"}, status=202)
 
     # -- handlers: jobs ------------------------------------------------------------
 
@@ -223,14 +257,36 @@ class ControlPlane:
                 403, "body tenant does not match the authenticated tenant"
             )
         body["tenant"] = tenant
+        idempotency_key = request.header("idempotency-key")
         try:
             spec = JobSpec.from_dict(body)
-            record = await asyncio.to_thread(self.scheduler.submit, spec)
+            record, created = await asyncio.to_thread(
+                self.scheduler.submit_idempotent, spec, idempotency_key
+            )
         except JobValidationError as error:
             raise HttpError(400, str(error)) from error
+        except ServiceSaturatedError as error:
+            response = error_response(503, str(error))
+            response.headers["Retry-After"] = str(
+                max(1, round(error.retry_after))
+            )
+            return response
         except QuotaExceededError as error:
             raise HttpError(429, str(error)) from error
-        return Response.json_response(record.to_dict(), status=202)
+        except JournalWriteError as error:
+            # The job is not admitted (registry rolled it back); the
+            # disk may recover, so tell the client to retry later.
+            response = error_response(503, str(error))
+            response.headers["Retry-After"] = "5"
+            return response
+        response = Response.json_response(
+            record.to_dict(), status=202 if created else 200
+        )
+        if not created:
+            # Replay of an earlier submit with the same Idempotency-Key:
+            # same job, nothing charged twice.
+            response.headers["X-Repro-Idempotent-Replay"] = "true"
+        return response
 
     async def _handle_list_jobs(self, request: Request) -> Response:
         tenant = self._tenant(request)
@@ -471,31 +527,53 @@ class ControlPlane:
     async def start(self) -> None:
         """Start the scheduler and bind the server (port 0 = ephemeral)."""
         await asyncio.to_thread(self.scheduler.start)
+        if self.watchdog is not None:
+            self.watchdog.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         _log.info("control plane listening on %s:%d", self.host, self.port)
 
-    async def stop(self, abort_running: bool = True) -> None:
-        """Close the server and stop the scheduler (and its pool)."""
+    async def stop(self, abort_running: bool = True, drain: bool = False) -> None:
+        """Close the server and stop the scheduler (and its pool).
+
+        With ``drain`` the stop is the graceful-shutdown path: admission
+        is already closed, the in-flight job checkpoints and lands
+        ``aborted(resumable)``, queued jobs stay queued for the next
+        start.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await asyncio.to_thread(self.scheduler.stop, abort_running)
+        if self.watchdog is not None:
+            await asyncio.to_thread(self.watchdog.stop)
+        if drain:
+            await asyncio.to_thread(self.scheduler.drain)
+        else:
+            await asyncio.to_thread(self.scheduler.stop, abort_running)
 
     async def serve(self) -> None:
-        """Start, run until shutdown (endpoint or SIGINT/SIGTERM), stop."""
+        """Start, run until shutdown (endpoint or SIGINT/SIGTERM), stop.
+
+        Both shutdown signals and the shutdown endpoint take the drain
+        path: stop admission, checkpoint the in-flight job, mark it
+        resumable, exit 0. ``kill -9`` is the *other* durability story —
+        the registry's write-ahead intents make that recoverable too.
+        """
         await self.start()
         loop = asyncio.get_running_loop()
+
+        def _signalled() -> None:
+            self.scheduler.begin_drain()
+            self._shutdown.set()
+
         for signum in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError, ValueError):
-                loop.add_signal_handler(signum, self._shutdown.set)
+                loop.add_signal_handler(signum, _signalled)
         await self._shutdown.wait()
-        # The shutdown endpoint drains gracefully: let the running job
-        # finish unless the operator kills the process.
-        await self.stop(abort_running=False)
+        await self.stop(drain=True)
 
     def run(self) -> None:
         """Blocking entry point for ``repro serve``."""

@@ -5,12 +5,21 @@ through this thin :mod:`http.client` wrapper — one connection per
 request (the server answers ``Connection: close``), tenant identity in
 the ``X-Repro-Tenant`` header, JSON in/out, and error payloads raised
 as :class:`ServiceError` with the HTTP status attached.
+
+**Retries.** Requests that are safe to replay — GETs, cancels,
+shutdowns, and submits that carry an ``Idempotency-Key`` — retry on
+dropped connections and on 503 (honouring the server's ``Retry-After``)
+with capped exponential backoff plus jitter. A submit *without* a key
+never retries: the client cannot know whether the lost response
+admitted a job. Resume never retries either (each resume creates a new
+continuation job).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from collections.abc import Iterator
 from urllib.parse import urlencode, urlsplit
@@ -19,6 +28,9 @@ from repro.errors import ReproError
 from repro.service.jobs import JOB_STATUSES
 
 TENANT_HEADER = "X-Repro-Tenant"
+
+#: Exceptions that mean "the bytes may not have reached the server".
+RETRYABLE_EXCEPTIONS = (OSError, http.client.HTTPException)
 
 
 class ServiceError(ReproError):
@@ -34,7 +46,13 @@ class ServiceClient:
     """Talks to one control plane on behalf of one tenant."""
 
     def __init__(
-        self, base_url: str, tenant: str | None = None, timeout: float = 30.0
+        self,
+        base_url: str,
+        tenant: str | None = None,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
@@ -45,6 +63,9 @@ class ServiceClient:
         self.port = split.port or 80
         self.tenant = tenant
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -54,33 +75,77 @@ class ServiceClient:
             headers[TENANT_HEADER] = self.tenant
         return headers
 
+    def _sleep_before_retry(self, attempt: int, floor: float = 0.0) -> None:
+        """Capped exponential backoff with full jitter (attempt is 0-based)."""
+        ceiling = min(self.backoff_cap, self.backoff * (2**attempt))
+        time.sleep(max(floor, random.uniform(0, ceiling)))
+
+    def _once(
+        self,
+        method: str,
+        path: str,
+        payload: bytes | None,
+        headers: dict[str, str],
+    ) -> tuple[int, bytes, dict[str, str]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, data, response_headers
+        finally:
+            connection.close()
+
     def _request(
         self,
         method: str,
         path: str,
         body: dict | None = None,
         query: dict | None = None,
-    ) -> tuple[int, bytes, str]:
+        headers: dict[str, str] | None = None,
+        retryable: bool = False,
+    ) -> tuple[int, bytes, dict[str, str]]:
         if query:
             filtered = {k: v for k, v in query.items() if v is not None}
             if filtered:
                 path = f"{path}?{urlencode(filtered)}"
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            headers = self._headers()
-            payload = None
-            if body is not None:
-                payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            data = response.read()
-            content_type = response.getheader("Content-Type", "")
-            return response.status, data, content_type
-        finally:
-            connection.close()
+        request_headers = self._headers()
+        if headers:
+            request_headers.update(headers)
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            request_headers["Content-Type"] = "application/json"
+        attempts = self.retries if retryable else 0
+        for attempt in range(attempts + 1):
+            try:
+                status, data, response_headers = self._once(
+                    method, path, payload, request_headers
+                )
+            except RETRYABLE_EXCEPTIONS:
+                # Dropped connection / timeout: the server may be
+                # restarting under us — worth another try iff replaying
+                # the request cannot double anything.
+                if attempt >= attempts:
+                    raise
+                self._sleep_before_retry(attempt)
+                continue
+            if status == 503 and retryable and attempt < attempts:
+                try:
+                    floor = float(response_headers.get("retry-after", 0))
+                except ValueError:
+                    floor = 0.0
+                self._sleep_before_retry(
+                    attempt, floor=min(floor, self.backoff_cap)
+                )
+                continue
+            return status, data, response_headers
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(
         self,
@@ -88,8 +153,17 @@ class ServiceClient:
         path: str,
         body: dict | None = None,
         query: dict | None = None,
+        headers: dict[str, str] | None = None,
+        retryable: bool = False,
     ) -> dict:
-        status, data, _ = self._request(method, path, body=body, query=query)
+        status, data, _ = self._request(
+            method,
+            path,
+            body=body,
+            query=query,
+            headers=headers,
+            retryable=retryable,
+        )
         try:
             payload = json.loads(data.decode("utf-8")) if data else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -106,7 +180,9 @@ class ServiceClient:
         return payload
 
     def _raw(self, path: str, query: dict | None = None) -> bytes:
-        status, data, _ = self._request("GET", path, query=query)
+        status, data, _ = self._request(
+            "GET", path, query=query, retryable=True
+        )
         if status >= 400:
             try:
                 message = json.loads(data.decode("utf-8")).get("error", "")
@@ -118,20 +194,38 @@ class ServiceClient:
     # -- endpoints -----------------------------------------------------------------
 
     def health(self) -> dict:
-        return self._json("GET", "/healthz")
+        return self._json("GET", "/healthz", retryable=True)
 
-    def submit(self, spec: dict) -> dict:
-        """Submit a job spec; returns the created job record."""
-        return self._json("POST", "/v1/jobs", body=spec)
+    def submit(self, spec: dict, idempotency_key: str | None = None) -> dict:
+        """Submit a job spec; returns the created (or replayed) record.
+
+        With *idempotency_key* the submit is safe to retry — and this
+        client does, across dropped connections and 503s; the server
+        deduplicates on the key, so at most one job is ever admitted.
+        """
+        headers = (
+            {"Idempotency-Key": idempotency_key}
+            if idempotency_key is not None
+            else None
+        )
+        return self._json(
+            "POST",
+            "/v1/jobs",
+            body=spec,
+            headers=headers,
+            retryable=idempotency_key is not None,
+        )
 
     def jobs(self) -> list[dict]:
-        return self._json("GET", "/v1/jobs")["jobs"]
+        return self._json("GET", "/v1/jobs", retryable=True)["jobs"]
 
     def job(self, job_id: str) -> dict:
-        return self._json("GET", f"/v1/jobs/{job_id}")
+        return self._json("GET", f"/v1/jobs/{job_id}", retryable=True)
 
     def cancel(self, job_id: str) -> dict:
-        return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+        return self._json(
+            "POST", f"/v1/jobs/{job_id}/cancel", retryable=True
+        )
 
     def resume(self, job_id: str) -> dict:
         """Resume a cancelled/aborted job; returns the new job record."""
@@ -145,10 +239,12 @@ class ServiceClient:
         return json.loads(self.report_text(job_id))
 
     def status(self, job_id: str) -> dict:
-        return self._json("GET", f"/v1/jobs/{job_id}/status")
+        return self._json("GET", f"/v1/jobs/{job_id}/status", retryable=True)
 
     def run_metrics(self, job_id: str) -> dict:
-        return self._json("GET", f"/v1/jobs/{job_id}/metrics")
+        return self._json(
+            "GET", f"/v1/jobs/{job_id}/metrics", retryable=True
+        )
 
     def run_metrics_prometheus(self, job_id: str) -> str:
         return self._raw(f"/v1/jobs/{job_id}/metrics.prom").decode("utf-8")
@@ -157,23 +253,32 @@ class ServiceClient:
         return self._raw("/metrics").decode("utf-8")
 
     def runs(self) -> list[dict]:
-        return self._json("GET", f"/v1/tenants/{self.tenant}/runs")["runs"]
+        return self._json(
+            "GET", f"/v1/tenants/{self.tenant}/runs", retryable=True
+        )["runs"]
 
     def findings(self, **filters: str | None) -> list[dict]:
         return self._json(
-            "GET", f"/v1/tenants/{self.tenant}/findings", query=filters
+            "GET",
+            f"/v1/tenants/{self.tenant}/findings",
+            query=filters,
+            retryable=True,
         )["findings"]
 
     def corpus(self) -> dict:
-        return self._json("GET", f"/v1/tenants/{self.tenant}/corpus")
+        return self._json(
+            "GET", f"/v1/tenants/{self.tenant}/corpus", retryable=True
+        )
 
     def corpus_entry(self, entry_id: str) -> dict:
         return self._json(
-            "GET", f"/v1/tenants/{self.tenant}/corpus/{entry_id}"
+            "GET",
+            f"/v1/tenants/{self.tenant}/corpus/{entry_id}",
+            retryable=True,
         )
 
     def shutdown(self) -> dict:
-        return self._json("POST", "/v1/admin/shutdown")
+        return self._json("POST", "/v1/admin/shutdown", retryable=True)
 
     def events(self, job_id: str, follow: bool = False) -> Iterator[dict]:
         """Stream the job's journal events (chunked NDJSON) as dicts."""
@@ -211,16 +316,38 @@ class ServiceClient:
 
     # -- helpers -------------------------------------------------------------------
 
-    def wait(self, job_id: str, timeout: float = 120.0) -> dict:
-        """Poll until the job reaches a terminal status."""
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_floor: float = 0.05,
+        poll_cap: float = 1.0,
+    ) -> dict:
+        """Poll until the job reaches a terminal status.
+
+        The poll interval backs off exponentially from *poll_floor* to
+        *poll_cap* with jitter — a long job is not hammered at 20 Hz —
+        and dropped connections are tolerated until the deadline, so a
+        wait spanning a service restart keeps waiting instead of dying
+        with the old server's socket.
+        """
         terminal = set(JOB_STATUSES) - {"queued", "running"}
         deadline = time.monotonic() + timeout
+        interval = poll_floor
         while True:
-            record = self.job(job_id)
-            if record["status"] in terminal:
+            try:
+                record = self.job(job_id)
+            except RETRYABLE_EXCEPTIONS:
+                record = None  # server momentarily unreachable
+            if record is not None and record["status"] in terminal:
                 return record
             if time.monotonic() >= deadline:
+                if record is None:
+                    raise TimeoutError(
+                        f"service unreachable while waiting for job {job_id}"
+                    )
                 raise TimeoutError(
                     f"job {job_id} still {record['status']} after {timeout}s"
                 )
-            time.sleep(0.05)
+            time.sleep(random.uniform(poll_floor, interval))
+            interval = min(poll_cap, interval * 1.6)

@@ -55,6 +55,18 @@ class JobStateError(JobError):
     """An operation the job's current status does not allow."""
 
 
+class ServiceSaturatedError(JobError):
+    """A submission the service's bounded queue cannot admit right now.
+
+    Maps to HTTP 503 with a ``Retry-After`` header — the client should
+    back off and retry, nothing about the request itself is wrong.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 def new_job_id() -> str:
     """A sortable, collision-safe job identifier."""
     stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
@@ -217,6 +229,16 @@ class JobRecord:
     packets: int | None = None
     findings: int | None = None
     merged_state_count: int | None = None
+    #: The tenant's Idempotency-Key for the submit that created this
+    #: job; a replayed submit with the same key returns this record.
+    idempotency_key: str | None = None
+    #: True once a cancelled-while-queued job's packet-budget charge
+    #: has been handed back — set atomically with the status flip, so
+    #: the refund happens exactly once even across restarts.
+    quota_refunded: bool = False
+    #: How many automatic (watchdog/restart) resumes the chain ending
+    #: in this job has consumed; the cap lives in the scheduler.
+    auto_resume_attempts: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -237,6 +259,9 @@ class JobRecord:
             "packets": self.packets,
             "findings": self.findings,
             "merged_state_count": self.merged_state_count,
+            "idempotency_key": self.idempotency_key,
+            "quota_refunded": self.quota_refunded,
+            "auto_resume_attempts": self.auto_resume_attempts,
         }
 
     @classmethod
@@ -255,6 +280,9 @@ class JobRecord:
             packets=data.get("packets"),
             findings=data.get("findings"),
             merged_state_count=data.get("merged_state_count"),
+            idempotency_key=data.get("idempotency_key"),
+            quota_refunded=bool(data.get("quota_refunded", False)),
+            auto_resume_attempts=int(data.get("auto_resume_attempts", 0)),
         )
 
     @property

@@ -33,9 +33,23 @@ import json
 import logging
 import os
 import time
+from collections.abc import Callable
 from pathlib import Path
 
+from repro.errors import JournalWriteError
+
 _log = logging.getLogger(__name__)
+
+#: Optional chaos hook called before every journal append. Installed by
+#: :func:`repro.core.faults.install_service_faults` (set here, not
+#: imported, because the core package imports telemetry).
+_fault_hook: Callable[[str], object] | None = None
+
+
+def set_fault_hook(hook: Callable[[str], object] | None) -> None:
+    """Install (or with None, clear) the journal's fault-injection hook."""
+    global _fault_hook
+    _fault_hook = hook
 
 #: Format version stamped on every journal event.
 EVENT_SCHEMA_VERSION = 1
@@ -88,17 +102,30 @@ class JournalWriter:
             **payload,
         }
         self._seq += 1
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
+        if _fault_hook is not None:
+            try:
+                _fault_hook("journal.emit")
+            except OSError as error:
+                raise JournalWriteError(self.path, error) from error
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+        except OSError as error:
+            # Typed: ENOSPC/EIO on the journal must surface as a clean
+            # resumable abort, never a raw traceback in a worker.
+            raise JournalWriteError(self.path, error) from error
         return record
 
     def close(self) -> None:
         """Flush and release the file handle (idempotent)."""
         if self._handle is not None:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError as error:
+                _log.warning("journal %s close failed: %s", self.path, error)
             self._handle = None
         self._closed = True
 

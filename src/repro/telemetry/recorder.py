@@ -35,6 +35,7 @@ import time
 import weakref
 from pathlib import Path
 
+from repro.errors import JournalWriteError
 from repro.telemetry.journal import (
     EVENTS_FILENAME,
     SEGMENTS_DIRNAME,
@@ -196,13 +197,30 @@ class RunRecorder:
         if self._closed:
             return
         self._closed = True
-        merge_segments(self.run_dir)
-        self._journal.emit("run_abort", reason=reason)
+        # The failure being recorded may *be* the disk (ENOSPC on the
+        # journal): best-effort every step, so a sick journal can never
+        # stop the manifest from flipping to ``aborted``.
+        try:
+            merge_segments(self.run_dir)
+            self._journal.emit("run_abort", reason=reason)
+        except (JournalWriteError, OSError, ValueError) as error:
+            _log.warning(
+                "run %s: journal unavailable while recording failure: %s",
+                self.run_id,
+                error,
+            )
         self._journal.close()
         self._manifest["status"] = "aborted"
         self._manifest["failure_reason"] = reason
         self._manifest["finished"] = _utc_now()
-        self._write_manifest()
+        try:
+            self._write_manifest()
+        except OSError as error:
+            _log.warning(
+                "run %s: could not persist aborted manifest: %s",
+                self.run_id,
+                error,
+            )
         self._finalizer.detach()
         _log.debug("run %s aborted: %s", self.run_id, reason)
 

@@ -1,0 +1,254 @@
+"""Client retry discipline: backoff, jitter, and replay safety.
+
+The contract replacing the old fixed 50 ms poll: ``wait()`` backs off
+exponentially to a cap and rides out dropped connections; requests that
+are safe to replay (GETs, keyed submits, cancels) retry on connection
+errors and 503s honouring ``Retry-After``; a submit without an
+``Idempotency-Key`` and a resume never retry — the client cannot know
+whether the lost response admitted a job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+@pytest.fixture()
+def client() -> ServiceClient:
+    return ServiceClient(
+        "http://127.0.0.1:1", tenant="alpha", retries=3, backoff=0.05
+    )
+
+
+def install_responses(monkeypatch, client, script):
+    """Replace the wire with a scripted sequence of outcomes.
+
+    Each entry is either an exception instance (the connection dropped)
+    or a ``(status, body_bytes, headers)`` tuple. Returns the call log.
+    """
+    calls = []
+
+    def fake_once(method, path, payload, headers):
+        calls.append((method, path, headers))
+        outcome = script[min(len(calls) - 1, len(script) - 1)]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    monkeypatch.setattr(client, "_once", fake_once)
+    monkeypatch.setattr(
+        client, "_sleep_before_retry", lambda attempt, floor=0.0: None
+    )
+    return calls
+
+
+class TestConnectionRetry:
+    def test_retryable_request_survives_dropped_connections(
+        self, monkeypatch, client
+    ):
+        calls = install_responses(
+            monkeypatch,
+            client,
+            [
+                ConnectionResetError("boom"),
+                ConnectionRefusedError("still booting"),
+                (200, b'{"jobs": []}', {}),
+            ],
+        )
+        assert client.jobs() == []
+        assert len(calls) == 3
+
+    def test_retries_are_bounded(self, monkeypatch, client):
+        calls = install_responses(
+            monkeypatch, client, [ConnectionResetError("down for good")]
+        )
+        with pytest.raises(ConnectionResetError):
+            client.jobs()
+        assert len(calls) == client.retries + 1
+
+    def test_keyed_submit_retries(self, monkeypatch, client):
+        record = b'{"job_id": "j1", "status": "queued"}'
+        calls = install_responses(
+            monkeypatch,
+            client,
+            [ConnectionResetError("mid-restart"), (200, record, {})],
+        )
+        result = client.submit({"profiles": ["D1"]}, idempotency_key="k1")
+        assert result["job_id"] == "j1"
+        assert len(calls) == 2
+        assert all(
+            headers["Idempotency-Key"] == "k1" for _, _, headers in calls
+        )
+
+    def test_unkeyed_submit_never_retries(self, monkeypatch, client):
+        """No key, no dedup on the server: a replay could double-admit."""
+        calls = install_responses(
+            monkeypatch, client, [ConnectionResetError("ambiguous loss")]
+        )
+        with pytest.raises(ConnectionResetError):
+            client.submit({"profiles": ["D1"]})
+        assert len(calls) == 1
+
+    def test_resume_never_retries(self, monkeypatch, client):
+        """Each resume admits a new continuation job — not replay-safe."""
+        calls = install_responses(
+            monkeypatch, client, [ConnectionResetError("ambiguous loss")]
+        )
+        with pytest.raises(ConnectionResetError):
+            client.resume("j1")
+        assert len(calls) == 1
+
+
+class TestSaturationRetry:
+    def test_503_retried_honouring_retry_after(self, monkeypatch, client):
+        floors = []
+        calls = []
+
+        def fake_once(method, path, payload, headers):
+            calls.append(path)
+            if len(calls) == 1:
+                return (
+                    503,
+                    b'{"error": "queue full"}',
+                    {"retry-after": "1.5"},
+                )
+            return 200, b'{"job_id": "j1"}', {}
+
+        monkeypatch.setattr(client, "_once", fake_once)
+        monkeypatch.setattr(
+            client,
+            "_sleep_before_retry",
+            lambda attempt, floor=0.0: floors.append(floor),
+        )
+        result = client.submit({"profiles": ["D1"]}, idempotency_key="k1")
+        assert result == {"job_id": "j1"}
+        assert floors == [1.5]  # the server's Retry-After is the floor
+
+    def test_retry_after_floor_capped(self, monkeypatch, client):
+        """A pathological Retry-After cannot stall the client."""
+        floors = []
+        install_responses(
+            monkeypatch,
+            client,
+            [
+                (503, b'{"error": "full"}', {"retry-after": "3600"}),
+                (200, b'{"jobs": []}', {}),
+            ],
+        )
+        monkeypatch.setattr(
+            client,
+            "_sleep_before_retry",
+            lambda attempt, floor=0.0: floors.append(floor),
+        )
+        assert client.jobs() == []
+        assert floors == [client.backoff_cap]
+
+    def test_503_not_retried_without_replay_safety(self, monkeypatch, client):
+        calls = install_responses(
+            monkeypatch,
+            client,
+            [(503, b'{"error": "queue full"}', {"retry-after": "1"})],
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"profiles": ["D1"]})
+        assert excinfo.value.status == 503
+        assert len(calls) == 1
+
+    def test_exhausted_retries_surface_the_503(self, monkeypatch, client):
+        calls = install_responses(
+            monkeypatch,
+            client,
+            [(503, b'{"error": "queue full"}', {"retry-after": "0"})],
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.jobs()
+        assert excinfo.value.status == 503
+        assert len(calls) == client.retries + 1
+
+
+class TestBackoffShape:
+    def test_sleep_is_capped_exponential(self, monkeypatch, client):
+        """The jitter ceiling doubles per attempt up to backoff_cap."""
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+        # Full jitter: uniform(0, ceiling) — pin to the ceiling itself.
+        monkeypatch.setattr(
+            "repro.service.client.random.uniform", lambda low, high: high
+        )
+        for attempt in range(8):
+            client._sleep_before_retry(attempt)
+        assert sleeps[:4] == [0.05, 0.1, 0.2, 0.4]
+        assert sleeps[-1] == client.backoff_cap
+        assert all(value <= client.backoff_cap for value in sleeps)
+
+    def test_floor_wins_over_small_ceiling(self, monkeypatch, client):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+        monkeypatch.setattr(
+            "repro.service.client.random.uniform", lambda low, high: high
+        )
+        client._sleep_before_retry(0, floor=1.0)
+        assert sleeps == [1.0]
+
+
+class TestWaitBackoff:
+    def test_wait_poll_interval_grows_to_cap(self, monkeypatch, client):
+        """No more fixed 50 ms hammering: the poll interval ramps up."""
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+        monkeypatch.setattr(
+            "repro.service.client.random.uniform", lambda low, high: high
+        )
+        polls = []
+
+        def fake_job(job_id):
+            polls.append(job_id)
+            status = "running" if len(polls) < 10 else "finished"
+            return {"job_id": job_id, "status": status}
+
+        monkeypatch.setattr(client, "job", fake_job)
+        record = client.wait("j1", timeout=60, poll_floor=0.05, poll_cap=1.0)
+        assert record["status"] == "finished"
+        assert len(polls) == 10
+        assert sleeps == sorted(sleeps)  # monotone ramp
+        assert sleeps[0] == pytest.approx(0.05)
+        assert sleeps[-1] == pytest.approx(1.0)  # reached the cap
+        assert all(value <= 1.0 for value in sleeps)
+
+    def test_wait_rides_out_a_restart(self, monkeypatch, client):
+        """Connection errors mid-wait are tolerated until the deadline."""
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda seconds: None
+        )
+        polls = []
+
+        def flaky_job(job_id):
+            polls.append(job_id)
+            if len(polls) < 4:
+                raise ConnectionRefusedError("service restarting")
+            return {"job_id": job_id, "status": "finished"}
+
+        monkeypatch.setattr(client, "job", flaky_job)
+        record = client.wait("j1", timeout=60)
+        assert record["status"] == "finished"
+        assert len(polls) == 4
+
+    def test_wait_reports_unreachable_service(self, monkeypatch, client):
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda seconds: None
+        )
+
+        def dead_job(job_id):
+            raise ConnectionRefusedError("gone")
+
+        monkeypatch.setattr(client, "job", dead_job)
+        with pytest.raises(TimeoutError, match="unreachable"):
+            client.wait("j1", timeout=0.2)

@@ -1,0 +1,210 @@
+"""Graceful-drain tests: SIGTERM/SIGINT against a real ``repro serve``.
+
+The drain contract: the signalled server stops admitting, lets the
+in-flight shard reach a checkpoint, flips the running job's manifest to
+``aborted`` (resumable) and the run manifest to ``aborted``, and exits
+0. A restart with ``--auto-resume`` finishes the interrupted chain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.runtime import CHECKPOINTS_DIRNAME
+from repro.service import ServiceClient
+
+#: Long enough to be signalled mid-run; batch=1 keeps shard (and thus
+#: checkpoint) boundaries frequent so the drain is quick.
+LONG_SPEC = {
+    "profiles": ["D1", "D2", "D3"],
+    "strategies": ["sequential", "targeted"],
+    "budget": 40000,
+    "seed": 11,
+    "armed": False,  # disarmed: campaigns run their full budget (~8s)
+    "batch": 1,
+}
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(
+    data_dir: Path, port: int, *extra_args: str, env: dict | None = None
+) -> subprocess.Popen:
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    merged_env = dict(os.environ if env is None else env)
+    merged_env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, merged_env.get("PYTHONPATH")) if part
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--data-dir",
+            str(data_dir),
+            "--port",
+            str(port),
+            "--workers",
+            "1",
+            *extra_args,
+        ],
+        env=merged_env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def wait_healthy(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client.health()
+            return
+        except OSError:
+            time.sleep(0.05)
+    raise TimeoutError("server never became healthy")
+
+
+def wait_until_mid_run(
+    client: ServiceClient, job_id: str, timeout: float = 60.0
+) -> dict:
+    """Block until the job is running with a recorded run id."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = client.job(job_id)
+        if record["status"] == "running" and record["run_id"]:
+            return record
+        if record["status"] not in ("queued", "running"):
+            return record
+        time.sleep(0.05)
+    raise TimeoutError(f"job {job_id} never started running")
+
+
+def job_manifest(data_dir: Path, job_id: str) -> dict:
+    return json.loads(
+        (data_dir / "jobs" / f"{job_id}.json").read_text(encoding="utf-8")
+    )
+
+
+def run_dir_of(data_dir: Path, tenant: str, run_id: str) -> Path:
+    return data_dir / "tenants" / tenant / "runs" / run_id
+
+
+@pytest.mark.parametrize(
+    "signum", [signal.SIGTERM, signal.SIGINT], ids=["SIGTERM", "SIGINT"]
+)
+def test_signal_drains_to_resumable_checkpoints(tmp_path, signum):
+    """Signal mid-job: exit 0, job aborted(resumable), checkpoints on
+    disk, run manifest aborted, drain named as the failure reason."""
+    port = free_port()
+    server = start_server(tmp_path, port)
+    client = ServiceClient(f"http://127.0.0.1:{port}", tenant="alpha")
+    try:
+        wait_healthy(client)
+        job = client.submit(LONG_SPEC)
+        record = wait_until_mid_run(client, job["job_id"])
+        if record["status"] != "running":
+            pytest.skip(f"job went {record['status']} before the signal")
+        # Give the first shard a moment to land a checkpoint.
+        run_dir = run_dir_of(tmp_path, "alpha", record["run_id"])
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if list((run_dir / CHECKPOINTS_DIRNAME).glob("*.bin")):
+                break
+            time.sleep(0.05)
+
+        server.send_signal(signum)
+        assert server.wait(timeout=90) == 0, server.stdout.read().decode()
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+    manifest = job_manifest(tmp_path, job["job_id"])
+    if manifest["status"] == "finished":
+        pytest.skip("job finished before the signal landed")
+    assert manifest["status"] == "aborted"
+    assert manifest["run_id"]
+    assert "drain" in manifest["error"]
+    assert list((run_dir / CHECKPOINTS_DIRNAME).glob("*.bin")), (
+        "drain left no resumable checkpoints"
+    )
+    run_manifest = json.loads(
+        (run_dir / "run.json").read_text(encoding="utf-8")
+    )
+    assert run_manifest["status"] == "aborted"
+
+
+def test_drained_job_resumes_on_restart_with_auto_resume(tmp_path):
+    """SIGTERM mid-job, then restart --auto-resume: the chain finishes
+    without any operator action and reports all six campaigns."""
+    port = free_port()
+    server = start_server(tmp_path, port)
+    client = ServiceClient(f"http://127.0.0.1:{port}", tenant="alpha")
+    try:
+        wait_healthy(client)
+        job = client.submit(LONG_SPEC)
+        record = wait_until_mid_run(client, job["job_id"])
+        if record["status"] != "running":
+            pytest.skip(f"job went {record['status']} before the signal")
+        server.send_signal(signal.SIGTERM)
+        assert server.wait(timeout=90) == 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+    if job_manifest(tmp_path, job["job_id"])["status"] == "finished":
+        pytest.skip("job finished before the signal landed")
+
+    port = free_port()
+    server = start_server(tmp_path, port, "--auto-resume")
+    client = ServiceClient(f"http://127.0.0.1:{port}", tenant="alpha")
+    try:
+        wait_healthy(client)
+        deadline = time.monotonic() + 300
+        resumed = None
+        while time.monotonic() < deadline:
+            jobs = client.jobs()
+            resumed = next(
+                (
+                    record
+                    for record in jobs
+                    if record["resume_of"] == job["job_id"]
+                ),
+                None,
+            )
+            if resumed is not None and resumed["status"] not in (
+                "queued",
+                "running",
+            ):
+                break
+            time.sleep(0.2)
+        assert resumed is not None, "auto-resume never fired after restart"
+        assert resumed["status"] == "finished", resumed["error"]
+        assert resumed["campaigns"] == 6
+        assert resumed["auto_resume_attempts"] == 1
+        # The finished continuation serves the merged report.
+        report = client.report(resumed["job_id"])
+        assert len(report["campaigns"]) == 6
+    finally:
+        client.shutdown()
+        if server.poll() is None:
+            try:
+                server.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=30)

@@ -1,0 +1,181 @@
+"""Service-level fault injection: plans, typed IO failures, clean aborts.
+
+The ENOSPC contract: a failed journal or manifest write surfaces as a
+typed :class:`JournalWriteError`, the affected job lands
+``aborted(resumable)`` with the cause as its failure reason — never a
+raw traceback — and an unacknowledged admission holds no quota.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.core.faults import (
+    SERVICE_FAULT_SITES,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+    install_service_faults,
+    service_fault,
+)
+from repro.errors import JournalWriteError
+from repro.service.jobs import JobSpec
+from repro.service.registry import SessionRegistry
+from repro.service.scheduler import JobScheduler
+from repro.service.tenants import TenantManager
+from repro.telemetry.journal import JournalWriter
+
+
+def spec(tenant: str = "alpha", **overrides) -> JobSpec:
+    fields = dict(
+        tenant=tenant,
+        profiles=("D1",),
+        strategies=("sequential",),
+        budget=40,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def plan(tmp_path, *faults: ServiceFaultSpec) -> ServiceFaultPlan:
+    return ServiceFaultPlan(
+        faults=tuple(faults), ledger_dir=str(tmp_path / "fault-ledger")
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    yield
+    install_service_faults(None)
+
+
+class TestServiceFaultPlan:
+    def test_json_roundtrip(self, tmp_path):
+        original = plan(
+            tmp_path,
+            ServiceFaultSpec(kind="kill", site="registry.manifest.mid"),
+            ServiceFaultSpec(kind="journal_io", site="journal.emit", times=3),
+        )
+        assert ServiceFaultPlan.from_json(original.to_json()) == original
+
+    def test_unknown_kind_and_site_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(kind="meteor", site="journal.emit")
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(kind="kill", site="nowhere")
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(kind="kill", site="journal.emit", times=0)
+
+    def test_occurrences_bounded_across_plan_instances(self, tmp_path):
+        """The ledger, not the object, counts: restarts share the cap."""
+        first = plan(
+            tmp_path,
+            ServiceFaultSpec(
+                kind="registry_io", site="registry.intent", times=2
+            ),
+        )
+        with pytest.raises(OSError):
+            first.fire("registry.intent")
+        # A "restarted process": same ledger dir, fresh plan object.
+        second = ServiceFaultPlan.from_json(first.to_json())
+        with pytest.raises(OSError):
+            second.fire("registry.intent")
+        assert second.fire("registry.intent") is None  # exhausted
+
+    def test_registry_io_raises_enospc(self, tmp_path):
+        armed = plan(
+            tmp_path,
+            ServiceFaultSpec(kind="registry_io", site="registry.intent"),
+        )
+        with pytest.raises(OSError) as excinfo:
+            armed.fire("registry.intent")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_sites_without_faults_are_no_ops(self, tmp_path):
+        armed = plan(
+            tmp_path,
+            ServiceFaultSpec(kind="registry_io", site="registry.intent"),
+        )
+        for site in SERVICE_FAULT_SITES:
+            if site != "registry.intent":
+                assert armed.fire(site) is None
+
+    def test_hook_is_inert_without_installed_plan(self):
+        for site in SERVICE_FAULT_SITES:
+            assert service_fault(site) is None
+
+
+class TestTypedJournalFailures:
+    def test_journal_emit_raises_typed_error(self, tmp_path):
+        install_service_faults(
+            plan(
+                tmp_path,
+                ServiceFaultSpec(kind="journal_io", site="journal.emit"),
+            )
+        )
+        writer = JournalWriter(
+            tmp_path / "run" / "events.jsonl", run_id="r1", worker="t"
+        )
+        with pytest.raises(JournalWriteError) as excinfo:
+            writer.emit("run_start")
+        assert excinfo.value.errno == errno.ENOSPC
+        # Exhausted after one occurrence: the journal works again.
+        writer.emit("run_start")
+        writer.close()
+
+    def test_submit_failure_holds_no_quota(self, tmp_path):
+        """ENOSPC on the admission write: error out, charge nothing."""
+        install_service_faults(
+            plan(
+                tmp_path,
+                ServiceFaultSpec(kind="registry_io", site="registry.intent"),
+            )
+        )
+        registry = SessionRegistry(tmp_path)
+        scheduler = JobScheduler(
+            registry, TenantManager(tmp_path), pool_workers=1
+        )
+        with pytest.raises(JournalWriteError):
+            scheduler.submit(spec(budget=100))
+        assert registry.jobs() == []
+        assert registry.packets_committed("alpha") == 0
+        # The disk "recovered" (fault exhausted): the retry is admitted.
+        scheduler.submit(spec(budget=100))
+        assert registry.packets_committed("alpha") == 100
+
+    def test_journal_enospc_aborts_job_with_clean_reason(self, tmp_path):
+        """A job whose run journal hits ENOSPC: aborted(resumable),
+        failure reason names the write, no traceback leaks."""
+        install_service_faults(
+            plan(
+                tmp_path,
+                ServiceFaultSpec(kind="journal_io", site="journal.emit"),
+            )
+        )
+        registry = SessionRegistry(tmp_path)
+        scheduler = JobScheduler(
+            registry, TenantManager(tmp_path), pool_workers=1
+        )
+        record = scheduler.submit(spec(budget=20))
+        scheduler.start()
+        try:
+            final = scheduler.wait(record.job_id, timeout=120)
+        finally:
+            scheduler.stop()
+        assert final.status == "aborted"
+        assert final.error is not None
+        assert "durability write failed" in final.error
+        assert "journal write failed" in final.error
+        assert "Traceback" not in final.error
+        assert final.resumable  # run_id was published before dispatch
+
+        # And the resume — fault exhausted — finishes the job.
+        fresh = JobScheduler(registry, TenantManager(tmp_path), pool_workers=1)
+        resumed = fresh.resume(record.job_id, "alpha")
+        fresh.start()
+        try:
+            done = fresh.wait(resumed.job_id, timeout=120)
+        finally:
+            fresh.stop()
+        assert done.status == "finished", done.error
